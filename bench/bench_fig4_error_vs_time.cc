@@ -1,0 +1,26 @@
+// Figure 4: AvgError@50 vs. query time, per dataset, all methods, five
+// parameter settings each. Small stand-ins run every method; large
+// stand-ins run the scalable subset (SimPush / ProbeSim / PRSim), the
+// others being excluded by the same time/memory budgeting rule the
+// paper applies (§5.2).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace simpush;
+  using namespace simpush::bench;
+
+  std::printf("=== Figure 4: AvgError@50 vs query time ===\n");
+
+  const auto all = PaperParameterSweep();
+  const auto scalable = LargeGraphSweep();
+
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == "clueweb-sim") continue;  // Figure 7's dataset.
+    const bool small = !spec.large;
+    if (QuickMode() && spec.large) continue;
+    RunFigureForDataset(spec, small ? all : scalable,
+                        FigureMetric::kError, "fig4");
+  }
+  return 0;
+}

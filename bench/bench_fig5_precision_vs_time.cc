@@ -1,0 +1,25 @@
+// Figure 5: Precision@50 vs. query time, same sweep structure as
+// Figure 4 with the precision metric.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace simpush;
+  using namespace simpush::bench;
+
+  std::printf("=== Figure 5: Precision@50 vs query time ===\n");
+
+  const auto all = PaperParameterSweep();
+  const auto scalable = LargeGraphSweep();
+
+  // Small stand-ins get the full method sweep; one large representative
+  // (uk-sim, the paper's headline graph) keeps the large-graph shape
+  // visible without re-running Figure 4's full large-graph pass.
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.large && spec.name != "uk-sim") continue;
+    if (QuickMode() && spec.large) continue;
+    RunFigureForDataset(spec, spec.large ? scalable : all,
+                        FigureMetric::kPrecision, "fig5");
+  }
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Component micro-benchmarks (google-benchmark): walk sampling, push
+// kernels, graph construction, and the three SimPush stages in
+// isolation. These quantify the constants behind the Table 1/3
+// complexities.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "simpush/single_pair.h"
+#include "simpush/hitting.h"
+#include "simpush/last_meeting.h"
+#include "simpush/reverse_push.h"
+#include "simpush/simpush.h"
+#include "simpush/source_push.h"
+#include "walk/walker.h"
+
+namespace {
+
+using namespace simpush;
+
+const Graph& BenchGraph() {
+  static const Graph graph = [] {
+    auto g = GenerateChungLu(20000, 240000, 2.2, 4096);
+    if (!g.ok()) std::abort();
+    return std::move(g).value();
+  }();
+  return graph;
+}
+
+void BM_SqrtCWalk(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Walker walker(g, std::sqrt(0.6));
+  Rng rng(1);
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    Walk walk = walker.SampleWalk(
+        static_cast<NodeId>(rng.NextBounded(g.num_nodes())), &rng);
+    steps += walk.length();
+    benchmark::DoNotOptimize(walk);
+  }
+  state.counters["steps/walk"] =
+      benchmark::Counter(double(steps) / state.iterations());
+}
+BENCHMARK(BM_SqrtCWalk);
+
+void BM_PairWalkMeeting(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Walker walker(g, std::sqrt(0.6));
+  Rng rng(2);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    benchmark::DoNotOptimize(walker.PairWalkMeets(u, v, &rng));
+  }
+}
+BENCHMARK(BM_PairWalkMeeting);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    auto g = GenerateErdosRenyi(n, EdgeId(n) * 8, 99);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GraphBuild)->Range(1 << 10, 1 << 14)->Complexity();
+
+void BM_SourcePushStage(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions o;
+  o.epsilon = 0.02;
+  o.walk_budget_cap = 20000;
+  const DerivedParams params = ComputeDerivedParams(o);
+  Rng rng(3);
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto gu = SourcePush(g, u, o, params, &rng, nullptr);
+    benchmark::DoNotOptimize(gu);
+    u = (u + 37) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_SourcePushStage);
+
+void BM_GammaStage(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions o;
+  o.epsilon = 0.02;
+  o.walk_budget_cap = 20000;
+  const DerivedParams params = ComputeDerivedParams(o);
+  Rng rng(4);
+  auto gu = SourcePush(g, 11, o, params, &rng, nullptr);
+  if (!gu.ok()) std::abort();
+  for (auto _ : state) {
+    HittingTable table = ComputeHittingTable(g, *gu, params.sqrt_c);
+    auto gamma = ComputeLastMeetingProbabilities(*gu, table);
+    benchmark::DoNotOptimize(gamma);
+  }
+}
+BENCHMARK(BM_GammaStage);
+
+void BM_ReversePushStage(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions o;
+  o.epsilon = 0.02;
+  o.walk_budget_cap = 20000;
+  const DerivedParams params = ComputeDerivedParams(o);
+  Rng rng(5);
+  auto gu = SourcePush(g, 11, o, params, &rng, nullptr);
+  if (!gu.ok()) std::abort();
+  HittingTable table = ComputeHittingTable(g, *gu, params.sqrt_c);
+  auto gamma = ComputeLastMeetingProbabilities(*gu, table);
+  ReversePushWorkspace workspace;
+  std::vector<double> scores(g.num_nodes(), 0.0);
+  for (auto _ : state) {
+    std::fill(scores.begin(), scores.end(), 0.0);
+    ReversePush(g, *gu, gamma, params.sqrt_c, params.eps_h, &workspace,
+                &scores, nullptr);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_ReversePushStage);
+
+void BM_FullQuery(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions o;
+  o.epsilon = 1.0 / double(state.range(0));
+  o.walk_budget_cap = 20000;
+  SimPushEngine engine(g, o);
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto r = engine.Query(u);
+    benchmark::DoNotOptimize(r);
+    u = (u + 101) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_FullQuery)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+
+
+void BM_SinglePairSessionCreate(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions options;
+  options.epsilon = 0.02;
+  options.walk_budget_cap = 10000;
+  Rng rng(7);
+  for (auto _ : state) {
+    auto session = SinglePairSession::Create(
+        g, static_cast<NodeId>(rng.NextBounded(g.num_nodes())), options);
+    benchmark::DoNotOptimize(session);
+  }
+}
+BENCHMARK(BM_SinglePairSessionCreate);
+
+void BM_SinglePairEstimate(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions options;
+  options.epsilon = 0.02;
+  options.walk_budget_cap = 10000;
+  auto session = SinglePairSession::Create(g, 17, options);
+  if (!session.ok()) std::abort();
+  Rng rng(9);
+  const uint64_t walks = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto estimate = session->Estimate(
+        static_cast<NodeId>(rng.NextBounded(g.num_nodes())), walks);
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["walks"] = double(walks);
+}
+BENCHMARK(BM_SinglePairEstimate)->Arg(1000)->Arg(10000);
+
+void BM_DynamicGraphUpdate(benchmark::State& state) {
+  DynamicGraph dynamic = DynamicGraph::FromGraph(BenchGraph());
+  Rng rng(11);
+  const NodeId n = dynamic.num_nodes();
+  for (auto _ : state) {
+    const NodeId src = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId dst = static_cast<NodeId>(rng.NextBounded(n));
+    if (dynamic.AddEdge(src, dst).ok()) {
+      benchmark::DoNotOptimize(dynamic.RemoveEdge(src, dst));
+    }
+  }
+}
+BENCHMARK(BM_DynamicGraphUpdate);
+
+void BM_DynamicGraphSnapshot(benchmark::State& state) {
+  DynamicGraph dynamic = DynamicGraph::FromGraph(BenchGraph());
+  for (auto _ : state) {
+    auto snapshot = dynamic.Snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.counters["edges"] = double(dynamic.num_edges());
+}
+BENCHMARK(BM_DynamicGraphSnapshot);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<uint64_t> sink{0};
+    ParallelFor(pool, 0, 1024, [&sink](size_t i) { sink.fetch_add(i); });
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

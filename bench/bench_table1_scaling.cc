@@ -1,0 +1,90 @@
+// Table 1: empirical validation of the asymptotic complexity comparison.
+// Two sweeps:
+//   (a) query time vs graph size m at fixed ε — SimPush's O(m·log(1/ε)/ε
+//       + ...) vs ProbeSim's O(n·log(n/δ)/ε²) per-walk probing profile;
+//   (b) SimPush query time vs 1/ε at fixed graph.
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/probesim.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "simpush/simpush.h"
+
+namespace {
+
+using namespace simpush;
+
+double TimeSimPushQueries(const Graph& g, double eps,
+                          const std::vector<NodeId>& queries) {
+  SimPushOptions o;
+  o.epsilon = eps;
+  o.walk_budget_cap = 100000;
+  SimPushEngine engine(g, o);
+  Timer timer;
+  for (NodeId u : queries) {
+    auto r = engine.Query(u);
+    if (!r.ok()) return -1;
+  }
+  return timer.ElapsedSeconds() / queries.size();
+}
+
+double TimeProbeSimQueries(const Graph& g, double eps,
+                           const std::vector<NodeId>& queries) {
+  ProbeSimOptions o;
+  o.epsilon = eps;
+  o.max_walks = 3000;  // Matched accuracy scale; trend is what matters.
+  ProbeSim algo(g, o);
+  Timer timer;
+  for (NodeId u : queries) {
+    auto r = algo.Query(u);
+    if (!r.ok()) return -1;
+  }
+  return timer.ElapsedSeconds() / queries.size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace simpush;
+  using namespace simpush::bench;
+
+  std::printf("=== Table 1: complexity validation ===\n");
+
+  std::printf(
+      "\n-- (a) query time vs graph size (Chung-Lu, gamma=2.2, avg deg 12, "
+      "eps=0.02) --\n");
+  std::printf("%-10s %-12s %16s %16s\n", "n", "m", "SimPush(ms)",
+              "ProbeSim(ms)");
+  const NodeId sizes[] = {5000, 10000, 20000, 40000, 80000};
+  for (NodeId n : sizes) {
+    if (QuickMode() && n > 20000) break;
+    auto g = GenerateChungLu(n, EdgeId(n) * 12, 2.2, 7000 + n);
+    if (!g.ok()) continue;
+    auto queries = GenerateQuerySet(*g, 5, 31337);
+    const double simpush_ms = TimeSimPushQueries(*g, 0.02, queries) * 1e3;
+    const double probesim_ms = TimeProbeSimQueries(*g, 0.02, queries) * 1e3;
+    std::printf("%-10u %-12llu %16.3f %16.3f\n", n,
+                static_cast<unsigned long long>(g->num_edges()), simpush_ms,
+                probesim_ms);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n-- (b) SimPush query time vs 1/eps (Chung-Lu n=20000) --\n");
+  std::printf("%-10s %16s\n", "eps", "SimPush(ms)");
+  auto g = GenerateChungLu(20000, 240000, 2.2, 27000);
+  if (g.ok()) {
+    auto queries = GenerateQuerySet(*g, 5, 1234);
+    for (double eps : {0.1, 0.05, 0.02, 0.01, 0.005}) {
+      std::printf("%-10g %16.3f\n", eps,
+                  TimeSimPushQueries(*g, eps, queries) * 1e3);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape: (a) both grow with m, SimPush consistently far "
+      "cheaper; (b) superlinear growth in 1/eps (the 1/eps^3 term is the "
+      "gamma stage).\n");
+  return 0;
+}

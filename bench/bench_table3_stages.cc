@@ -1,0 +1,48 @@
+// Table 3: per-stage time complexity of SimPush, measured as the wall
+// clock of Source-Push (Alg. 2), the γ stage (Algs. 3-4) and
+// Reverse-Push (Alg. 5), per dataset and ε.
+
+#include "bench_common.h"
+#include "simpush/simpush.h"
+
+int main() {
+  using namespace simpush;
+  using namespace simpush::bench;
+
+  std::printf("=== Table 3: SimPush stage breakdown ===\n");
+  std::printf("%-16s %-8s %14s %14s %14s %14s\n", "dataset", "eps",
+              "source(ms)", "gamma(ms)", "reverse(ms)", "total(ms)");
+
+  for (const DatasetSpec& spec : SmallDatasets()) {
+    Graph graph = MustBuildDataset(spec);
+    auto queries = GenerateQuerySet(graph, QuickMode() ? 3 : 10, 555);
+    for (double eps : {0.05, 0.02, 0.005}) {
+      SimPushOptions o;
+      o.epsilon = eps;
+      o.walk_budget_cap = 100000;
+      SimPushEngine engine(graph, o);
+      double source = 0, gamma = 0, reverse = 0, total = 0;
+      size_t ok_queries = 0;
+      for (NodeId u : queries) {
+        auto r = engine.Query(u);
+        if (!r.ok()) continue;
+        source += r->stats.source_push_seconds;
+        gamma += r->stats.gamma_seconds;
+        reverse += r->stats.reverse_push_seconds;
+        total += r->stats.total_seconds;
+        ++ok_queries;
+      }
+      if (ok_queries == 0) continue;
+      const double q = double(ok_queries);
+      std::printf("%-16s %-8g %14.3f %14.3f %14.3f %14.3f\n",
+                  spec.name.c_str(), eps, source / q * 1e3, gamma / q * 1e3,
+                  reverse / q * 1e3, total / q * 1e3);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected shape: Source-Push dominated by the level-detection "
+      "walks; the gamma stage grows fastest as eps shrinks (1/eps^3 "
+      "term); Reverse-Push stays m-bound.\n");
+  return 0;
+}

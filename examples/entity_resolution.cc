@@ -1,0 +1,95 @@
+// Entity-resolution / schema-matching scenario (paper §1 cites Melnik
+// et al. [25], "similarity flooding" for schema matching).
+//
+// Setup: a bibliographic graph where papers cite papers. Some papers
+// exist twice under different ids (duplicate records from two sources),
+// each copy citing essentially the same set of papers. Duplicates are
+// exactly the structurally-similar pairs SimRank is built for: both
+// copies are cited by / cite the same neighborhood. The TopPairs join
+// surfaces duplicate candidates across the whole catalog in one call.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "simpush/join.h"
+
+int main() {
+  using namespace simpush;
+
+  // 1. Citation graph: power-law, 4k papers.
+  std::printf("Building citation graph (4k papers)...\n");
+  auto base = GenerateChungLu(4000, 28000, 2.4, 1234);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Duplicate 25 records: each clone cites the original's references
+  // (with a little noise) and inherits most of its citers.
+  Rng rng(55);
+  DynamicGraph catalog = DynamicGraph::FromGraph(*base);
+  std::vector<std::pair<NodeId, NodeId>> duplicates;  // (original, clone)
+  for (int i = 0; i < 25; ++i) {
+    // Pick originals with enough structure to be matchable.
+    NodeId original;
+    do {
+      original = static_cast<NodeId>(rng.NextBounded(base->num_nodes()));
+    } while (base->InDegree(original) < 4 || base->OutDegree(original) < 4);
+    const NodeId clone = catalog.AddNode();
+    for (NodeId ref : base->OutNeighbors(original)) {
+      if (rng.NextDouble() < 0.9) (void)catalog.AddEdge(clone, ref);
+    }
+    for (NodeId citer : base->InNeighbors(original)) {
+      if (rng.NextDouble() < 0.8) (void)catalog.AddEdge(citer, clone);
+    }
+    duplicates.emplace_back(original, clone);
+  }
+  auto graph = catalog.Snapshot();
+  if (!graph.ok()) return 1;
+  std::printf("  planted %zu duplicate records (n=%u, m=%llu)\n",
+              duplicates.size(), graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()));
+
+  // 3. One TopPairs scan proposes merge candidates catalog-wide.
+  JoinOptions options;
+  options.query.epsilon = 0.01;
+  options.query.walk_budget_cap = 20000;
+  options.num_threads = 4;
+  const size_t kCandidates = 50;
+  auto top = TopPairs(*graph, kCandidates, options);
+  if (!top.ok()) {
+    std::fprintf(stderr, "%s\n", top.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. How many planted duplicates appear among the candidates?
+  std::set<std::pair<NodeId, NodeId>> truth;
+  for (auto [a, b] : duplicates) {
+    truth.emplace(std::min(a, b), std::max(a, b));
+  }
+  size_t recovered = 0;
+  std::printf("\ntop merge candidates (*) = planted duplicate:\n");
+  for (size_t i = 0; i < top->size(); ++i) {
+    const SimilarPair& pair = (*top)[i];
+    const bool planted = truth.count({pair.u, pair.v}) > 0;
+    if (planted) ++recovered;
+    if (i < 10) {
+      std::printf("  %2zu. (%u, %u) s=%.4f %s\n", i + 1, pair.u, pair.v,
+                  pair.score, planted ? "*" : "");
+    }
+  }
+  const double recall = static_cast<double>(recovered) / duplicates.size();
+  std::printf("\nrecovered %zu/%zu planted duplicates in the top-%zu "
+              "(recall %.2f)\n",
+              recovered, duplicates.size(), kCandidates, recall);
+  std::printf(
+      "One realtime join call — re-runnable the moment the catalog "
+      "ingests new records, since nothing is precomputed.\n");
+  return recall >= 0.5 ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Link-prediction scenario (paper §1 cites Liben-Nowell & Kleinberg
+// [19]: SimRank as a predictor of future social links).
+//
+// SimRank predicts links driven by *structural similarity* — people
+// inside the same community referenced by the same others — so the demo
+// uses a stochastic block model (20 communities). Protocol: hide a
+// random 5% of within-community edges, then score (a) the hidden pairs
+// and (b) an equal number of cross-community non-edges with the
+// SinglePairSession API — the cheap u-vs-candidates query shape this
+// library adds on top of the paper. A useful measure ranks (a) above
+// (b); we report the AUC of that separation.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "simpush/single_pair.h"
+
+int main() {
+  using namespace simpush;
+
+  const NodeId kNodes = 2000;
+  const NodeId kBlockSize = 100;  // 20 communities
+  std::printf("Building a community-structured social graph "
+              "(%u users, %u communities)...\n",
+              kNodes, kNodes / kBlockSize);
+  auto full = GenerateStochasticBlockModel(kNodes, kNodes / kBlockSize,
+                                           /*p_in=*/0.08, /*p_out=*/0.0005,
+                                           4242);
+  if (!full.ok()) {
+    std::fprintf(stderr, "%s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  auto block_of = [kBlockSize](NodeId v) { return v / kBlockSize; };
+
+  // Hide 5% of within-community edges (the "future" links).
+  Rng rng(99);
+  DynamicGraph graph = DynamicGraph::FromGraph(*full);
+  std::vector<std::pair<NodeId, NodeId>> hidden;
+  for (NodeId v = 0; v < full->num_nodes(); ++v) {
+    for (NodeId w : full->OutNeighbors(v)) {
+      if (block_of(v) == block_of(w) && rng.NextDouble() < 0.05) {
+        hidden.emplace_back(v, w);
+      }
+    }
+  }
+  for (const auto& [v, w] : hidden) (void)graph.RemoveEdge(v, w);
+  auto observed = graph.Snapshot();
+  if (!observed.ok()) return 1;
+  std::printf("  hid %zu in-community links; observed graph m=%llu\n",
+              hidden.size(),
+              static_cast<unsigned long long>(observed->num_edges()));
+
+  // Score hidden pairs and matched cross-community non-edges. The
+  // source side (attention machinery) is computed once per distinct u
+  // and amortized over both candidates.
+  SimPushOptions options;
+  options.epsilon = 0.01;
+  options.walk_budget_cap = 20000;
+  const uint64_t kWalks = 8000;
+  const size_t kSample = std::min<size_t>(hidden.size(), 120);
+
+  std::vector<double> positive_scores, negative_scores;
+  for (size_t i = 0; i < kSample; ++i) {
+    const auto& [u, v] = hidden[i];
+    auto session = SinglePairSession::Create(*observed, u, options);
+    if (!session.ok()) continue;
+    auto positive = session->Estimate(v, kWalks);
+    if (!positive.ok()) continue;
+
+    // Matched negative: same u, random user from another community.
+    NodeId w;
+    do {
+      w = static_cast<NodeId>(rng.NextBounded(observed->num_nodes()));
+    } while (block_of(w) == block_of(u) || graph.HasEdge(u, w));
+    auto negative = session->Estimate(w, kWalks);
+    if (!negative.ok()) continue;
+
+    positive_scores.push_back(positive->score);
+    negative_scores.push_back(negative->score);
+  }
+
+  // AUC = P(score(hidden) > score(random)) with 0.5 credit for ties.
+  size_t wins = 0, ties = 0;
+  for (double p : positive_scores) {
+    for (double n : negative_scores) {
+      if (p > n) ++wins;
+      else if (p == n) ++ties;
+    }
+  }
+  const double auc = (wins + 0.5 * ties) /
+                     (positive_scores.size() * negative_scores.size());
+
+  const auto mean = [](const std::vector<double>& xs) {
+    double sum = 0;
+    for (double x : xs) sum += x;
+    return xs.empty() ? 0.0 : sum / xs.size();
+  };
+  std::printf("\nscored %zu hidden pairs vs %zu cross-community pairs:\n",
+              positive_scores.size(), negative_scores.size());
+  std::printf("  mean s(hidden pair)        : %.5f\n",
+              mean(positive_scores));
+  std::printf("  mean s(cross-community)    : %.5f\n",
+              mean(negative_scores));
+  std::printf("  AUC                        : %.3f\n", auc);
+  std::printf(
+      "\nSimRank separates future in-community friends from strangers "
+      "using only realtime pair queries — no offline feature pipeline, "
+      "no index to maintain as friendships change.\n");
+  return auc > 0.8 ? 0 : 1;
+}

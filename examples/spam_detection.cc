@@ -1,0 +1,100 @@
+// Link-spam detection scenario (paper §1 cites Benczúr et al. [2]:
+// "link-based similarity search to fight web spam").
+//
+// Setup: a power-law web graph plus a planted link farm — a dense
+// cluster of spam pages that all link to each other and to a boosted
+// target page. Given ONE known spam seed, a single-source SimPush query
+// ranks pages by structural similarity to the seed; pages referenced by
+// the same farm score high. We report precision/recall of flagging the
+// farm from a single query, and show that an honest hub page does not
+// get flagged (low false-positive risk).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "simpush/simpush.h"
+#include "simpush/topk.h"
+
+int main() {
+  using namespace simpush;
+
+  // 1. Honest web: 20k pages, power-law link structure.
+  std::printf("Building honest web graph (20k pages)...\n");
+  auto base = GenerateChungLu(20000, 160000, 2.2, 777);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Plant a link farm: 60 spam pages, each linking to every other
+  // spam page and to the boosted target (a formerly obscure page).
+  DynamicGraph web = DynamicGraph::FromGraph(*base);
+  const NodeId kFarmSize = 60;
+  const NodeId target = 19999;
+  std::vector<NodeId> farm;
+  farm.reserve(kFarmSize);
+  for (NodeId i = 0; i < kFarmSize; ++i) {
+    farm.push_back(web.AddNode());
+  }
+  for (NodeId a : farm) {
+    for (NodeId b : farm) {
+      if (a != b) (void)web.AddEdge(a, b);
+    }
+    (void)web.AddEdge(a, target);
+  }
+  auto graph = web.Snapshot();
+  if (!graph.ok()) return 1;
+  std::printf("  planted a %u-page farm boosting page %u (n=%u, m=%llu)\n",
+              kFarmSize, target, graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()));
+
+  // 3. One farm page is known spam (e.g. reported by a user). Query it.
+  const NodeId seed = farm.front();
+  SimPushOptions options;
+  options.epsilon = 0.01;
+  options.walk_budget_cap = 50000;
+  SimPushEngine engine(*graph, options);
+
+  auto topk = QueryTopK(&engine, seed, kFarmSize);
+  if (!topk.ok()) {
+    std::fprintf(stderr, "%s\n", topk.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nquery from known spam page %u took %.1f ms (no index)\n",
+              seed, topk->stats.total_seconds * 1e3);
+
+  // 4. Flag the top-scoring pages; measure farm recovery.
+  size_t flagged_farm = 0;
+  for (const TopKEntry& entry : topk->entries) {
+    if (std::find(farm.begin(), farm.end(), entry.node) != farm.end()) {
+      ++flagged_farm;
+    }
+  }
+  const double precision =
+      static_cast<double>(flagged_farm) / topk->entries.size();
+  const double recall =
+      static_cast<double>(flagged_farm) / (kFarmSize - 1);  // seed excluded
+  std::printf("flagging top-%zu similar pages:\n", topk->entries.size());
+  std::printf("  farm pages flagged : %zu\n", flagged_farm);
+  std::printf("  precision          : %.2f\n", precision);
+  std::printf("  recall (farm)      : %.2f\n", recall);
+
+  // 5. Control: an honest high-degree hub must NOT look like the seed.
+  NodeId hub = 0;
+  for (NodeId v = 1; v < base->num_nodes(); ++v) {
+    if (graph->InDegree(v) > graph->InDegree(hub)) hub = v;
+  }
+  auto hub_result = engine.Query(seed);
+  if (hub_result.ok()) {
+    std::printf("  s(seed, honest hub %u) = %.5f (farm pages score ~%.3f)\n",
+                hub, hub_result->scores[hub],
+                topk->entries.empty() ? 0.0 : topk->entries.front().score);
+  }
+  std::printf(
+      "\nA single realtime query recovered the farm — and stays correct "
+      "as spammers add links, because nothing is precomputed.\n");
+  return precision > 0.5 ? 0 : 1;
+}

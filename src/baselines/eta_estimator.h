@@ -1,0 +1,32 @@
+// Monte-Carlo estimation of the last-meeting probability η(w) used by
+// SLING and PRSim (§2.2, Eq. 3): the probability that two independent
+// √c-walks started at w never meet at the same node and step. Both
+// index-based baselines precompute η for all nodes, which is the bulk
+// of their preprocessing cost — exactly the cost SimPush avoids by
+// defining γ over G_u instead.
+
+#ifndef SIMPUSH_BASELINES_ETA_ESTIMATOR_H_
+#define SIMPUSH_BASELINES_ETA_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Estimates η(w) for every node by `samples_per_node` paired-walk
+/// trials each. O(n·samples/(1-√c)) total expected steps.
+std::vector<double> EstimateEtaAllNodes(const Graph& graph, double sqrt_c,
+                                        uint32_t samples_per_node,
+                                        uint64_t seed);
+
+/// Estimates η(w) for a single node (used online by PRSim for non-hub
+/// meeting nodes and by tests).
+double EstimateEta(const Graph& graph, double sqrt_c, NodeId w,
+                   uint32_t samples, Rng* rng);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_BASELINES_ETA_ESTIMATOR_H_

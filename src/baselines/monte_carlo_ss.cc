@@ -1,0 +1,30 @@
+#include "baselines/monte_carlo_ss.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "exact/monte_carlo.h"
+#include "walk/walker.h"
+
+namespace simpush {
+
+StatusOr<std::vector<double>> MonteCarloSs::Query(NodeId u) {
+  if (u >= graph_.num_nodes()) {
+    return Status::InvalidArgument("query node out of range");
+  }
+  const NodeId n = graph_.num_nodes();
+  Walker walker(graph_, std::sqrt(options_.decay));
+  Rng rng(options_.seed ^ u);
+  std::vector<double> scores(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == u) {
+      scores[v] = 1.0;
+      continue;
+    }
+    scores[v] =
+        EstimateSimRankPair(walker, u, v, options_.samples_per_pair, &rng);
+  }
+  return scores;
+}
+
+}  // namespace simpush

@@ -1,0 +1,40 @@
+// Naive Monte-Carlo single-source baseline: the classical estimator
+// (paper §6, Fogaras & Rácz [5]) that pairs √c-walks from u with
+// √c-walks from every candidate v. Exposed through the common interface
+// so the harness can use it as a sanity reference on small graphs; it is
+// quadratic-ish and not part of the paper's main comparison.
+
+#ifndef SIMPUSH_BASELINES_MONTE_CARLO_SS_H_
+#define SIMPUSH_BASELINES_MONTE_CARLO_SS_H_
+
+#include <cstdint>
+
+#include "baselines/single_source.h"
+
+namespace simpush {
+
+/// Monte-Carlo single-source options.
+struct MonteCarloSsOptions {
+  double decay = 0.6;
+  uint64_t samples_per_pair = 2000;
+  uint64_t seed = 23;
+};
+
+/// Pairwise Monte-Carlo single-source SimRank (reference baseline).
+class MonteCarloSs : public SingleSourceAlgorithm {
+ public:
+  MonteCarloSs(const Graph& graph, const MonteCarloSsOptions& options)
+      : graph_(graph), options_(options) {}
+
+  std::string name() const override { return "MonteCarlo"; }
+  StatusOr<std::vector<double>> Query(NodeId u) override;
+  bool index_free() const override { return true; }
+
+ private:
+  const Graph& graph_;
+  MonteCarloSsOptions options_;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_BASELINES_MONTE_CARLO_SS_H_

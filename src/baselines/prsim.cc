@@ -1,0 +1,230 @@
+#include "baselines/prsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/eta_estimator.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+
+namespace simpush {
+
+namespace {
+// Push threshold and level horizon shared by index build and query.
+struct PushParams {
+  double theta;
+  uint32_t max_level;
+};
+
+PushParams ParamsFor(double epsilon, double sqrt_c) {
+  PushParams p;
+  p.theta = epsilon / 4.0;
+  p.max_level = static_cast<uint32_t>(
+      std::ceil(std::log(1.0 / p.theta) / std::log(1.0 / sqrt_c)));
+  return p;
+}
+}  // namespace
+
+std::vector<PRSim::IndexEntry> PRSim::BackwardPush(NodeId w, double theta,
+                                                   uint32_t max_level) const {
+  const double sqrt_c = std::sqrt(options_.decay);
+  std::vector<IndexEntry> out;
+  std::unordered_map<NodeId, double> current;
+  std::unordered_map<NodeId, double> next;
+  current.emplace(w, 1.0);
+  for (uint32_t level = 1; level <= max_level && !current.empty(); ++level) {
+    next.clear();
+    for (const auto& [x, p] : current) {
+      if (p < theta) continue;
+      for (NodeId v : graph_.OutNeighbors(x)) {
+        next[v] += sqrt_c * p / graph_.InDegree(v);
+      }
+    }
+    for (const auto& [v, p] : next) {
+      if (p >= theta) out.push_back({level, v, static_cast<float>(p)});
+    }
+    std::swap(current, next);
+  }
+  return out;
+}
+
+Status PRSim::Prepare() {
+  if (prepared_) return Status::OK();
+  Timer timer;
+  const double sqrt_c = std::sqrt(options_.decay);
+  const NodeId n = graph_.num_nodes();
+
+  eta_ = EstimateEtaAllNodes(graph_, sqrt_c, options_.eta_samples,
+                             options_.seed);
+
+  // Hub selection: top-j0 nodes by in-degree (the meeting-probability
+  // mass concentrates on high in-degree nodes in power-law graphs).
+  uint32_t j0 = options_.num_hubs;
+  if (j0 == 0) {
+    j0 = static_cast<uint32_t>(std::ceil(std::sqrt(double(n))));
+  }
+  j0 = std::min<uint32_t>(j0, n);
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + j0, order.end(),
+                    [this](NodeId a, NodeId b) {
+                      return graph_.InDegree(a) > graph_.InDegree(b);
+                    });
+
+  const PushParams params = ParamsFor(options_.epsilon, sqrt_c);
+  hub_of_node_.clear();
+  hub_index_.assign(j0, {});
+  for (uint32_t slot = 0; slot < j0; ++slot) {
+    const NodeId w = order[slot];
+    hub_of_node_.emplace(w, slot);
+    hub_index_[slot] = BackwardPush(w, params.theta, params.max_level);
+  }
+  prepare_seconds_ = timer.ElapsedSeconds();
+  prepared_ = true;
+  return Status::OK();
+}
+
+size_t PRSim::IndexBytes() const {
+  size_t bytes = eta_.capacity() * sizeof(double);
+  bytes += hub_of_node_.size() * (sizeof(NodeId) + sizeof(uint32_t) + 16);
+  bytes += hub_index_.capacity() * sizeof(std::vector<IndexEntry>);
+  for (const auto& list : hub_index_) {
+    bytes += list.capacity() * sizeof(IndexEntry);
+  }
+  return bytes;
+}
+
+StatusOr<std::vector<double>> PRSim::Query(NodeId u) {
+  if (!prepared_) {
+    SIMPUSH_RETURN_NOT_OK(Prepare());
+  }
+  if (u >= graph_.num_nodes()) {
+    return Status::InvalidArgument("query node out of range");
+  }
+  const double sqrt_c = std::sqrt(options_.decay);
+  const PushParams params = ParamsFor(options_.epsilon, sqrt_c);
+
+  std::vector<double> scores(graph_.num_nodes(), 0.0);
+  std::unordered_map<NodeId, double> current;
+  std::unordered_map<NodeId, double> next;
+  current.emplace(u, 1.0);
+  for (uint32_t level = 1; level <= params.max_level && !current.empty();
+       ++level) {
+    next.clear();
+    for (const auto& [v, p] : current) {
+      if (p < params.theta) continue;
+      const uint32_t deg = graph_.InDegree(v);
+      if (deg == 0) continue;
+      const double share = sqrt_c * p / deg;
+      for (NodeId vp : graph_.InNeighbors(v)) {
+        next[vp] += share;
+      }
+    }
+    for (const auto& [w, h_uw] : next) {
+      if (h_uw < params.theta) continue;
+      const double weighted = h_uw * eta_[w];
+      auto hub_it = hub_of_node_.find(w);
+      if (hub_it != hub_of_node_.end()) {
+        // Fast path: index lookup.
+        for (const IndexEntry& entry : hub_index_[hub_it->second]) {
+          if (entry.level != level) continue;
+          scores[entry.v] += weighted * entry.h;
+        }
+      } else {
+        // Slow path: online backward push from the non-hub meeting
+        // node (the cost PRSim's power-law assumption tries to bound).
+        for (const IndexEntry& entry :
+             BackwardPush(w, params.theta, level)) {
+          if (entry.level != level) continue;
+          scores[entry.v] += weighted * entry.h;
+        }
+      }
+    }
+    std::swap(current, next);
+  }
+  scores[u] = 1.0;
+  return scores;
+}
+
+
+namespace {
+constexpr char kPRSimMagic[4] = {'P', 'R', 'S', '1'};
+}
+
+Status PRSim::SaveIndex(const std::string& path) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition("SaveIndex before Prepare");
+  }
+  SIMPUSH_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Open(path));
+  writer.WriteMagic(kPRSimMagic);
+  writer.Write<uint32_t>(graph_.num_nodes());
+  writer.Write<uint64_t>(graph_.num_edges());
+  writer.Write<double>(options_.decay);
+  writer.Write<double>(options_.epsilon);
+  writer.WriteVector(eta_);
+  // Hub map as parallel (node, slot) vectors.
+  std::vector<NodeId> hub_nodes;
+  std::vector<uint32_t> hub_slots;
+  hub_nodes.reserve(hub_of_node_.size());
+  hub_slots.reserve(hub_of_node_.size());
+  for (const auto& [node, slot] : hub_of_node_) {
+    hub_nodes.push_back(node);
+    hub_slots.push_back(slot);
+  }
+  writer.WriteVector(hub_nodes);
+  writer.WriteVector(hub_slots);
+  writer.Write<uint64_t>(hub_index_.size());
+  for (const auto& list : hub_index_) {
+    writer.WriteVector(list);
+  }
+  return writer.Finish();
+}
+
+Status PRSim::LoadIndex(const std::string& path) {
+  SIMPUSH_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  SIMPUSH_RETURN_NOT_OK(reader.ExpectMagic(kPRSimMagic));
+  uint32_t n = 0;
+  uint64_t m = 0;
+  double decay = 0, epsilon = 0;
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&n));
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&m));
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&decay));
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&epsilon));
+  if (n != graph_.num_nodes() || m != graph_.num_edges()) {
+    return Status::InvalidArgument("index was built for a different graph");
+  }
+  if (decay != options_.decay || epsilon != options_.epsilon) {
+    return Status::InvalidArgument("index was built with different options");
+  }
+  SIMPUSH_RETURN_NOT_OK(reader.ReadVector(&eta_));
+  if (eta_.size() != n) return Status::IOError("eta table has wrong size");
+  std::vector<NodeId> hub_nodes;
+  std::vector<uint32_t> hub_slots;
+  SIMPUSH_RETURN_NOT_OK(reader.ReadVector(&hub_nodes));
+  SIMPUSH_RETURN_NOT_OK(reader.ReadVector(&hub_slots));
+  if (hub_nodes.size() != hub_slots.size()) {
+    return Status::IOError("hub map arrays disagree");
+  }
+  uint64_t num_hub_lists = 0;
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&num_hub_lists));
+  if (num_hub_lists > n) return Status::IOError("too many hub lists");
+  hub_of_node_.clear();
+  for (size_t i = 0; i < hub_nodes.size(); ++i) {
+    if (hub_nodes[i] >= n || hub_slots[i] >= num_hub_lists) {
+      return Status::IOError("hub map entry out of range");
+    }
+    hub_of_node_[hub_nodes[i]] = hub_slots[i];
+  }
+  hub_index_.assign(num_hub_lists, {});
+  for (auto& list : hub_index_) {
+    SIMPUSH_RETURN_NOT_OK(reader.ReadVector(&list));
+    for (const IndexEntry& entry : list) {
+      if (entry.v >= n) return Status::IOError("index entry out of range");
+    }
+  }
+  prepare_seconds_ = 0.0;
+  prepared_ = true;
+  return Status::OK();
+}
+
+}  // namespace simpush

@@ -1,0 +1,3 @@
+#include "baselines/single_source.h"
+
+// Interface-only translation unit.

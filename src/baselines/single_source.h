@@ -1,0 +1,45 @@
+// Common interface implemented by every single-source SimRank algorithm
+// in this repository (SimPush and the six baselines of §5.1), so the
+// evaluation harness can sweep methods uniformly.
+
+#ifndef SIMPUSH_BASELINES_SINGLE_SOURCE_H_
+#define SIMPUSH_BASELINES_SINGLE_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Abstract single-source SimRank algorithm.
+class SingleSourceAlgorithm {
+ public:
+  virtual ~SingleSourceAlgorithm() = default;
+
+  /// Human-readable method name, e.g. "SimPush", "ProbeSim".
+  virtual std::string name() const = 0;
+
+  /// Builds the index, if the method has one. Index-free methods return
+  /// OK immediately. Must be called once before Query.
+  virtual Status Prepare() { return Status::OK(); }
+
+  /// Answers s̃(u, ·). The returned vector has size n with entry u == 1.
+  virtual StatusOr<std::vector<double>> Query(NodeId u) = 0;
+
+  /// Bytes held by the method's index (0 for index-free methods).
+  virtual size_t IndexBytes() const { return 0; }
+
+  /// Seconds spent in the last Prepare() call.
+  virtual double PrepareSeconds() const { return 0.0; }
+
+  /// True when the method requires no precomputation (ProbeSim, TopSim,
+  /// SimPush, MonteCarlo).
+  virtual bool index_free() const { return IndexBytes() == 0; }
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_BASELINES_SINGLE_SOURCE_H_

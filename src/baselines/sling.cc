@@ -1,0 +1,164 @@
+#include "baselines/sling.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/eta_estimator.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+
+namespace simpush {
+
+double Sling::PushThreshold() const { return options_.epsilon / 4.0; }
+
+Status Sling::Prepare() {
+  if (prepared_) return Status::OK();
+  Timer timer;
+  const double sqrt_c = std::sqrt(options_.decay);
+  const NodeId n = graph_.num_nodes();
+
+  // Part 1: η(w) for all nodes.
+  eta_ = EstimateEtaAllNodes(graph_, sqrt_c, options_.eta_samples,
+                             options_.seed);
+
+  // Part 2: reverse hitting lists. A backward push from w along
+  // out-edges computes h^(ℓ)(v, w) for growing ℓ until all residues
+  // fall below θ. This mirrors the forward push of Source-Push but
+  // anchored at the *target* side.
+  const double theta = PushThreshold();
+  const uint32_t max_level = static_cast<uint32_t>(
+      std::ceil(std::log(1.0 / theta) / std::log(1.0 / sqrt_c)));
+  reverse_index_.assign(n, {});
+  std::unordered_map<NodeId, double> current;
+  std::unordered_map<NodeId, double> next;
+  for (NodeId w = 0; w < n; ++w) {
+    current.clear();
+    current.emplace(w, 1.0);
+    for (uint32_t level = 1; level <= max_level && !current.empty();
+         ++level) {
+      next.clear();
+      for (const auto& [x, p] : current) {
+        if (p < theta) continue;
+        for (NodeId v : graph_.OutNeighbors(x)) {
+          next[v] += sqrt_c * p / graph_.InDegree(v);
+        }
+      }
+      for (const auto& [v, p] : next) {
+        if (p >= theta) {
+          reverse_index_[w].push_back(
+              {level, v, static_cast<float>(p)});
+        }
+      }
+      std::swap(current, next);
+    }
+  }
+  prepare_seconds_ = timer.ElapsedSeconds();
+  prepared_ = true;
+  return Status::OK();
+}
+
+size_t Sling::IndexBytes() const {
+  size_t bytes = eta_.capacity() * sizeof(double);
+  bytes += reverse_index_.capacity() * sizeof(std::vector<IndexEntry>);
+  for (const auto& list : reverse_index_) {
+    bytes += list.capacity() * sizeof(IndexEntry);
+  }
+  return bytes;
+}
+
+StatusOr<std::vector<double>> Sling::Query(NodeId u) {
+  if (!prepared_) {
+    SIMPUSH_RETURN_NOT_OK(Prepare());
+  }
+  if (u >= graph_.num_nodes()) {
+    return Status::InvalidArgument("query node out of range");
+  }
+  const double sqrt_c = std::sqrt(options_.decay);
+  const double theta = PushThreshold();
+  const uint32_t max_level = static_cast<uint32_t>(
+      std::ceil(std::log(1.0 / theta) / std::log(1.0 / sqrt_c)));
+
+  std::vector<double> scores(graph_.num_nodes(), 0.0);
+  // Forward push from u along in-edges: h^(ℓ)(u, w) >= θ.
+  std::unordered_map<NodeId, double> current;
+  std::unordered_map<NodeId, double> next;
+  current.emplace(u, 1.0);
+  for (uint32_t level = 1; level <= max_level && !current.empty(); ++level) {
+    next.clear();
+    for (const auto& [v, p] : current) {
+      if (p < theta) continue;
+      const uint32_t deg = graph_.InDegree(v);
+      if (deg == 0) continue;
+      const double share = sqrt_c * p / deg;
+      for (NodeId vp : graph_.InNeighbors(v)) {
+        next[vp] += share;
+      }
+    }
+    // Join each significant (w, h^(ℓ)(u,w)) with w's index list at the
+    // same level.
+    for (const auto& [w, h_uw] : next) {
+      if (h_uw < theta) continue;
+      const double weighted = h_uw * eta_[w];
+      for (const IndexEntry& entry : reverse_index_[w]) {
+        if (entry.level != level) continue;
+        scores[entry.v] += weighted * entry.h;
+      }
+    }
+    std::swap(current, next);
+  }
+  scores[u] = 1.0;
+  return scores;
+}
+
+namespace {
+constexpr char kSlingMagic[4] = {'S', 'L', 'G', '1'};
+}
+
+Status Sling::SaveIndex(const std::string& path) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition("SaveIndex before Prepare");
+  }
+  SIMPUSH_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Open(path));
+  writer.WriteMagic(kSlingMagic);
+  writer.Write<uint32_t>(graph_.num_nodes());
+  writer.Write<uint64_t>(graph_.num_edges());
+  writer.Write<double>(options_.decay);
+  writer.Write<double>(options_.epsilon);
+  writer.WriteVector(eta_);
+  for (const auto& list : reverse_index_) {
+    writer.WriteVector(list);
+  }
+  return writer.Finish();
+}
+
+Status Sling::LoadIndex(const std::string& path) {
+  SIMPUSH_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  SIMPUSH_RETURN_NOT_OK(reader.ExpectMagic(kSlingMagic));
+  uint32_t n = 0;
+  uint64_t m = 0;
+  double decay = 0, epsilon = 0;
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&n));
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&m));
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&decay));
+  SIMPUSH_RETURN_NOT_OK(reader.Read(&epsilon));
+  if (n != graph_.num_nodes() || m != graph_.num_edges()) {
+    return Status::InvalidArgument("index was built for a different graph");
+  }
+  if (decay != options_.decay || epsilon != options_.epsilon) {
+    return Status::InvalidArgument("index was built with different options");
+  }
+  SIMPUSH_RETURN_NOT_OK(reader.ReadVector(&eta_));
+  if (eta_.size() != n) return Status::IOError("eta table has wrong size");
+  reverse_index_.assign(n, {});
+  for (NodeId w = 0; w < n; ++w) {
+    SIMPUSH_RETURN_NOT_OK(reader.ReadVector(&reverse_index_[w]));
+    for (const IndexEntry& entry : reverse_index_[w]) {
+      if (entry.v >= n) return Status::IOError("index entry out of range");
+    }
+  }
+  prepare_seconds_ = 0.0;  // loading is not preprocessing
+  prepared_ = true;
+  return Status::OK();
+}
+
+}  // namespace simpush

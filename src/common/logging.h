@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr; quiet by default so benchmark
+// output stays machine-parseable.
+
+#ifndef SIMPUSH_COMMON_LOGGING_H_
+#define SIMPUSH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace simpush {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+/// Stream-style log statement builder; flushes on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define SIMPUSH_LOG(level) \
+  ::simpush::internal::LogStream(::simpush::LogLevel::level)
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_LOGGING_H_

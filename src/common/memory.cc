@@ -1,0 +1,39 @@
+#include "common/memory.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace simpush {
+
+size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long pages_total = 0;
+  long pages_resident = 0;
+  const int matched = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  return static_cast<size_t>(pages_resident) *
+         static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+const char* HumanBytesUnit(double* value) {
+  static const char* const kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (*value >= 1024.0 && unit < 4) {
+    *value /= 1024.0;
+    ++unit;
+  }
+  return kUnits[unit];
+}
+
+}  // namespace simpush

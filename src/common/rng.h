@@ -1,0 +1,46 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomness in the library flows through Rng instances seeded
+// explicitly; there is no global RNG state, so every experiment is
+// reproducible from its seed.
+
+#ifndef SIMPUSH_COMMON_RNG_H_
+#define SIMPUSH_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace simpush {
+
+/// Mixes a 64-bit seed into a well-distributed state word (splitmix64).
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256++ generator: small state, excellent statistical quality,
+/// much faster than std::mt19937_64 for the walk-heavy workloads here.
+class Rng {
+ public:
+  /// Seeds the four state words via splitmix64 from a single seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent stream (for per-query / per-thread use).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_RNG_H_

@@ -1,0 +1,132 @@
+// Status / StatusOr error handling in the Arrow / RocksDB idiom.
+//
+// All fallible public APIs in this library return Status (or StatusOr<T>)
+// instead of throwing exceptions, so that callers embedded in database
+// engines can propagate errors without unwinding.
+
+#ifndef SIMPUSH_COMMON_STATUS_H_
+#define SIMPUSH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace simpush {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object: OK carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: node out of range".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SIMPUSH_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::simpush::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define SIMPUSH_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto _so_##__LINE__ = (expr);                \
+  if (!_so_##__LINE__.ok()) return _so_##__LINE__.status(); \
+  lhs = std::move(_so_##__LINE__).value()
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+// Fixed-size thread pool with a blocking task queue plus a ParallelFor
+// helper. Used by the batch/parallel query paths and by parallel
+// ground-truth generation; the single-query SimPush path stays strictly
+// single-threaded (matching the paper's measurements).
+
+#ifndef SIMPUSH_COMMON_THREAD_POOL_H_
+#define SIMPUSH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace simpush {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are `std::function<void()>`; exceptions must not escape a task
+/// (the library is exception-free at its API boundary, so tasks report
+/// failures through captured state instead).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 is clamped to the hardware
+  /// concurrency, or 1 when that is unknown).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [begin, end) across the pool, splitting
+/// the range into contiguous chunks (one per worker, minimum `min_chunk`
+/// indices each) and blocking until all chunks finish. `body` must be
+/// safe to call concurrently for distinct i.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 size_t min_chunk = 1);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_THREAD_POOL_H_

@@ -1,0 +1,51 @@
+// Monotonic wall-clock timing utilities.
+
+#ifndef SIMPUSH_COMMON_TIMER_H_
+#define SIMPUSH_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simpush {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction / last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across several start/stop intervals; used by
+/// the benchmark harness to attribute time to algorithm stages.
+class StageTimer {
+ public:
+  void Start() { running_.Restart(); }
+  void Stop() { total_ += running_.ElapsedSeconds(); }
+  void Reset() { total_ = 0.0; }
+  double TotalSeconds() const { return total_; }
+
+ private:
+  Timer running_;
+  double total_ = 0.0;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_TIMER_H_

@@ -1,0 +1,116 @@
+#include "eval/csv_report.h"
+
+#include <cstdlib>
+
+namespace simpush {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+std::string BenchCsvDir() {
+  const char* dir = std::getenv("SIMPUSH_BENCH_CSV_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+StatusOr<CsvWriter> CsvWriter::Create(
+    const std::string& path, const std::vector<std::string>& header) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header must be non-empty");
+  }
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  CsvWriter writer(file, header.size());
+  Status status = writer.AppendRow(header);
+  if (!status.ok()) return status;
+  return writer;
+}
+
+CsvWriter::CsvWriter(CsvWriter&& other) noexcept
+    : file_(other.file_),
+      num_columns_(other.num_columns_),
+      failed_(other.failed_) {
+  other.file_ = nullptr;
+}
+
+CsvWriter& CsvWriter::operator=(CsvWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    num_columns_ = other.num_columns_;
+    failed_ = other.failed_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvWriter::AppendRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer already finished");
+  }
+  if (fields.size() != num_columns_) {
+    return Status::InvalidArgument("row has wrong number of fields");
+  }
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += CsvEscape(fields[i]);
+  }
+  line += '\n';
+  WriteRaw(line);
+  return failed_ ? Status::IOError("write failed") : Status::OK();
+}
+
+void CsvWriter::WriteRaw(const std::string& line) {
+  if (failed_ || file_ == nullptr) return;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    failed_ = true;
+  }
+}
+
+Status CsvWriter::Finish() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer already finished");
+  }
+  const bool flush_failed = std::fflush(file_) != 0;
+  const bool close_failed = std::fclose(file_) != 0;
+  file_ = nullptr;
+  if (failed_ || flush_failed || close_failed) {
+    return Status::IOError("write failed");
+  }
+  return Status::OK();
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(const std::string& value) {
+  fields_.push_back(value);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  fields_.emplace_back(buffer);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(uint64_t value) {
+  fields_.push_back(std::to_string(value));
+  return *this;
+}
+
+}  // namespace simpush

@@ -1,0 +1,82 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "exact/monte_carlo.h"
+#include "exact/power_method.h"
+#include "walk/walker.h"
+
+namespace simpush {
+
+StatusOr<GroundTruth> ExactGroundTruth(const Graph& graph, NodeId query,
+                                       const GroundTruthOptions& options) {
+  if (graph.num_nodes() > options.exact_node_limit) {
+    return Status::InvalidArgument("graph too large for exact ground truth");
+  }
+  PowerMethodOptions pm;
+  pm.decay = options.decay;
+  pm.max_nodes = options.exact_node_limit;
+  SIMPUSH_ASSIGN_OR_RETURN(std::vector<double> row,
+                           ComputeExactSingleSource(graph, query, pm));
+  GroundTruth truth;
+  truth.query = query;
+  truth.exact = true;
+  for (NodeId v : TopK(row, options.k, query)) {
+    truth.topk.emplace_back(v, row[v]);
+  }
+  return truth;
+}
+
+StatusOr<GroundTruth> PooledGroundTruth(
+    const Graph& graph, NodeId query,
+    const std::vector<std::vector<NodeId>>& candidate_topk_sets,
+    const GroundTruthOptions& options) {
+  if (query >= graph.num_nodes()) {
+    return Status::InvalidArgument("query node out of range");
+  }
+  // Merge and de-duplicate the pool (paper §5.1).
+  std::unordered_set<NodeId> pool;
+  for (const auto& set : candidate_topk_sets) {
+    for (NodeId v : set) {
+      if (v != query) pool.insert(v);
+    }
+  }
+  Walker walker(graph, std::sqrt(options.decay));
+  Rng rng(options.seed ^ query);
+  std::vector<std::pair<NodeId, double>> scored;
+  scored.reserve(pool.size());
+  for (NodeId v : pool) {
+    scored.emplace_back(
+        v, EstimateSimRankPair(walker, query, v,
+                               options.mc_samples_per_pair, &rng));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (scored.size() > options.k) scored.resize(options.k);
+
+  GroundTruth truth;
+  truth.query = query;
+  truth.exact = false;
+  truth.topk = std::move(scored);
+  return truth;
+}
+
+std::vector<NodeId> GenerateQuerySet(const Graph& graph, size_t count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(
+        static_cast<NodeId>(rng.NextBounded(graph.num_nodes())));
+  }
+  return queries;
+}
+
+}  // namespace simpush

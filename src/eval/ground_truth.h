@@ -1,0 +1,60 @@
+// Ground-truth generation following the paper's §5.1 methodology:
+// exact power method on graphs small enough for a dense matrix; the
+// pooling method (merge each algorithm's top-k, de-duplicate, evaluate
+// each pooled pair by Monte Carlo, re-rank) on larger graphs.
+
+#ifndef SIMPUSH_EVAL_GROUND_TRUTH_H_
+#define SIMPUSH_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Exact or pooled ground truth for one query node.
+struct GroundTruth {
+  NodeId query = kInvalidNode;
+  /// Top-k candidates with their (exact or high-precision MC) SimRank,
+  /// sorted descending by value.
+  std::vector<std::pair<NodeId, double>> topk;
+  /// True when produced by the exact power method.
+  bool exact = false;
+};
+
+/// Options for ground-truth generation.
+struct GroundTruthOptions {
+  double decay = 0.6;
+  size_t k = 50;
+  /// Use the dense power method when n <= this bound.
+  NodeId exact_node_limit = 3000;
+  /// MC samples per pooled pair on large graphs (Hoeffding noise floor
+  /// ≈ sqrt(ln(2/δ)/2N); 4e5 samples ≈ 4e-3 at δ=1e-5).
+  uint64_t mc_samples_per_pair = 400000;
+  uint64_t seed = 101;
+};
+
+/// Builds ground truth for `query` from an exact single-source vector
+/// (power method). Requires n <= options.exact_node_limit.
+StatusOr<GroundTruth> ExactGroundTruth(const Graph& graph, NodeId query,
+                                       const GroundTruthOptions& options);
+
+/// Builds pooled ground truth: `candidate_topk_sets` holds each
+/// algorithm's top-k node lists for `query`; pooled candidates are
+/// scored by pairwise MC and the best k form the truth set.
+StatusOr<GroundTruth> PooledGroundTruth(
+    const Graph& graph, NodeId query,
+    const std::vector<std::vector<NodeId>>& candidate_topk_sets,
+    const GroundTruthOptions& options);
+
+/// Generates `count` query nodes uniformly at random (paper §5.1:
+/// "100 queries by selecting nodes uniformly at random").
+std::vector<NodeId> GenerateQuerySet(const Graph& graph, size_t count,
+                                     uint64_t seed);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,49 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace simpush {
+
+std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k,
+                         NodeId exclude) {
+  std::vector<NodeId> order;
+  order.reserve(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) {
+    if (v != exclude) order.push_back(v);
+  }
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+double AvgErrorAtK(const std::vector<std::pair<NodeId, double>>& truth_topk,
+                   const std::vector<double>& estimate) {
+  if (truth_topk.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [node, exact] : truth_topk) {
+    total += std::fabs(estimate[node] - exact);
+  }
+  return total / static_cast<double>(truth_topk.size());
+}
+
+double PrecisionAtK(const std::vector<NodeId>& truth_topk,
+                    const std::vector<NodeId>& estimate_topk) {
+  if (truth_topk.empty()) return 1.0;
+  std::unordered_set<NodeId> truth(truth_topk.begin(), truth_topk.end());
+  size_t hits = 0;
+  for (NodeId v : estimate_topk) {
+    if (truth.count(v) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth_topk.size());
+}
+
+}  // namespace simpush

@@ -1,0 +1,33 @@
+// Accuracy metrics of the paper's §5.1: AvgError@k and Precision@k,
+// plus top-k extraction helpers.
+
+#ifndef SIMPUSH_EVAL_METRICS_H_
+#define SIMPUSH_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Returns the k nodes with highest scores, excluding `exclude`
+/// (normally the query node itself, whose s = 1 is trivial).
+/// Ties broken by smaller node id for determinism.
+std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k,
+                         NodeId exclude = kInvalidNode);
+
+/// AvgError@k = (1/k)·Σ_{v in ground-truth top-k} |ŝ(u,v) − s(u,v)|.
+/// `truth_topk` pairs (node, exact value); `estimate` is the evaluated
+/// method's full score vector.
+double AvgErrorAtK(
+    const std::vector<std::pair<NodeId, double>>& truth_topk,
+    const std::vector<double>& estimate);
+
+/// Precision@k = |V_k ∩ V'_k| / k.
+double PrecisionAtK(const std::vector<NodeId>& truth_topk,
+                    const std::vector<NodeId>& estimate_topk);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_EVAL_METRICS_H_

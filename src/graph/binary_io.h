@@ -1,0 +1,27 @@
+// Binary graph serialization: a compact CSR dump that loads in O(m)
+// with no parsing, for repeated benchmark runs over the same graph.
+//
+// Format (little-endian):
+//   magic "SPG1" | u32 flags | u32 n | u64 m | u64 out_offsets[n+1]
+//   | u32 out_targets[m]
+// The in-CSR is rebuilt on load (cheaper than storing it).
+
+#ifndef SIMPUSH_GRAPH_BINARY_IO_H_
+#define SIMPUSH_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Writes the graph in the SPG1 binary format.
+Status SaveBinaryGraph(const Graph& graph, const std::string& path);
+
+/// Loads a graph written by SaveBinaryGraph.
+StatusOr<Graph> LoadBinaryGraph(const std::string& path);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_GRAPH_BINARY_IO_H_

@@ -1,0 +1,90 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace simpush {
+
+ComponentInfo WeaklyConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  ComponentInfo info;
+  info.component_of.assign(n, UINT32_MAX);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (info.component_of[root] != UINT32_MAX) continue;
+    const uint32_t label = info.num_components++;
+    info.sizes.push_back(0);
+    stack.push_back(root);
+    info.component_of[root] = label;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++info.sizes[label];
+      for (NodeId w : graph.OutNeighbors(v)) {
+        if (info.component_of[w] == UINT32_MAX) {
+          info.component_of[w] = label;
+          stack.push_back(w);
+        }
+      }
+      for (NodeId w : graph.InNeighbors(v)) {
+        if (info.component_of[w] == UINT32_MAX) {
+          info.component_of[w] = label;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+std::vector<NodeId> InReachableSet(const Graph& graph, NodeId source,
+                                   uint32_t max_depth) {
+  std::unordered_set<NodeId> seen{source};
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  uint32_t depth = 0;
+  while (!frontier.empty() && (max_depth == 0 || depth < max_depth)) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId w : graph.InNeighbors(v)) {
+        if (seen.insert(w).second) next.push_back(w);
+      }
+    }
+    std::swap(frontier, next);
+    ++depth;
+  }
+  std::vector<NodeId> result(seen.begin(), seen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<NodeId> PossiblySimilarCandidates(const Graph& graph, NodeId u,
+                                              uint32_t max_depth) {
+  // Walk region of u: nodes a √c-walk from u can visit within the
+  // horizon. Any v whose region shares a node with u's can meet u.
+  const std::vector<NodeId> u_region = InReachableSet(graph, u, max_depth);
+  std::unordered_set<NodeId> in_u_region(u_region.begin(), u_region.end());
+
+  // Reverse direction: nodes that can reach the region along in-edges
+  // equals nodes whose own walk region intersects it. Walk forward over
+  // out-edges from the region.
+  std::unordered_set<NodeId> candidates(u_region.begin(), u_region.end());
+  std::vector<NodeId> frontier = u_region;
+  std::vector<NodeId> next;
+  uint32_t depth = 0;
+  while (!frontier.empty() && (max_depth == 0 || depth < max_depth)) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId w : graph.OutNeighbors(v)) {
+        if (candidates.insert(w).second) next.push_back(w);
+      }
+    }
+    std::swap(frontier, next);
+    ++depth;
+  }
+  std::vector<NodeId> result(candidates.begin(), candidates.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace simpush

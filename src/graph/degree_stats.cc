@@ -1,0 +1,118 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace simpush {
+
+DegreeHistogram ComputeDegreeHistogram(const Graph& graph, DegreeKind kind) {
+  std::map<uint32_t, uint64_t> counts;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t d =
+        kind == DegreeKind::kIn ? graph.InDegree(v) : graph.OutDegree(v);
+    ++counts[d];
+  }
+  DegreeHistogram histogram;
+  histogram.num_nodes = graph.num_nodes();
+  histogram.degrees.reserve(counts.size());
+  histogram.counts.reserve(counts.size());
+  for (const auto& [degree, count] : counts) {
+    histogram.degrees.push_back(degree);
+    histogram.counts.push_back(count);
+  }
+  return histogram;
+}
+
+std::vector<double> ComputeCcdf(const DegreeHistogram& histogram) {
+  std::vector<double> ccdf(histogram.degrees.size());
+  if (histogram.num_nodes == 0) return ccdf;
+  // Suffix sums: P(D >= degrees[i]).
+  uint64_t at_least = 0;
+  for (size_t i = histogram.degrees.size(); i-- > 0;) {
+    at_least += histogram.counts[i];
+    ccdf[i] = static_cast<double>(at_least) /
+              static_cast<double>(histogram.num_nodes);
+  }
+  return ccdf;
+}
+
+namespace {
+
+// KS distance between the empirical tail CCDF and the fitted power-law
+// CCDF (d / d_min)^{-(alpha-1)}, evaluated at the distinct tail degrees.
+double TailKsDistance(const DegreeHistogram& histogram, size_t first_tail,
+                      double alpha, uint64_t tail_nodes) {
+  const double d_min = histogram.degrees[first_tail];
+  double ks = 0.0;
+  uint64_t seen = 0;  // tail nodes with degree < degrees[i]
+  for (size_t i = first_tail; i < histogram.degrees.size(); ++i) {
+    const double empirical_ccdf =
+        static_cast<double>(tail_nodes - seen) / tail_nodes;
+    const double model_ccdf =
+        std::pow(histogram.degrees[i] / d_min, -(alpha - 1.0));
+    ks = std::max(ks, std::fabs(empirical_ccdf - model_ccdf));
+    seen += histogram.counts[i];
+  }
+  return ks;
+}
+
+}  // namespace
+
+StatusOr<PowerLawFit> FitPowerLaw(const DegreeHistogram& histogram,
+                                  uint64_t min_tail_nodes) {
+  if (histogram.degrees.empty()) {
+    return Status::InvalidArgument("empty degree histogram");
+  }
+  PowerLawFit best;
+  bool found = false;
+  // Suffix statistics for each candidate cutoff index.
+  for (size_t cut = 0; cut < histogram.degrees.size(); ++cut) {
+    const uint32_t d_min = histogram.degrees[cut];
+    if (d_min == 0) continue;  // log undefined; degree-0 never in tail
+    uint64_t tail_nodes = 0;
+    double log_sum = 0.0;
+    for (size_t i = cut; i < histogram.degrees.size(); ++i) {
+      tail_nodes += histogram.counts[i];
+      log_sum += histogram.counts[i] *
+                 std::log(histogram.degrees[i] / (d_min - 0.5));
+    }
+    if (tail_nodes < min_tail_nodes) break;  // tails only shrink
+    if (log_sum <= 0.0) continue;            // degenerate single-degree tail
+    const double alpha = 1.0 + static_cast<double>(tail_nodes) / log_sum;
+    const double ks = TailKsDistance(histogram, cut, alpha, tail_nodes);
+    if (!found || ks < best.ks_distance) {
+      best.alpha = alpha;
+      best.d_min = d_min;
+      best.ks_distance = ks;
+      best.tail_nodes = tail_nodes;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("no cutoff with enough tail nodes");
+  }
+  return best;
+}
+
+double DegreeGini(const DegreeHistogram& histogram) {
+  // Gini over the degree sequence: with degrees sorted ascending,
+  // G = (2 * sum(i * d_i) / (n * sum(d_i))) - (n + 1) / n, with i 1-based.
+  double total_degree = 0.0;
+  double weighted = 0.0;
+  uint64_t rank = 0;  // cumulative node count before this degree bucket
+  for (size_t i = 0; i < histogram.degrees.size(); ++i) {
+    const double d = histogram.degrees[i];
+    const double cnt = static_cast<double>(histogram.counts[i]);
+    // Sum of ranks (1-based) within the bucket: cnt terms starting at
+    // rank+1, i.e. cnt*rank + cnt*(cnt+1)/2.
+    weighted += d * (cnt * rank + cnt * (cnt + 1) / 2.0);
+    total_degree += d * cnt;
+    rank += histogram.counts[i];
+  }
+  const double n = static_cast<double>(histogram.num_nodes);
+  if (n == 0 || total_degree == 0) return 0.0;
+  return 2.0 * weighted / (n * total_degree) - (n + 1.0) / n;
+}
+
+}  // namespace simpush

@@ -1,0 +1,142 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace simpush {
+
+namespace {
+
+// Removes one occurrence of `value` from `vec` by swapping with the back.
+// Returns false when absent.
+bool SwapRemove(std::vector<NodeId>& vec, NodeId value) {
+  auto it = std::find(vec.begin(), vec.end(), value);
+  if (it == vec.end()) return false;
+  *it = vec.back();
+  vec.pop_back();
+  return true;
+}
+
+}  // namespace
+
+DynamicGraph DynamicGraph::FromGraph(const Graph& graph) {
+  DynamicGraph dynamic(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    auto out = graph.OutNeighbors(v);
+    dynamic.out_[v].assign(out.begin(), out.end());
+    auto in = graph.InNeighbors(v);
+    dynamic.in_[v].assign(in.begin(), in.end());
+  }
+  dynamic.num_edges_ = graph.num_edges();
+  return dynamic;
+}
+
+NodeId DynamicGraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+Status DynamicGraph::AddEdge(NodeId src, NodeId dst) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  out_[src].push_back(dst);
+  in_[dst].push_back(src);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status DynamicGraph::RemoveEdge(NodeId src, NodeId dst) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!SwapRemove(out_[src], dst)) {
+    return Status::NotFound("edge not present");
+  }
+  // The in-list must hold a matching entry; CSR invariants guarantee it.
+  SwapRemove(in_[dst], src);
+  --num_edges_;
+  return Status::OK();
+}
+
+bool DynamicGraph::HasEdge(NodeId src, NodeId dst) const {
+  if (src >= num_nodes()) return false;
+  const auto& neighbors = out_[src];
+  return std::find(neighbors.begin(), neighbors.end(), dst) !=
+         neighbors.end();
+}
+
+Status DynamicGraph::Apply(const std::vector<EdgeUpdate>& updates) {
+  for (const EdgeUpdate& update : updates) {
+    Status status = update.kind == EdgeUpdate::Kind::kInsert
+                        ? AddEdge(update.src, update.dst)
+                        : RemoveEdge(update.src, update.dst);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+StatusOr<Graph> DynamicGraph::Snapshot() const {
+  GraphBuilder builder(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId w : out_[v]) {
+      builder.AddEdge(v, w);
+    }
+  }
+  // Keep parallel edges: the dynamic stream may legitimately contain
+  // duplicates and deleting one copy must leave the other.
+  return std::move(builder).Build(/*dedupe=*/false);
+}
+
+size_t DynamicGraph::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& adj : out_) bytes += adj.capacity() * sizeof(NodeId);
+  for (const auto& adj : in_) bytes += adj.capacity() * sizeof(NodeId);
+  bytes += (out_.capacity() + in_.capacity()) * sizeof(std::vector<NodeId>);
+  return bytes;
+}
+
+std::vector<EdgeUpdate> GenerateUpdateStream(const Graph& graph,
+                                             size_t num_updates,
+                                             double delete_fraction,
+                                             uint64_t seed) {
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(num_updates);
+  Rng rng(seed);
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return updates;
+
+  // Maintain a live multiset of edges so deletions always target a
+  // currently-present edge even after earlier stream entries.
+  std::vector<std::pair<NodeId, NodeId>> live;
+  live.reserve(graph.num_edges() + num_updates);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) live.emplace_back(v, w);
+  }
+
+  for (size_t i = 0; i < num_updates; ++i) {
+    const bool do_delete =
+        !live.empty() && rng.NextDouble() < delete_fraction;
+    if (do_delete) {
+      const size_t pick = rng.NextBounded(live.size());
+      const auto [src, dst] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      updates.push_back({EdgeUpdate::Kind::kDelete, src, dst});
+    } else {
+      NodeId src = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId dst = static_cast<NodeId>(rng.NextBounded(n));
+      if (n > 1) {
+        while (dst == src) dst = static_cast<NodeId>(rng.NextBounded(n));
+      }
+      live.emplace_back(src, dst);
+      updates.push_back({EdgeUpdate::Kind::kInsert, src, dst});
+    }
+  }
+  return updates;
+}
+
+}  // namespace simpush

@@ -1,0 +1,104 @@
+// Mutable adjacency-list graph supporting online edge insertion and
+// deletion, with O(m) snapshotting into the immutable CSR Graph that the
+// query algorithms consume.
+//
+// This is the substrate for the paper's motivating scenario (§1): the
+// underlying graph "can change frequently and unpredictably", so query
+// processing must not depend on precomputation that is invalidated by
+// updates. Index-free methods (SimPush, ProbeSim, TopSim) query a fresh
+// snapshot directly; index-based methods (SLING, PRSim, READS, TSF) must
+// re-run Prepare() after updates. bench_dynamic_updates measures exactly
+// this asymmetry.
+
+#ifndef SIMPUSH_GRAPH_DYNAMIC_GRAPH_H_
+#define SIMPUSH_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// A single edge update in a workload stream.
+struct EdgeUpdate {
+  enum class Kind : uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+/// Mutable directed graph with per-node out/in adjacency vectors.
+///
+/// Complexity: AddEdge amortized O(1); RemoveEdge O(d_O(src) + d_I(dst))
+/// (swap-with-back removal, order not preserved); Snapshot O(n + m).
+/// Duplicate (parallel) edges are permitted, matching multigraph edge
+/// lists; HasEdge reports any occurrence.
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Creates an empty graph with `num_nodes` nodes.
+  explicit DynamicGraph(NodeId num_nodes)
+      : out_(num_nodes), in_(num_nodes) {}
+
+  /// Copies an immutable snapshot into mutable form.
+  static DynamicGraph FromGraph(const Graph& graph);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  EdgeId num_edges() const { return num_edges_; }
+
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(out_[v].size());
+  }
+  uint32_t InDegree(NodeId v) const {
+    return static_cast<uint32_t>(in_[v].size());
+  }
+
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+
+  /// Appends a node with no edges; returns its id.
+  NodeId AddNode();
+
+  /// Inserts the directed edge src -> dst. InvalidArgument when an
+  /// endpoint is out of range.
+  Status AddEdge(NodeId src, NodeId dst);
+
+  /// Removes one occurrence of src -> dst. NotFound when absent.
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  /// True when at least one src -> dst edge exists. O(d_O(src)).
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  /// Applies a batch of updates in order. Fails on the first invalid
+  /// update, leaving earlier updates applied (streams are append-only in
+  /// practice, so partial application matches replay semantics).
+  Status Apply(const std::vector<EdgeUpdate>& updates);
+
+  /// Materializes an immutable CSR snapshot for querying.
+  StatusOr<Graph> Snapshot() const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  EdgeId num_edges_ = 0;
+};
+
+/// Deterministically generates a mixed insert/delete stream against
+/// `graph`: `num_updates` updates, a `delete_fraction` of which remove a
+/// currently-present edge (sampled uniformly) while the rest insert a
+/// fresh random non-self-loop edge. Mirrors the sliding-window update
+/// workloads used by the dynamic-SimRank literature (READS, TSF).
+std::vector<EdgeUpdate> GenerateUpdateStream(const Graph& graph,
+                                             size_t num_updates,
+                                             double delete_fraction,
+                                             uint64_t seed);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_GRAPH_DYNAMIC_GRAPH_H_

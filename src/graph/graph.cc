@@ -1,0 +1,60 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace simpush {
+
+size_t Graph::MemoryBytes() const {
+  return out_offsets_.capacity() * sizeof(EdgeId) +
+         in_offsets_.capacity() * sizeof(EdgeId) +
+         out_targets_.capacity() * sizeof(NodeId) +
+         in_sources_.capacity() * sizeof(NodeId);
+}
+
+Status Graph::Validate() const {
+  if (out_offsets_.size() != static_cast<size_t>(num_nodes_) + 1 ||
+      in_offsets_.size() != static_cast<size_t>(num_nodes_) + 1) {
+    return Status::Internal("offset array size mismatch");
+  }
+  if (out_offsets_.front() != 0 || in_offsets_.front() != 0) {
+    return Status::Internal("offsets must start at 0");
+  }
+  if (out_offsets_.back() != out_targets_.size() ||
+      in_offsets_.back() != in_sources_.size()) {
+    return Status::Internal("offsets must end at edge count");
+  }
+  if (out_targets_.size() != in_sources_.size()) {
+    return Status::Internal("out/in edge counts differ");
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (out_offsets_[v] > out_offsets_[v + 1] ||
+        in_offsets_[v] > in_offsets_[v + 1]) {
+      return Status::Internal("offsets not monotone");
+    }
+  }
+  for (NodeId t : out_targets_) {
+    if (t >= num_nodes_) return Status::Internal("edge target out of range");
+  }
+  for (NodeId s : in_sources_) {
+    if (s >= num_nodes_) return Status::Internal("edge source out of range");
+  }
+  return Status::OK();
+}
+
+Graph::DegreeStats Graph::ComputeDegreeStats() const {
+  DegreeStats stats;
+  if (num_nodes_ == 0) return stats;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const uint32_t out_deg = OutDegree(v);
+    const uint32_t in_deg = InDegree(v);
+    stats.max_out_degree = std::max(stats.max_out_degree, out_deg);
+    stats.max_in_degree = std::max(stats.max_in_degree, in_deg);
+    if (out_deg == 0) ++stats.num_sink_nodes;
+    if (in_deg == 0) ++stats.num_source_nodes;
+  }
+  stats.avg_out_degree =
+      static_cast<double>(num_edges()) / static_cast<double>(num_nodes_);
+  return stats;
+}
+
+}  // namespace simpush

@@ -1,0 +1,97 @@
+// Immutable directed graph in compressed sparse row (CSR) form with both
+// out-adjacency and in-adjacency, as required by SimRank algorithms
+// (forward pushes walk out-edges, Source-Push and √c-walks walk in-edges).
+
+#ifndef SIMPUSH_GRAPH_GRAPH_H_
+#define SIMPUSH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simpush {
+
+/// Node identifier. Dense in [0, n).
+using NodeId = uint32_t;
+/// Edge index into the CSR arrays.
+using EdgeId = uint64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Immutable CSR graph. Construct via GraphBuilder or the loaders in
+/// graph_io.h; the class itself only offers O(1) adjacency access.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes n.
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of directed edges m.
+  EdgeId num_edges() const { return out_targets_.size(); }
+
+  /// Out-neighbors O(v): nodes w with edge v->w.
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+  /// In-neighbors I(v): nodes w with edge w->v.
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Out-degree d_O(v).
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  /// In-degree d_I(v).
+  uint32_t InDegree(NodeId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// k-th in-neighbor of v, 0 <= k < InDegree(v). Used by the walk engine
+  /// to draw a uniform in-neighbor without materializing the span.
+  NodeId InNeighborAt(NodeId v, uint32_t k) const {
+    return in_sources_[in_offsets_[v] + k];
+  }
+
+  /// True when the graph was built from an undirected edge list (every
+  /// edge has its reverse). Informational only.
+  bool is_symmetric() const { return is_symmetric_; }
+
+  /// Approximate heap footprint of the CSR arrays in bytes.
+  size_t MemoryBytes() const;
+
+  /// Validates CSR invariants (monotone offsets, targets in range,
+  /// in/out edge counts equal). Used by tests and loaders.
+  Status Validate() const;
+
+  /// Basic degree statistics for reporting (Table 4 style).
+  struct DegreeStats {
+    double avg_out_degree = 0;
+    uint32_t max_out_degree = 0;
+    uint32_t max_in_degree = 0;
+    NodeId num_sink_nodes = 0;    // out-degree 0
+    NodeId num_source_nodes = 0;  // in-degree 0
+  };
+  DegreeStats ComputeDegreeStats() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  bool is_symmetric_ = false;
+  // Out-adjacency CSR.
+  std::vector<EdgeId> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;  // size m
+  // In-adjacency CSR.
+  std::vector<EdgeId> in_offsets_;  // size n+1
+  std::vector<NodeId> in_sources_;  // size m
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_GRAPH_GRAPH_H_

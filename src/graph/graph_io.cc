@@ -1,0 +1,105 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace simpush {
+
+namespace {
+
+struct RawEdges {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+};
+
+Status ParseInto(std::istream& in, const EdgeListOptions& options,
+                 RawEdges* out) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blank and comment lines.
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (options.comment_chars.find(line[pos]) != std::string::npos) continue;
+    std::istringstream ls(line);
+    uint64_t a = 0;
+    uint64_t b = 0;
+    if (!(ls >> a >> b)) {
+      return Status::IOError("malformed edge at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    out->edges.emplace_back(a, b);
+  }
+  return Status::OK();
+}
+
+StatusOr<Graph> BuildFromRaw(const RawEdges& raw,
+                             const EdgeListOptions& options) {
+  // Compact arbitrary ids to [0, n) in first-appearance order.
+  std::unordered_map<uint64_t, NodeId> remap;
+  remap.reserve(raw.edges.size() * 2);
+  auto intern = [&remap](uint64_t id) {
+    auto [it, inserted] = remap.emplace(id, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(raw.edges.size());
+  for (const auto& [a, b] : raw.edges) {
+    // Two statements: emplace_back(intern(a), intern(b)) would leave
+    // the interning order — and thus the documented first-appearance
+    // id assignment — to unspecified argument evaluation order.
+    const NodeId src = intern(a);
+    const NodeId dst = intern(b);
+    edges.emplace_back(src, dst);
+  }
+  GraphBuilder builder(static_cast<NodeId>(remap.size()));
+  for (const auto& [a, b] : edges) {
+    if (options.undirected) {
+      builder.AddUndirectedEdge(a, b);
+    } else {
+      builder.AddEdge(a, b);
+    }
+  }
+  if (options.undirected) builder.MarkSymmetric();
+  return std::move(builder).Build(options.dedupe, options.drop_self_loops);
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadEdgeList(const std::string& path,
+                             const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  RawEdges raw;
+  SIMPUSH_RETURN_NOT_OK(ParseInto(in, options, &raw));
+  return BuildFromRaw(raw, options);
+}
+
+StatusOr<Graph> ParseEdgeList(const std::string& text,
+                              const EdgeListOptions& options) {
+  std::istringstream in(text);
+  RawEdges raw;
+  SIMPUSH_RETURN_NOT_OK(ParseInto(in, options, &raw));
+  return BuildFromRaw(raw, options);
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) {
+      out << v << ' ' << w << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace simpush

@@ -1,0 +1,42 @@
+// Edge-list text I/O (the format used by SNAP / LAW dataset dumps).
+
+#ifndef SIMPUSH_GRAPH_GRAPH_IO_H_
+#define SIMPUSH_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Options controlling edge-list parsing.
+struct EdgeListOptions {
+  /// Treat each line "a b" as an undirected edge (adds both directions),
+  /// matching the paper's handling of undirected datasets (§2.1).
+  bool undirected = false;
+  /// Lines starting with any of these characters are skipped.
+  std::string comment_chars = "#%";
+  /// Remove duplicate edges after parsing.
+  bool dedupe = true;
+  /// Drop self-loops (u, u).
+  bool drop_self_loops = false;
+};
+
+/// Loads a graph from a whitespace-separated edge-list file. Node ids may
+/// be arbitrary non-negative integers; they are compacted to [0, n) in
+/// first-appearance order.
+StatusOr<Graph> LoadEdgeList(const std::string& path,
+                             const EdgeListOptions& options = {});
+
+/// Parses an edge list from an in-memory string (same rules as
+/// LoadEdgeList); used heavily by tests.
+StatusOr<Graph> ParseEdgeList(const std::string& text,
+                              const EdgeListOptions& options = {});
+
+/// Writes the graph as a directed edge list ("src dst" per line).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,83 @@
+#include "simpush/adaptive.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "simpush/simpush.h"
+
+namespace simpush {
+
+Status AdaptiveOptions::Validate() const {
+  SIMPUSH_RETURN_NOT_OK(base.Validate());
+  if (rho <= 0.0 || rho >= 1.0) {
+    return Status::InvalidArgument("rho must be in (0, 1)");
+  }
+  if (refine_factor <= 0.0 || refine_factor >= 1.0) {
+    return Status::InvalidArgument("refine_factor must be in (0, 1)");
+  }
+  if (epsilon_min <= 0.0 || epsilon_min > base.epsilon) {
+    return Status::InvalidArgument(
+        "epsilon_min must be in (0, starting epsilon]");
+  }
+  return Status::OK();
+}
+
+StatusOr<AdaptiveTopKResult> AdaptiveTopK(const Graph& graph, NodeId u,
+                                          size_t k,
+                                          const AdaptiveOptions& options) {
+  SIMPUSH_RETURN_NOT_OK(options.Validate());
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (u >= graph.num_nodes()) {
+    return Status::InvalidArgument("query node out of range");
+  }
+
+  AdaptiveTopKResult result;
+  Timer total;
+  double epsilon = options.base.epsilon;
+
+  for (;;) {
+    SimPushOptions round_options = options.base;
+    round_options.epsilon = epsilon;
+    SimPushEngine engine(graph, round_options);
+    // Ask for k+1 so the separation rule can inspect the score just
+    // below the cut.
+    SIMPUSH_ASSIGN_OR_RETURN(TopKResult topk, QueryTopK(&engine, u, k + 1));
+    ++result.rounds;
+    result.final_epsilon = epsilon;
+
+    const size_t have = topk.entries.size();
+    const double kth = have >= k ? topk.entries[k - 1].score : 0.0;
+    const double next = have >= k + 1 ? topk.entries[k].score : 0.0;
+
+    auto finish = [&](AdaptiveStopReason reason) {
+      if (topk.entries.size() > k) topk.entries.resize(k);
+      result.topk = std::move(topk);
+      result.stop_reason = reason;
+      result.total_seconds = total.ElapsedSeconds();
+      return result;
+    };
+
+    if (have < k + 1 && epsilon <= options.epsilon_min) {
+      // Not enough mass to even fill k+1 slots at the finest setting:
+      // everything beyond `have` is below resolution.
+      return finish(AdaptiveStopReason::kExhausted);
+    }
+    // Rule 1: the cut is certified when no residual-error swap can
+    // cross it. Scores carry one-sided error <= ε each.
+    if (have >= k && kth - next > 2.0 * epsilon) {
+      return finish(AdaptiveStopReason::kSeparated);
+    }
+    // Rule 2: relative-error floor reached for every reported score
+    // (all top-k scores >= kth >= ε/ρ means error/score <= ρ).
+    if (have >= k && kth > 0.0 && epsilon <= options.rho * kth) {
+      return finish(AdaptiveStopReason::kRelativeFloor);
+    }
+    // Rule 3: cost cap.
+    if (epsilon <= options.epsilon_min) {
+      return finish(AdaptiveStopReason::kEpsilonMin);
+    }
+    epsilon = std::max(options.epsilon_min, epsilon * options.refine_factor);
+  }
+}
+
+}  // namespace simpush

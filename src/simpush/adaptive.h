@@ -1,0 +1,70 @@
+// Adaptive-precision top-k queries — toward the "relative error
+// guarantees" extension the paper's §7 names as future work.
+//
+// An absolute-ε single-source query wastes work when the caller only
+// needs a stable top-k ranking: on graphs where the k-th score is large
+// a coarse ε already separates the leaders, while on flat score
+// distributions a fine ε is required. AdaptiveTopK runs SimPush with a
+// geometrically decreasing ε and stops at the first of:
+//   1. separation  — the k-th score exceeds the (k+1)-th by more than
+//      2ε, so no pair straddling the cut can be swapped by the residual
+//      error (the ranking above the cut is ε-certified);
+//   2. relative floor — ε <= rho · (k-th score), i.e. every reported
+//      score carries relative error <= rho (the future-work guarantee),
+//   3. epsilon_min — a hard cost cap.
+// Every refinement is a fresh index-free query, so the loop costs the
+// sum of the attempted ε levels; the final level dominates
+// geometrically.
+
+#ifndef SIMPUSH_SIMPUSH_ADAPTIVE_H_
+#define SIMPUSH_SIMPUSH_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "simpush/options.h"
+#include "simpush/topk.h"
+
+namespace simpush {
+
+/// Knobs for the adaptive refinement loop.
+struct AdaptiveOptions {
+  /// Base options; `epsilon` is the *starting* (coarsest) ε.
+  SimPushOptions base;
+  /// Target relative error ρ for stop rule 2.
+  double rho = 0.5;
+  /// ε shrink factor between refinement rounds (must be in (0, 1)).
+  double refine_factor = 0.5;
+  /// Hard floor for ε (stop rule 3; bounds worst-case cost).
+  double epsilon_min = 1e-4;
+
+  Status Validate() const;
+};
+
+/// Why the refinement loop stopped.
+enum class AdaptiveStopReason : uint8_t {
+  kSeparated,      ///< Top-k gap exceeded 2ε.
+  kRelativeFloor,  ///< ε <= ρ · (k-th score).
+  kEpsilonMin,     ///< Cost cap reached.
+  kExhausted,      ///< Fewer than k+1 nonzero scores; nothing to split.
+};
+
+/// Result of an adaptive top-k query.
+struct AdaptiveTopKResult {
+  TopKResult topk;             ///< From the final (finest) round.
+  double final_epsilon = 0;    ///< ε of the round that produced `topk`.
+  uint32_t rounds = 0;         ///< Number of SimPush queries issued.
+  AdaptiveStopReason stop_reason = AdaptiveStopReason::kEpsilonMin;
+  double total_seconds = 0;    ///< Wall time across all rounds.
+};
+
+/// Runs the adaptive refinement loop for query node u.
+StatusOr<AdaptiveTopKResult> AdaptiveTopK(const Graph& graph, NodeId u,
+                                          size_t k,
+                                          const AdaptiveOptions& options);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_ADAPTIVE_H_

@@ -1,0 +1,74 @@
+#include "simpush/batch.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace simpush {
+
+namespace {
+// Local top-k selection (simpush_core cannot depend on eval/metrics).
+std::vector<NodeId> SelectTopK(const std::vector<double>& scores, size_t k,
+                               NodeId exclude) {
+  std::vector<NodeId> order;
+  order.reserve(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) {
+    if (v != exclude) order.push_back(v);
+  }
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+}  // namespace
+
+BatchStats QueryBatch(
+    SimPushEngine* engine, const std::vector<NodeId>& queries,
+    const std::function<bool(NodeId, const SimPushResult&)>& on_result) {
+  BatchStats stats;
+  Timer total;
+  for (NodeId u : queries) {
+    Timer per_query;
+    auto result = engine->Query(u);
+    const double seconds = per_query.ElapsedSeconds();
+    if (!result.ok()) {
+      ++stats.queries_failed;
+      continue;
+    }
+    ++stats.queries_ok;
+    stats.max_query_seconds = std::max(stats.max_query_seconds, seconds);
+    if (!on_result(u, *result)) break;
+  }
+  stats.total_seconds = total.ElapsedSeconds();
+  return stats;
+}
+
+StatusOr<std::vector<BatchTopKResult>> QueryBatchTopK(
+    SimPushEngine* engine, const std::vector<NodeId>& queries, size_t k) {
+  std::vector<BatchTopKResult> results;
+  results.reserve(queries.size());
+  Status first_error = Status::OK();
+  for (NodeId u : queries) {
+    auto result = engine->Query(u);
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    BatchTopKResult entry;
+    entry.query = u;
+    for (NodeId v : SelectTopK(result->scores, k, u)) {
+      entry.topk.emplace_back(v, result->scores[v]);
+    }
+    results.push_back(std::move(entry));
+  }
+  if (results.empty() && !first_error.ok()) return first_error;
+  return results;
+}
+
+}  // namespace simpush

@@ -1,0 +1,43 @@
+// Batch single-source SimRank processing — one of the extensions §7 of
+// the paper names as future work. The engine's scratch buffers are
+// reused across the batch, so throughput is higher than issuing
+// independent queries; results stream to a callback to avoid holding
+// B×n doubles at once.
+
+#ifndef SIMPUSH_SIMPUSH_BATCH_H_
+#define SIMPUSH_SIMPUSH_BATCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "simpush/simpush.h"
+
+namespace simpush {
+
+/// Aggregate statistics over a batch run.
+struct BatchStats {
+  size_t queries_ok = 0;
+  size_t queries_failed = 0;
+  double total_seconds = 0;
+  double max_query_seconds = 0;
+};
+
+/// Runs a batch of single-source queries. The callback receives each
+/// query's node and its result; returning false aborts the batch early.
+/// Individual query failures (e.g. out-of-range nodes) are counted in
+/// stats.queries_failed and skipped, not fatal.
+BatchStats QueryBatch(
+    SimPushEngine* engine, const std::vector<NodeId>& queries,
+    const std::function<bool(NodeId, const SimPushResult&)>& on_result);
+
+/// Convenience wrapper: top-k per query, materialized.
+struct BatchTopKResult {
+  NodeId query = kInvalidNode;
+  std::vector<std::pair<NodeId, double>> topk;
+};
+StatusOr<std::vector<BatchTopKResult>> QueryBatchTopK(
+    SimPushEngine* engine, const std::vector<NodeId>& queries, size_t k);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_BATCH_H_

@@ -1,0 +1,167 @@
+#include "simpush/hitting.h"
+
+#include <algorithm>
+
+namespace simpush {
+
+namespace {
+const HittingVector kEmptyVector;
+}  // namespace
+
+const HittingVector& HittingTable::VectorAt(uint32_t level, NodeId v) const {
+  if (level >= per_level_.size()) return kEmptyVector;
+  auto it = per_level_[level].find(v);
+  return it == per_level_[level].end() ? kEmptyVector : it->second;
+}
+
+double HittingTable::Probability(uint32_t level, NodeId v,
+                                 AttentionId target) const {
+  const HittingVector& vec = VectorAt(level, v);
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), target,
+      [](const auto& entry, AttentionId id) { return entry.first < id; });
+  if (it == vec.end() || it->first != target) return 0.0;
+  return it->second;
+}
+
+size_t HittingTable::NumVectors() const {
+  size_t total = 0;
+  for (const auto& level : per_level_) total += level.size();
+  return total;
+}
+
+size_t HittingTable::NumEntries() const {
+  size_t total = 0;
+  for (const auto& level : per_level_) {
+    for (const auto& [node, vec] : level) {
+      (void)node;
+      total += vec.size();
+    }
+  }
+  return total;
+}
+
+HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
+                                 double sqrt_c) {
+  HittingTable table;
+  const uint32_t max_level = gu.max_level();
+  table.per_level_.resize(max_level + 1);
+  if (max_level < 2) return table;  // No targets deeper than level 1.
+
+  const size_t num_attention = gu.num_attention();
+  // Dense scratch accumulator over attention ids with a touched list,
+  // reused across nodes to avoid per-node allocation.
+  std::vector<double> accum(num_attention, 0.0);
+  std::vector<AttentionId> touched;
+  // Byte masks over graph nodes, reused across levels:
+  //   is_holder  — nodes of level+1 holding a nonzero vector;
+  //   is_member  — nodes present on the current level of G_u;
+  //   is_receiver— current-level nodes already queued for a pull.
+  // Receivers are discovered by scanning the holders' out-edges, so a
+  // level's cost is Σ outdeg(holders) + Σ indeg(receivers) instead of
+  // an O(|G_u level|) sweep — holders cluster near the attention set.
+  std::vector<uint8_t> is_holder(graph.num_nodes(), 0);
+  std::vector<uint8_t> is_member(graph.num_nodes(), 0);
+  std::vector<uint8_t> is_receiver(graph.num_nodes(), 0);
+  std::vector<NodeId> receivers;
+
+  // Self entries at the deepest level: h̃^(0)(w, w) = 1 for attention w
+  // at levels 2..L (level-1 attention nodes are never ρ-targets).
+  auto self_entry_level = [&](uint32_t level) {
+    for (AttentionId id : gu.AttentionOnLevel(level)) {
+      const AttentionNode& a = gu.attention_nodes()[id];
+      table.per_level_[level][a.node].emplace_back(id, 1.0);
+    }
+  };
+  self_entry_level(max_level);
+
+  // Pull from level+1 into level, for level = L-1 .. 1.
+  for (uint32_t level = max_level - 1; level >= 1; --level) {
+    const auto& nodes_here = gu.Level(level);
+    const auto& vectors_above = table.per_level_[level + 1];
+    auto& vectors_here = table.per_level_[level];
+    for (const auto& [node, vec] : vectors_above) {
+      (void)vec;
+      is_holder[node] = 1;
+    }
+    for (const auto& [node, h] : nodes_here) {
+      (void)h;
+      is_member[node] = 1;
+    }
+    // Receivers: current-level nodes with at least one holder
+    // in-neighbor, found via the holders' out-edges; plus this level's
+    // attention nodes, which must emit a self entry even when they pull
+    // nothing (e.g. dangling nodes).
+    receivers.clear();
+    for (const auto& [holder, vec] : vectors_above) {
+      (void)vec;
+      for (NodeId v : graph.OutNeighbors(holder)) {
+        if (is_member[v] && !is_receiver[v]) {
+          is_receiver[v] = 1;
+          receivers.push_back(v);
+        }
+      }
+    }
+    if (level >= 2) {
+      for (AttentionId id : gu.AttentionOnLevel(level)) {
+        const NodeId node = gu.attention_nodes()[id].node;
+        if (!is_receiver[node]) {
+          is_receiver[node] = 1;
+          receivers.push_back(node);
+        }
+      }
+    }
+    for (NodeId v : receivers) {
+      is_receiver[v] = 0;
+      touched.clear();
+      const uint32_t deg = graph.InDegree(v);
+      // A dangling node (deg == 0) pulls nothing, but when it is an
+      // attention node its self entry below must still be emitted so
+      // shallower levels can see it.
+      if (deg > 0) {
+        const double scale = sqrt_c / deg;
+        for (NodeId vp : graph.InNeighbors(v)) {
+          if (!is_holder[vp]) continue;
+          auto it = vectors_above.find(vp);
+          for (const auto& [target, prob] : it->second) {
+            if (accum[target] == 0.0) touched.push_back(target);
+            accum[target] += prob * scale;
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      HittingVector vec;
+      vec.reserve(touched.size() + 1);
+      // Self entry when v is itself an attention node on this level
+      // (level >= 2): its id is distinct from every pulled target id
+      // (those are occurrences at deeper levels), so a plain sorted
+      // merge of one element suffices.
+      AttentionId self_id = 0;
+      const bool has_self =
+          level >= 2 && gu.LookupAttention(level, v, &self_id);
+      bool self_inserted = false;
+      for (AttentionId target : touched) {
+        if (has_self && !self_inserted && self_id < target) {
+          vec.emplace_back(self_id, 1.0);
+          self_inserted = true;
+        }
+        vec.emplace_back(target, accum[target]);
+        accum[target] = 0.0;
+      }
+      if (has_self && !self_inserted) vec.emplace_back(self_id, 1.0);
+      if (!vec.empty()) vectors_here.emplace(v, std::move(vec));
+    }
+    for (const auto& [node, vec] : vectors_above) {
+      (void)vec;
+      is_holder[node] = 0;
+    }
+    for (const auto& [node, h] : nodes_here) {
+      (void)h;
+      is_member[node] = 0;
+    }
+    if (level == 1) break;  // uint32_t wrap guard.
+  }
+  return table;
+}
+
+}  // namespace simpush

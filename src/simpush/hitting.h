@@ -1,0 +1,59 @@
+// Hitting probabilities between attention nodes within G_u
+// (Definition 5, Equation 12, Algorithm 3).
+//
+// For every node occurrence (ℓ, v) of G_u we maintain a sparse vector
+// over attention-node targets at deeper levels: entry (a, p) means a
+// √c-walk from v confined to G_u reaches attention occurrence a (at
+// level ℓ_a > ℓ, or ℓ_a = ℓ for the self entry) with probability
+// p = h̃^(ℓ_a - ℓ)(v, a). Vectors are built by pulling from level ℓ+1
+// down to level 1 (the pull at v divides by d_I(v), which equals v's
+// G_u in-degree whenever that is non-empty).
+
+#ifndef SIMPUSH_SIMPUSH_HITTING_H_
+#define SIMPUSH_SIMPUSH_HITTING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "simpush/source_graph.h"
+
+namespace simpush {
+
+/// Sparse hitting-probability vector: (attention id, probability) pairs,
+/// sorted by attention id.
+using HittingVector = std::vector<std::pair<AttentionId, double>>;
+
+/// All within-G_u hitting probabilities needed by Algorithm 4.
+class HittingTable {
+ public:
+  /// Vector of node v at level ℓ; empty if v holds no probability mass
+  /// toward any attention target.
+  const HittingVector& VectorAt(uint32_t level, NodeId v) const;
+
+  /// h̃^(i)(w, target) where i = level(target) - level(w); 0 if absent.
+  double Probability(uint32_t level, NodeId v, AttentionId target) const;
+
+  /// Number of stored non-empty vectors (for stats/tests).
+  size_t NumVectors() const;
+
+  /// Total stored entries (for stats/tests).
+  size_t NumEntries() const;
+
+ private:
+  friend HittingTable ComputeHittingTable(const Graph& graph,
+                                          const SourceGraph& gu,
+                                          double sqrt_c);
+  // per level: node -> sparse vector.
+  std::vector<std::unordered_map<NodeId, HittingVector>> per_level_;
+};
+
+/// Runs Algorithm 3 over G_u. O(m·log(1/ε)/ε) worst case (Lemma 6).
+HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
+                                 double sqrt_c);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_HITTING_H_

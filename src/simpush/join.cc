@@ -1,0 +1,176 @@
+#include "simpush/join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "simpush/simpush.h"
+
+namespace simpush {
+
+namespace {
+
+bool PairLess(const SimilarPair& a, const SimilarPair& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+uint64_t PerSourceSeed(uint64_t base_seed, NodeId source) {
+  uint64_t state = base_seed ^ (0x94D049BB133111EBULL * (source + 1));
+  return SplitMix64(&state);
+}
+
+// Shared scan: runs one query per source, hands qualifying pairs to
+// `emit` under a mutex. `dedupe` keeps only u < v pairs (full join);
+// otherwise all targets are kept (restricted join emits (source, v)
+// pairs canonicalized later).
+Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
+                   double floor, const JoinOptions& options,
+                   const std::function<bool(NodeId, NodeId, double)>& emit) {
+  std::atomic<bool> aborted{false};
+  std::atomic<bool> invalid{false};
+  std::mutex emit_mu;
+  ThreadPool pool(options.num_threads);
+  ParallelFor(pool, 0, sources.size(), [&](size_t i) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    const NodeId u = sources[i];
+    if (u >= graph.num_nodes()) {
+      invalid.store(true);
+      return;
+    }
+    // A node with no in-neighbors has s(u, v) = 0 for all v != u: the
+    // √c-walk from u can never move, so no meeting is possible.
+    if (graph.InDegree(u) == 0) return;
+    SimPushOptions per_source = options.query;
+    per_source.seed = PerSourceSeed(options.query.seed, u);
+    SimPushEngine engine(graph, per_source);
+    auto result = engine.Query(u);
+    if (!result.ok()) {
+      invalid.store(true);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(emit_mu);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (v == u) continue;
+      const double score = result->scores[v];
+      if (score < floor) continue;
+      if (!emit(u, v, score)) {
+        aborted.store(true);
+        return;
+      }
+    }
+  });
+  if (invalid.load()) {
+    return Status::InvalidArgument("join contained an invalid source node");
+  }
+  if (aborted.load()) {
+    return Status::OutOfRange("join exceeded max_pairs");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status JoinOptions::Validate() const {
+  SIMPUSH_RETURN_NOT_OK(query.Validate());
+  if (max_pairs == 0) {
+    return Status::InvalidArgument("max_pairs must be positive");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<SimilarPair>> SimilarityJoin(
+    const Graph& graph, double threshold, const JoinOptions& options) {
+  SIMPUSH_RETURN_NOT_OK(options.Validate());
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  std::vector<NodeId> sources(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) sources[v] = v;
+
+  const double floor = threshold - options.query.epsilon;
+  std::vector<SimilarPair> pairs;
+  Status status = ScanSources(
+      graph, sources, floor, options,
+      [&pairs, &options](NodeId u, NodeId v, double score) {
+        if (u > v) return true;  // the (v, u) scan emits this pair
+        if (pairs.size() >= options.max_pairs) return false;
+        pairs.push_back({u, v, score});
+        return true;
+      });
+  SIMPUSH_RETURN_NOT_OK(status);
+  std::sort(pairs.begin(), pairs.end(), PairLess);
+  return pairs;
+}
+
+StatusOr<std::vector<SimilarPair>> SimilarityJoinFor(
+    const Graph& graph, const std::vector<NodeId>& sources, double threshold,
+    const JoinOptions& options) {
+  SIMPUSH_RETURN_NOT_OK(options.Validate());
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  std::vector<bool> is_source(graph.num_nodes(), false);
+  for (NodeId u : sources) {
+    if (u >= graph.num_nodes()) {
+      return Status::InvalidArgument("source node out of range");
+    }
+    is_source[u] = true;
+  }
+
+  const double floor = threshold - options.query.epsilon;
+  std::vector<SimilarPair> pairs;
+  Status status = ScanSources(
+      graph, sources, floor, options,
+      [&](NodeId u, NodeId v, double score) {
+        // Both endpoints sources: emit from the smaller one only.
+        if (is_source[v] && v < u) return true;
+        if (pairs.size() >= options.max_pairs) return false;
+        pairs.push_back({std::min(u, v), std::max(u, v), score});
+        return true;
+      });
+  SIMPUSH_RETURN_NOT_OK(status);
+  std::sort(pairs.begin(), pairs.end(), PairLess);
+  return pairs;
+}
+
+StatusOr<std::vector<SimilarPair>> TopPairs(const Graph& graph, size_t n,
+                                            const JoinOptions& options) {
+  SIMPUSH_RETURN_NOT_OK(options.Validate());
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+
+  std::vector<NodeId> sources(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) sources[v] = v;
+
+  // Keep a min-heap of the best n pairs; floor rises as it fills, which
+  // prunes the per-query emission loop via the `floor` parameter only
+  // loosely (scores arrive unsorted), so the heap does the real work.
+  std::vector<SimilarPair> heap;
+  heap.reserve(n + 1);
+  auto heap_greater = [](const SimilarPair& a, const SimilarPair& b) {
+    return PairLess(a, b);  // min-heap on score via greater-comparator
+  };
+  Status status = ScanSources(
+      graph, sources, /*floor=*/1e-12, options,
+      [&](NodeId u, NodeId v, double score) {
+        if (u > v) return true;
+        if (heap.size() < n) {
+          heap.push_back({u, v, score});
+          std::push_heap(heap.begin(), heap.end(), heap_greater);
+        } else if (score > heap.front().score) {
+          std::pop_heap(heap.begin(), heap.end(), heap_greater);
+          heap.back() = {u, v, score};
+          std::push_heap(heap.begin(), heap.end(), heap_greater);
+        }
+        return true;
+      });
+  SIMPUSH_RETURN_NOT_OK(status);
+  std::sort(heap.begin(), heap.end(), PairLess);
+  return heap;
+}
+
+}  // namespace simpush

@@ -1,0 +1,94 @@
+#include "simpush/last_meeting.h"
+
+#include <algorithm>
+
+namespace simpush {
+
+namespace {
+
+// Reusable scratch for the γ computation of one attention source.
+struct GammaScratch {
+  // Dense per-target accumulator + touched list.
+  std::vector<double> acc;
+  std::vector<AttentionId> touched;
+  // pending[lvl]: (target, amount) pairs to subtract from targets at
+  // level lvl — the ρ(j)·h̃(i-j)² terms of Eq. 11, emitted once when a
+  // ρ-carrier is finalized instead of being re-scanned per level.
+  std::vector<std::vector<std::pair<AttentionId, double>>> pending;
+
+  void Prepare(size_t num_attention, uint32_t max_level) {
+    if (acc.size() < num_attention) acc.assign(num_attention, 0.0);
+    touched.clear();
+    pending.resize(max_level + 1);
+    for (auto& level : pending) level.clear();
+  }
+};
+
+// Eq. 9-11 for one attention occurrence, one forward sweep over levels:
+//   ρ at level ℓ+i starts from h̃(i)(w,·)² (the meeting probability) and
+//   subtracts every earlier carrier's expansion; each finalized carrier
+//   expands its own hitting vector exactly once.
+double GammaFor(const SourceGraph& gu, const HittingTable& hitting,
+                AttentionId id, GammaScratch* scratch) {
+  const auto& atts = gu.attention_nodes();
+  const AttentionNode& w = atts[id];
+  const uint32_t level = w.level;
+  const uint32_t max_level = gu.max_level();
+  if (level >= max_level) return 1.0;
+
+  const HittingVector& from_w = hitting.VectorAt(level, w.node);
+  if (from_w.empty()) return 1.0;
+  scratch->Prepare(gu.num_attention(), max_level);
+
+  double gamma = 1.0;
+  for (uint32_t target_level = level + 1; target_level <= max_level;
+       ++target_level) {
+    scratch->touched.clear();
+    // Base term: h̃(i)(w, t)² for targets on this level.
+    for (const auto& [target, prob] : from_w) {
+      if (atts[target].level != target_level) continue;
+      if (scratch->acc[target] == 0.0) scratch->touched.push_back(target);
+      scratch->acc[target] += prob * prob;
+    }
+    // Subtractions emitted by shallower carriers (Eq. 11).
+    for (const auto& [target, amount] : scratch->pending[target_level]) {
+      if (scratch->acc[target] == 0.0) scratch->touched.push_back(target);
+      scratch->acc[target] -= amount;
+    }
+    // Finalize ρ for this level; expand each carrier once.
+    for (AttentionId target : scratch->touched) {
+      const double rho = scratch->acc[target];
+      scratch->acc[target] = 0.0;
+      if (rho == 0.0) continue;
+      gamma -= rho;  // Eq. 9.
+      const AttentionNode& mid = atts[target];
+      for (const auto& [deeper, prob] : hitting.VectorAt(target_level,
+                                                         mid.node)) {
+        if (deeper == target) continue;  // Self entry: i - j = 0.
+        scratch->pending[atts[deeper].level].emplace_back(
+            deeper, rho * prob * prob);
+      }
+    }
+  }
+  return std::clamp(gamma, 0.0, 1.0);
+}
+
+}  // namespace
+
+double ComputeGammaFor(const SourceGraph& gu, const HittingTable& hitting,
+                       AttentionId id) {
+  GammaScratch scratch;
+  return GammaFor(gu, hitting, id, &scratch);
+}
+
+std::vector<double> ComputeLastMeetingProbabilities(
+    const SourceGraph& gu, const HittingTable& hitting) {
+  std::vector<double> gamma(gu.num_attention(), 1.0);
+  GammaScratch scratch;
+  for (AttentionId id = 0; id < gu.num_attention(); ++id) {
+    gamma[id] = GammaFor(gu, hitting, id, &scratch);
+  }
+  return gamma;
+}
+
+}  // namespace simpush

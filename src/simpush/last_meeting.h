@@ -1,0 +1,29 @@
+// Last-meeting probabilities γ^(ℓ)(w) within G_u (Definition 4,
+// Equations 9-11, Algorithm 4): the probability that two √c-walks from
+// attention node w, confined to G_u, never meet at an attention node on
+// any deeper level.
+
+#ifndef SIMPUSH_SIMPUSH_LAST_MEETING_H_
+#define SIMPUSH_SIMPUSH_LAST_MEETING_H_
+
+#include <vector>
+
+#include "simpush/hitting.h"
+#include "simpush/source_graph.h"
+
+namespace simpush {
+
+/// Computes γ^(ℓ)(w) for every attention occurrence, indexed by
+/// AttentionId. Values are clamped to [0, 1] against floating-point
+/// drift; mathematically they lie there already.
+std::vector<double> ComputeLastMeetingProbabilities(
+    const SourceGraph& gu, const HittingTable& hitting);
+
+/// Computes γ for a single attention occurrence (Algorithm 4 verbatim);
+/// used by tests to cross-check the batch version.
+double ComputeGammaFor(const SourceGraph& gu, const HittingTable& hitting,
+                       AttentionId id);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_LAST_MEETING_H_

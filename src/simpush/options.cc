@@ -1,0 +1,52 @@
+#include "simpush/options.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simpush {
+
+Status SimPushOptions::Validate() const {
+  if (decay <= 0.0 || decay >= 1.0) {
+    return Status::InvalidArgument("decay must be in (0,1)");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0,1)");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+DerivedParams ComputeDerivedParams(const SimPushOptions& options) {
+  DerivedParams p;
+  p.sqrt_c = std::sqrt(options.decay);
+  p.eps_h = (1.0 - p.sqrt_c) / (3.0 * p.sqrt_c) * options.epsilon;
+
+  // L* = floor(log_{1/sqrt_c}(1/eps_h)): beyond L* every hitting
+  // probability is below eps_h (Lemma 2).
+  p.l_star = static_cast<uint32_t>(
+      std::floor(std::log(1.0 / p.eps_h) / std::log(1.0 / p.sqrt_c)));
+  p.l_star = std::max<uint32_t>(p.l_star, 1);
+
+  // Walk count for level detection (Algorithm 2 line 2 / Lemma 5).
+  const double log_term =
+      std::log(1.0 / ((1.0 - p.sqrt_c) * p.eps_h * options.delta));
+  const double walks = 2.0 * log_term / (p.eps_h * p.eps_h);
+  p.num_walks = static_cast<uint64_t>(std::ceil(std::max(walks, 1.0)));
+  if (options.walk_budget_cap > 0) {
+    p.num_walks = std::min(p.num_walks, options.walk_budget_cap);
+  }
+  // A node's empirical hitting probability at level l must reach eps_h/2
+  // for l to be retained; with the Hoeffding sample size above, every
+  // true attention node (h >= eps_h) passes w.p. >= 1 - delta.
+  p.level_count_threshold = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(p.num_walks) * p.eps_h / 2.0));
+  p.level_count_threshold = std::max<uint64_t>(p.level_count_threshold, 1);
+
+  p.max_attention = static_cast<uint64_t>(
+      std::floor(p.sqrt_c / ((1.0 - p.sqrt_c) * p.eps_h)));
+  return p;
+}
+
+}  // namespace simpush

@@ -1,0 +1,111 @@
+#include "simpush/parallel.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "simpush/topk.h"
+
+namespace simpush {
+
+namespace {
+
+// Derives a per-query seed so results do not depend on which worker or
+// in which order a query runs.
+uint64_t PerQuerySeed(uint64_t base_seed, NodeId query) {
+  uint64_t state = base_seed ^ (0xBF58476D1CE4E5B9ULL * (query + 1));
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
+ParallelBatchStats ParallelQueryBatch(
+    const Graph& graph, const SimPushOptions& options,
+    const std::vector<NodeId>& queries, size_t num_threads,
+    const std::function<void(NodeId, const SimPushResult&)>& on_result) {
+  ParallelBatchStats stats;
+  Timer wall;
+  ThreadPool pool(num_threads);
+  stats.num_threads = pool.num_threads();
+
+  std::mutex result_mu;
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<uint64_t> cpu_nanos{0};
+
+  // One task per query: engine construction is O(1) (index-free), and a
+  // per-query engine pins the RNG stream to (seed, node) so the output
+  // is identical for any thread count.
+  ParallelFor(pool, 0, queries.size(), [&](size_t i) {
+    const NodeId u = queries[i];
+    SimPushOptions per_query = options;
+    per_query.seed = PerQuerySeed(options.seed, u);
+    SimPushEngine engine(graph, per_query);
+    auto result = engine.Query(u);
+    if (!result.ok()) {
+      failed.fetch_add(1);
+      return;
+    }
+    ok.fetch_add(1);
+    cpu_nanos.fetch_add(
+        static_cast<uint64_t>(result->stats.total_seconds * 1e9));
+    std::lock_guard<std::mutex> lock(result_mu);
+    on_result(u, *result);
+  });
+
+  stats.queries_ok = ok.load();
+  stats.queries_failed = failed.load();
+  stats.cpu_query_seconds = cpu_nanos.load() / 1e9;
+  stats.wall_seconds = wall.ElapsedSeconds();
+  return stats;
+}
+
+StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+    const Graph& graph, const SimPushOptions& options,
+    const std::vector<NodeId>& queries, size_t k, size_t num_threads,
+    ParallelBatchStats* stats) {
+  std::vector<BatchTopKResult> results(queries.size());
+
+  ParallelBatchStats local_stats;
+  Timer wall;
+  ThreadPool pool(num_threads);
+  local_stats.num_threads = pool.num_threads();
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<uint64_t> cpu_nanos{0};
+
+  ParallelFor(pool, 0, queries.size(), [&](size_t i) {
+    const NodeId u = queries[i];
+    SimPushOptions per_query = options;
+    per_query.seed = PerQuerySeed(options.seed, u);
+    SimPushEngine engine(graph, per_query);
+    auto topk = QueryTopK(&engine, u, k);
+    if (!topk.ok()) {
+      failed.fetch_add(1);
+      return;
+    }
+    ok.fetch_add(1);
+    cpu_nanos.fetch_add(
+        static_cast<uint64_t>(topk->stats.total_seconds * 1e9));
+    results[i].query = u;
+    results[i].topk.reserve(topk->entries.size());
+    for (const TopKEntry& entry : topk->entries) {
+      results[i].topk.emplace_back(entry.node, entry.score);
+    }
+  });
+
+  local_stats.queries_ok = ok.load();
+  local_stats.queries_failed = failed.load();
+  local_stats.cpu_query_seconds = cpu_nanos.load() / 1e9;
+  local_stats.wall_seconds = wall.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+
+  if (local_stats.queries_failed > 0) {
+    return Status::InvalidArgument("batch contained invalid query nodes");
+  }
+  return results;
+}
+
+}  // namespace simpush

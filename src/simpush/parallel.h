@@ -1,0 +1,57 @@
+// Parallel batch single-source SimRank: fans a query set across a
+// thread pool, one SimPushEngine per worker (the engine holds per-query
+// scratch, so sharing one across threads would race).
+//
+// Single-query latency is untouched — the paper's realtime claim is a
+// one-thread number and stays that way in the benches. This module
+// targets *throughput*: offline scoring jobs, or an online service
+// answering independent user queries concurrently, both natural uses of
+// an index-free method (nothing shared to invalidate).
+
+#ifndef SIMPUSH_SIMPUSH_PARALLEL_H_
+#define SIMPUSH_SIMPUSH_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "simpush/batch.h"
+#include "simpush/simpush.h"
+
+namespace simpush {
+
+/// Aggregate statistics from a parallel batch run.
+struct ParallelBatchStats {
+  size_t queries_ok = 0;
+  size_t queries_failed = 0;
+  double wall_seconds = 0;      ///< End-to-end elapsed time.
+  double cpu_query_seconds = 0; ///< Sum of per-query times across workers.
+  size_t num_threads = 0;
+};
+
+/// Runs every query in `queries` across `num_threads` workers
+/// (0 = hardware concurrency). `on_result` is invoked under a mutex —
+/// it may touch shared state freely but should stay cheap; heavy
+/// post-processing belongs on the caller's side of a queue.
+///
+/// Results arrive in completion order, not query order; the query node
+/// is passed alongside each result. Per-query failures are counted and
+/// skipped. Determinism: each query's RNG stream is derived from
+/// (options.seed, query node), so results are independent of thread
+/// count and scheduling.
+ParallelBatchStats ParallelQueryBatch(
+    const Graph& graph, const SimPushOptions& options,
+    const std::vector<NodeId>& queries, size_t num_threads,
+    const std::function<void(NodeId, const SimPushResult&)>& on_result);
+
+/// Materializing convenience wrapper: top-k per query, in query order.
+StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+    const Graph& graph, const SimPushOptions& options,
+    const std::vector<NodeId>& queries, size_t k, size_t num_threads,
+    ParallelBatchStats* stats = nullptr);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_PARALLEL_H_

@@ -1,0 +1,71 @@
+#include "simpush/reverse_push.h"
+
+#include <algorithm>
+
+namespace simpush {
+
+void ReversePushWorkspace::Prepare(NodeId num_nodes) {
+  if (current_.size() < num_nodes) {
+    current_.assign(num_nodes, 0.0);
+    next_.assign(num_nodes, 0.0);
+  }
+  current_touched_.clear();
+  next_touched_.clear();
+}
+
+void ReversePush(const Graph& graph, const SourceGraph& gu,
+                 const std::vector<double>& gamma, double sqrt_c,
+                 double eps_h, ReversePushWorkspace* workspace,
+                 std::vector<double>* scores, ReversePushStats* stats) {
+  workspace->Prepare(graph.num_nodes());
+  auto& current = workspace->current();
+  auto& next = workspace->next();
+  auto& current_touched = workspace->current_touched();
+  auto& next_touched = workspace->next_touched();
+
+  ReversePushStats local_stats;
+  const uint32_t max_level = gu.max_level();
+
+  for (uint32_t level = max_level; level >= 1; --level) {
+    // Inject the initial residues r^(ℓ)(w) = h^(ℓ)(u,w)·γ^(ℓ)(w) of the
+    // attention nodes living on this level; they combine with residues
+    // that arrived from deeper levels (§4.3's merged push).
+    for (AttentionId id : gu.AttentionOnLevel(level)) {
+      const AttentionNode& w = gu.attention_nodes()[id];
+      const double residue = w.hitting_prob * gamma[id];
+      if (residue == 0.0) continue;
+      if (current[w.node] == 0.0) current_touched.push_back(w.node);
+      current[w.node] += residue;
+    }
+
+    for (NodeId vp : current_touched) {
+      const double residue = current[vp];
+      current[vp] = 0.0;
+      // Push threshold: √c·r^(ℓ')(v') >= ε_h (Algorithm 5 line 4);
+      // below-threshold residue is dropped — that is the approximation
+      // ĥ introduces.
+      if (sqrt_c * residue < eps_h) continue;
+      ++local_stats.pushes;
+      for (NodeId v : graph.OutNeighbors(vp)) {
+        ++local_stats.edges_traversed;
+        const double share = sqrt_c * residue / graph.InDegree(v);
+        if (level > 1) {
+          if (next[v] == 0.0) next_touched.push_back(v);
+          next[v] += share;
+        } else {
+          (*scores)[v] += share;
+        }
+      }
+    }
+    current_touched.clear();
+    std::swap(current, next);
+    std::swap(current_touched, next_touched);
+  }
+  // Drain any leftover marks so the workspace is clean for reuse.
+  for (NodeId v : current_touched) current[v] = 0.0;
+  current_touched.clear();
+
+  if (stats != nullptr) *stats = local_stats;
+}
+
+}  // namespace simpush

@@ -1,0 +1,51 @@
+// Reverse-Push (Algorithm 5): propagates the combined residues
+// r^(ℓ)(w) = h^(ℓ)(u,w)·γ^(ℓ)(w) of all attention nodes level by level
+// along out-edges of the *full* graph G, accumulating
+// h^(ℓ)(u,w)·γ^(ℓ)(w)·ĥ^(ℓ)(v,w) into s̃(u, v). Residues landing on the
+// same node at the same level are pushed together (§4.3).
+
+#ifndef SIMPUSH_SIMPUSH_REVERSE_PUSH_H_
+#define SIMPUSH_SIMPUSH_REVERSE_PUSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "simpush/source_graph.h"
+
+namespace simpush {
+
+/// Reusable dense scratch space so repeated queries do not reallocate
+/// O(n) buffers.
+class ReversePushWorkspace {
+ public:
+  /// Ensures capacity for an n-node graph.
+  void Prepare(NodeId num_nodes);
+
+  std::vector<double>& current() { return current_; }
+  std::vector<double>& next() { return next_; }
+  std::vector<NodeId>& current_touched() { return current_touched_; }
+  std::vector<NodeId>& next_touched() { return next_touched_; }
+
+ private:
+  std::vector<double> current_, next_;
+  std::vector<NodeId> current_touched_, next_touched_;
+};
+
+/// Statistics from one Reverse-Push invocation.
+struct ReversePushStats {
+  uint64_t pushes = 0;          ///< Residues that passed the threshold.
+  uint64_t edges_traversed = 0; ///< Out-edges relaxed.
+};
+
+/// Runs Algorithm 5. `gamma` is indexed by AttentionId; `scores` must be
+/// a zeroed vector of size n and receives s̃(u, ·) with s̃(u,u) = 1 set
+/// by the caller (the driver), matching Algorithm 5 line 10.
+void ReversePush(const Graph& graph, const SourceGraph& gu,
+                 const std::vector<double>& gamma, double sqrt_c,
+                 double eps_h, ReversePushWorkspace* workspace,
+                 std::vector<double>* scores, ReversePushStats* stats);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_REVERSE_PUSH_H_

@@ -1,0 +1,73 @@
+// Public entry point: the SimPush engine (Algorithm 1).
+//
+// Example:
+//   simpush::SimPushOptions options;
+//   options.epsilon = 0.02;
+//   simpush::SimPushEngine engine(graph, options);
+//   auto result = engine.Query(u);
+//   if (result.ok()) { use result->scores[v] ... }
+
+#ifndef SIMPUSH_SIMPUSH_SIMPUSH_H_
+#define SIMPUSH_SIMPUSH_SIMPUSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "simpush/options.h"
+#include "simpush/reverse_push.h"
+#include "simpush/source_push.h"
+
+namespace simpush {
+
+/// Per-query statistics exposed for the paper's §5.2 inline claims
+/// (avg L, attention-set size) and the Table 3 stage breakdown.
+struct SimPushQueryStats {
+  uint32_t max_level = 0;          ///< L.
+  size_t num_attention = 0;        ///< |A_u|.
+  size_t gu_node_occurrences = 0;  ///< |G_u| node occurrences (levels >= 1).
+  uint64_t walks_sampled = 0;      ///< Level-detection walks.
+  uint64_t reverse_pushes = 0;
+  uint64_t reverse_edges = 0;
+  double source_push_seconds = 0;  ///< Stage 1 (Algorithm 2).
+  double gamma_seconds = 0;        ///< Stage 2 (Algorithms 3-4).
+  double reverse_push_seconds = 0; ///< Stage 3 (Algorithm 5).
+  double total_seconds = 0;
+};
+
+/// Result of one single-source query.
+struct SimPushResult {
+  /// s̃(u, v) for every v; scores[u] == 1.
+  std::vector<double> scores;
+  SimPushQueryStats stats;
+};
+
+/// Index-free single-source SimRank engine. Holds only reusable query
+/// scratch space — no precomputation touches the graph, so graph updates
+/// simply mean constructing a new engine over the new Graph (O(1) cost
+/// beyond the CSR build).
+class SimPushEngine {
+ public:
+  /// The graph must outlive the engine.
+  SimPushEngine(const Graph& graph, const SimPushOptions& options);
+
+  /// Answers an approximate single-source SimRank query (Definition 1):
+  /// |s̃(u,v) - s(u,v)| <= ε for all v w.p. >= 1-δ.
+  StatusOr<SimPushResult> Query(NodeId u);
+
+  const SimPushOptions& options() const { return options_; }
+  const DerivedParams& derived() const { return derived_; }
+
+ private:
+  const Graph& graph_;
+  SimPushOptions options_;
+  DerivedParams derived_;
+  Rng rng_;
+  ReversePushWorkspace workspace_;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_SIMPUSH_H_

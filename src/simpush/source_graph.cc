@@ -1,0 +1,69 @@
+#include "simpush/source_graph.h"
+
+namespace simpush {
+
+namespace {
+inline uint64_t LevelNodeKey(uint32_t level, NodeId node) {
+  return (static_cast<uint64_t>(level) << 32) | node;
+}
+}  // namespace
+
+double SourceGraph::HittingProb(uint32_t level, NodeId v) const {
+  if (level >= levels_.size()) return 0.0;
+  auto it = levels_[level].find(v);
+  return it == levels_[level].end() ? 0.0 : it->second;
+}
+
+bool SourceGraph::Contains(uint32_t level, NodeId v) const {
+  return level < levels_.size() && levels_[level].count(v) > 0;
+}
+
+AttentionId SourceGraph::AddAttentionNode(NodeId node, uint32_t level,
+                                          double h) {
+  const AttentionId id = static_cast<AttentionId>(attention_.size());
+  attention_.push_back({node, level, h});
+  if (attention_on_level_.size() <= level) {
+    attention_on_level_.resize(level + 1);
+  }
+  attention_on_level_[level].push_back(id);
+  attention_index_.emplace(LevelNodeKey(level, node), id);
+  return id;
+}
+
+const std::vector<AttentionId>& SourceGraph::AttentionOnLevel(
+    uint32_t level) const {
+  static const std::vector<AttentionId> kEmpty;
+  if (level >= attention_on_level_.size()) return kEmpty;
+  return attention_on_level_[level];
+}
+
+bool SourceGraph::LookupAttention(uint32_t level, NodeId node,
+                                  AttentionId* id) const {
+  auto it = attention_index_.find(LevelNodeKey(level, node));
+  if (it == attention_index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+size_t SourceGraph::TotalNodeOccurrences() const {
+  size_t total = 0;
+  for (uint32_t level = 1; level < levels_.size(); ++level) {
+    total += levels_[level].size();
+  }
+  return total;
+}
+
+size_t SourceGraph::CountEdges(const Graph& graph) const {
+  size_t total = 0;
+  // Nodes on the last level have no G_u in-neighbors (Source-Push never
+  // pushed beyond level L), so only levels 0..L-1 contribute.
+  for (uint32_t level = 0; level + 1 < levels_.size(); ++level) {
+    for (const auto& [node, h] : levels_[level]) {
+      (void)h;
+      total += graph.InDegree(node);
+    }
+  }
+  return total;
+}
+
+}  // namespace simpush

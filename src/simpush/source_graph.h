@@ -1,0 +1,94 @@
+// The source graph G_u produced by Source-Push (§3, §4.1): a level-
+// structured view of the nodes reached while propagating hitting
+// probabilities from the query node u. Level 0 holds u only; level ℓ
+// holds every node v with h^(ℓ)(u, v) > 0; G_u edges run from level ℓ+1
+// (in-neighbors) to level ℓ, and for any node at level ℓ < L its G_u
+// in-neighborhood equals its full in-neighborhood in G.
+//
+// G_u therefore does not store explicit edge lists: the adjacency of G
+// restricted to consecutive level sets *is* the G_u adjacency, which is
+// how Algorithms 3–4 traverse it.
+
+#ifndef SIMPUSH_SIMPUSH_SOURCE_GRAPH_H_
+#define SIMPUSH_SIMPUSH_SOURCE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Dense id for an attention node *occurrence*: the same graph node can
+/// be an attention node on several levels (Fig. 1(a)), each occurrence
+/// getting its own id.
+using AttentionId = uint32_t;
+
+/// One attention-node occurrence.
+struct AttentionNode {
+  NodeId node = kInvalidNode;
+  uint32_t level = 0;       ///< ℓ in [1, L].
+  double hitting_prob = 0;  ///< h^(ℓ)(u, node), >= ε_h by definition.
+};
+
+/// Level-structured source graph G_u plus the attention sets A_u^(ℓ).
+class SourceGraph {
+ public:
+  /// Max level L (levels are 0..L; level 0 is the query node).
+  uint32_t max_level() const { return max_level_; }
+  void set_max_level(uint32_t level) {
+    max_level_ = level;
+    levels_.resize(level + 1);
+  }
+
+  /// Hitting-probability map of one level: node -> h^(ℓ)(u, node).
+  std::unordered_map<NodeId, double>& MutableLevel(uint32_t level) {
+    return levels_[level];
+  }
+  const std::unordered_map<NodeId, double>& Level(uint32_t level) const {
+    return levels_[level];
+  }
+
+  /// h^(ℓ)(u, v); 0 when v is not on level ℓ of G_u.
+  double HittingProb(uint32_t level, NodeId v) const;
+
+  /// True iff v appears on level ℓ of G_u.
+  bool Contains(uint32_t level, NodeId v) const;
+
+  /// Registers an attention-node occurrence; returns its dense id.
+  AttentionId AddAttentionNode(NodeId node, uint32_t level, double h);
+
+  /// All attention occurrences, id-indexed.
+  const std::vector<AttentionNode>& attention_nodes() const {
+    return attention_;
+  }
+  /// Attention ids on level ℓ (A_u^(ℓ)).
+  const std::vector<AttentionId>& AttentionOnLevel(uint32_t level) const;
+
+  /// Dense attention id of (level, node); returns false if not attention.
+  bool LookupAttention(uint32_t level, NodeId node, AttentionId* id) const;
+
+  size_t num_attention() const { return attention_.size(); }
+
+  /// Total node occurrences across levels 1..L (|G_u| minus the root).
+  size_t TotalNodeOccurrences() const;
+
+  /// Number of G_u edges: for every node v on level ℓ in [0, L-1] with
+  /// in-neighbors, d_I(v) edges arrive from level ℓ+1.
+  size_t CountEdges(const Graph& graph) const;
+
+ private:
+  uint32_t max_level_ = 0;
+  // levels_[ℓ]: node -> h^(ℓ)(u, node). levels_[0] = { {u, 1.0} }.
+  std::vector<std::unordered_map<NodeId, double>> levels_;
+  std::vector<AttentionNode> attention_;
+  // attention_on_level_[ℓ]: ids of attention occurrences at level ℓ.
+  std::vector<std::vector<AttentionId>> attention_on_level_;
+  // (level, node) -> attention id.
+  std::unordered_map<uint64_t, AttentionId> attention_index_;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_SOURCE_GRAPH_H_

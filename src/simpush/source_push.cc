@@ -1,0 +1,129 @@
+#include "simpush/source_push.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "walk/walker.h"
+
+namespace simpush {
+
+namespace {
+
+// Algorithm 2 lines 1-8: sample N √c-walks from u, tally per-level visit
+// counts H^(l)(u, v), and return the largest level where some node's
+// count reaches the detection threshold (i.e. an empirical hitting
+// probability >= ε_h/2). Capped by L* afterwards by the caller.
+//
+// This is the per-query latency floor of SimPush, so the walk loop is
+// inlined (no std::function) and counts live in one flat hash map keyed
+// by (level << 32 | node); levels beyond L* are not even tallied.
+uint32_t DetectMaxLevel(const Graph& graph, NodeId u,
+                        const DerivedParams& params, Rng* rng,
+                        uint64_t* walks_out) {
+  Walker walker(graph, params.sqrt_c);
+  *walks_out = params.num_walks;
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(1024);
+  uint32_t max_level = 0;
+  for (uint64_t i = 0; i < params.num_walks; ++i) {
+    NodeId current = u;
+    uint32_t level = 0;
+    while (level < params.l_star) {
+      const NodeId next = walker.Step(current, rng);
+      if (next == kInvalidNode) break;
+      ++level;
+      current = next;
+      if (level <= max_level) continue;  // Only deeper levels matter.
+      const uint64_t key = (static_cast<uint64_t>(level) << 32) | next;
+      if (++counts[key] >= params.level_count_threshold) {
+        max_level = level;
+      }
+    }
+  }
+  return max_level;
+}
+
+}  // namespace
+
+StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
+                                 const SimPushOptions& options,
+                                 const DerivedParams& params, Rng* rng,
+                                 SourcePushStats* stats) {
+  if (u >= graph.num_nodes()) {
+    return Status::InvalidArgument("query node " + std::to_string(u) +
+                                   " out of range");
+  }
+
+  uint32_t max_level = params.l_star;
+  uint64_t walks = 0;
+  if (options.use_level_detection) {
+    max_level = DetectMaxLevel(graph, u, params, rng, &walks);
+    max_level = std::min(max_level, params.l_star);
+  }
+  // Even when sampling saw nothing past level 0 (e.g. u has no
+  // in-neighbors), level 1 may still hold attention nodes with
+  // probability mass below the sampling threshold only by chance; the
+  // propagation itself is cheap for one level, so explore at least 1.
+  max_level = std::max<uint32_t>(max_level, 1);
+
+  SourceGraph gu;
+  gu.set_max_level(max_level);
+  gu.MutableLevel(0).emplace(u, 1.0);
+
+  // Lines 9-19: level-wise propagation h^(ℓ+1)(u, v') += √c·h^(ℓ)(u,v)/d_I(v)
+  // for every in-neighbor v' of every frontier node v. The inner loop
+  // runs on dense scratch arrays with a touched list (hash maps per
+  // level would dominate query time on dense graphs); each finished
+  // level is then compacted into G_u's per-level map in one pass.
+  const NodeId n = graph.num_nodes();
+  std::vector<double> current(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<NodeId> frontier{u};
+  std::vector<NodeId> frontier_next;
+  current[u] = 1.0;
+  for (uint32_t level = 0; level < max_level; ++level) {
+    if (frontier.empty()) break;
+    frontier_next.clear();
+    for (NodeId v : frontier) {
+      const double h = current[v];
+      current[v] = 0.0;
+      const uint32_t deg = graph.InDegree(v);
+      if (deg == 0) continue;
+      const double share = params.sqrt_c * h / deg;
+      for (NodeId vp : graph.InNeighbors(v)) {
+        if (next[vp] == 0.0) frontier_next.push_back(vp);
+        next[vp] += share;
+      }
+    }
+    auto& level_map = gu.MutableLevel(level + 1);
+    level_map.reserve(frontier_next.size());
+    for (NodeId vp : frontier_next) {
+      level_map.emplace(vp, next[vp]);
+    }
+    std::swap(current, next);
+    std::swap(frontier, frontier_next);
+  }
+  // Drain scratch marks (current holds the last level's values).
+  for (NodeId v : frontier) current[v] = 0.0;
+
+  // Lines 20-21: attention nodes are those with h^(ℓ)(u, w) >= ε_h.
+  for (uint32_t level = 1; level <= max_level; ++level) {
+    for (const auto& [node, h] : gu.Level(level)) {
+      if (h >= params.eps_h) {
+        gu.AddAttentionNode(node, level, h);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->detected_level = max_level;
+    stats->walks_sampled = walks;
+    stats->gu_node_occurrences = gu.TotalNodeOccurrences();
+    stats->num_attention = gu.num_attention();
+  }
+  return gu;
+}
+
+}  // namespace simpush

@@ -1,0 +1,36 @@
+// Source-Push (Algorithm 2): detects the max level L via √c-walk
+// sampling, then performs level-wise residue propagation of the hitting
+// probabilities h^(ℓ)(u, ·) along in-edges, building G_u and the
+// attention sets A_u^(ℓ).
+
+#ifndef SIMPUSH_SIMPUSH_SOURCE_PUSH_H_
+#define SIMPUSH_SIMPUSH_SOURCE_PUSH_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "simpush/options.h"
+#include "simpush/source_graph.h"
+
+namespace simpush {
+
+/// Statistics reported by one Source-Push invocation.
+struct SourcePushStats {
+  uint32_t detected_level = 0;   ///< L (after capping by L*).
+  uint64_t walks_sampled = 0;    ///< Level-detection walks actually run.
+  size_t gu_node_occurrences = 0;
+  size_t num_attention = 0;
+};
+
+/// Runs Algorithm 2 for query node u. `params` carries ε_h, L*, and the
+/// walk budget; `rng` supplies the level-detection randomness.
+StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
+                                 const SimPushOptions& options,
+                                 const DerivedParams& params, Rng* rng,
+                                 SourcePushStats* stats);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_SOURCE_PUSH_H_

@@ -1,0 +1,33 @@
+#include "simpush/topk.h"
+
+#include <algorithm>
+
+namespace simpush {
+
+StatusOr<TopKResult> QueryTopK(SimPushEngine* engine, NodeId u, size_t k) {
+  SIMPUSH_ASSIGN_OR_RETURN(SimPushResult full, engine->Query(u));
+  TopKResult result;
+  result.stats = full.stats;
+
+  const std::vector<double>& scores = full.scores;
+  std::vector<NodeId> order;
+  order.reserve(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) {
+    if (v != u && scores[v] > 0.0) order.push_back(v);
+  }
+  const size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  result.entries.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    result.entries.push_back({order[i], scores[order[i]]});
+  }
+  return result;
+}
+
+}  // namespace simpush

@@ -1,0 +1,58 @@
+#include "walk/walk_stats.h"
+
+namespace simpush {
+
+void VisitCounts::Record(uint32_t level, NodeId node) {
+  if (level == 0) return;
+  if (counts_.size() < level) counts_.resize(level);
+  ++counts_[level - 1][node];
+}
+
+uint64_t VisitCounts::Count(uint32_t level, NodeId node) const {
+  if (level == 0 || level > counts_.size()) return 0;
+  const auto& m = counts_[level - 1];
+  auto it = m.find(node);
+  return it == m.end() ? 0 : it->second;
+}
+
+const std::unordered_map<NodeId, uint64_t>& VisitCounts::Level(
+    uint32_t level) const {
+  static const std::unordered_map<NodeId, uint64_t> kEmpty;
+  if (level == 0 || level > counts_.size()) return kEmpty;
+  return counts_[level - 1];
+}
+
+VisitCounts CountVisits(const Walker& walker, NodeId source,
+                        uint64_t num_walks, Rng* rng) {
+  VisitCounts counts;
+  for (uint64_t i = 0; i < num_walks; ++i) {
+    walker.SampleWalkVisit(source, rng,
+                           [&counts](uint32_t level, NodeId node) {
+                             counts.Record(level, node);
+                           });
+  }
+  return counts;
+}
+
+std::vector<std::vector<double>> ExactHittingProbabilities(
+    const Graph& graph, NodeId source, uint32_t max_level, double sqrt_c) {
+  const NodeId n = graph.num_nodes();
+  std::vector<std::vector<double>> h(max_level + 1,
+                                     std::vector<double>(n, 0.0));
+  h[0][source] = 1.0;
+  for (uint32_t level = 0; level < max_level; ++level) {
+    for (NodeId v = 0; v < n; ++v) {
+      const double mass = h[level][v];
+      if (mass == 0.0) continue;
+      const uint32_t deg = graph.InDegree(v);
+      if (deg == 0) continue;
+      const double share = sqrt_c * mass / deg;
+      for (NodeId w : graph.InNeighbors(v)) {
+        h[level + 1][w] += share;
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace simpush

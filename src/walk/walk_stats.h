@@ -1,0 +1,50 @@
+// Monte-Carlo estimation of hitting probabilities h^(l)(u, w): the
+// probability a √c-walk from u is at node w at step l. Shared by
+// Source-Push level detection, tests, and the PRSim baseline.
+
+#ifndef SIMPUSH_WALK_WALK_STATS_H_
+#define SIMPUSH_WALK_WALK_STATS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "walk/walker.h"
+
+namespace simpush {
+
+/// Per-level visit counts from a batch of √c-walks out of one source.
+class VisitCounts {
+ public:
+  /// Records that a walk visited `node` at step `level` (level >= 1).
+  void Record(uint32_t level, NodeId node);
+
+  /// Visit count H^(l)(u, node).
+  uint64_t Count(uint32_t level, NodeId node) const;
+
+  /// Largest level with any visit; 0 when empty.
+  uint32_t MaxLevel() const {
+    return counts_.empty() ? 0 : static_cast<uint32_t>(counts_.size());
+  }
+
+  /// All (node -> count) pairs on `level` (1-based).
+  const std::unordered_map<NodeId, uint64_t>& Level(uint32_t level) const;
+
+ private:
+  // counts_[l-1] maps node -> visits at step l.
+  std::vector<std::unordered_map<NodeId, uint64_t>> counts_;
+};
+
+/// Samples `num_walks` √c-walks from `source` and tallies visits.
+VisitCounts CountVisits(const Walker& walker, NodeId source,
+                        uint64_t num_walks, Rng* rng);
+
+/// Exact hitting probabilities h^(l)(u, ·) for l = 0..max_level computed
+/// by dense dynamic programming over the in-adjacency (O(m) per level).
+/// Used as the reference implementation in tests.
+std::vector<std::vector<double>> ExactHittingProbabilities(
+    const Graph& graph, NodeId source, uint32_t max_level, double sqrt_c);
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_WALK_WALK_STATS_H_

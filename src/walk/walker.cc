@@ -1,0 +1,54 @@
+#include "walk/walker.h"
+
+namespace simpush {
+
+NodeId Walker::Step(NodeId current, Rng* rng) const {
+  if (!rng->NextBernoulli(sqrt_c_)) return kInvalidNode;
+  const uint32_t deg = graph_.InDegree(current);
+  if (deg == 0) return kInvalidNode;  // Dangling: the walk must stop.
+  return graph_.InNeighborAt(current,
+                             static_cast<uint32_t>(rng->NextBounded(deg)));
+}
+
+Walk Walker::SampleWalk(NodeId start, Rng* rng) const {
+  Walk walk;
+  walk.positions.push_back(start);
+  NodeId current = start;
+  while (true) {
+    const NodeId next = Step(current, rng);
+    if (next == kInvalidNode) break;
+    walk.positions.push_back(next);
+    current = next;
+  }
+  return walk;
+}
+
+void Walker::SampleWalkVisit(
+    NodeId start, Rng* rng,
+    const std::function<void(uint32_t, NodeId)>& visit) const {
+  NodeId current = start;
+  uint32_t step = 0;
+  while (true) {
+    const NodeId next = Step(current, rng);
+    if (next == kInvalidNode) break;
+    ++step;
+    visit(step, next);
+    current = next;
+  }
+}
+
+bool Walker::PairWalkMeets(NodeId u, NodeId v, Rng* rng) const {
+  NodeId a = u;
+  NodeId b = v;
+  // Both walks advance in lockstep; if either stops, no further meeting
+  // (a meeting requires the same step index on both walks).
+  while (true) {
+    a = Step(a, rng);
+    if (a == kInvalidNode) return false;
+    b = Step(b, rng);
+    if (b == kInvalidNode) return false;
+    if (a == b) return true;
+  }
+}
+
+}  // namespace simpush

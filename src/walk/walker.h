@@ -1,0 +1,59 @@
+// √c-walk engine (Definition 2 of the paper): a random walk that at each
+// node stops with probability 1-√c, and with probability √c jumps to a
+// uniformly random in-neighbor. A node with no in-neighbors always stops.
+
+#ifndef SIMPUSH_WALK_WALKER_H_
+#define SIMPUSH_WALK_WALKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// One recorded √c-walk: positions[0] is the start node, positions[l] the
+/// node reached at step l. The walk stopped after the last position.
+struct Walk {
+  std::vector<NodeId> positions;
+  size_t length() const { return positions.empty() ? 0 : positions.size() - 1; }
+};
+
+/// Samples √c-walks over a fixed graph.
+class Walker {
+ public:
+  /// The graph must outlive the walker. `sqrt_c` is √c, e.g. √0.6.
+  Walker(const Graph& graph, double sqrt_c) : graph_(graph), sqrt_c_(sqrt_c) {}
+
+  /// Samples one full √c-walk from `start`, recording every position.
+  Walk SampleWalk(NodeId start, Rng* rng) const;
+
+  /// Samples a walk and invokes visit(step, node) for each step >= 1
+  /// (the start node itself is step 0 and not reported). Avoids
+  /// allocating when only the visit sequence matters.
+  void SampleWalkVisit(NodeId start, Rng* rng,
+                       const std::function<void(uint32_t, NodeId)>& visit) const;
+
+  /// Single transition of a √c-walk: returns kInvalidNode if the walk
+  /// stops (decay or dangling node), else the next node.
+  NodeId Step(NodeId current, Rng* rng) const;
+
+  /// True iff two independent √c-walks from u and v, sampled with `rng`,
+  /// ever meet (same node at the same step while both alive). By the
+  /// first-meeting decomposition (Eq. 5) this is a Bernoulli trial with
+  /// success probability exactly s(u, v) for u != v.
+  bool PairWalkMeets(NodeId u, NodeId v, Rng* rng) const;
+
+  double sqrt_c() const { return sqrt_c_; }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  double sqrt_c_;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_WALK_WALKER_H_

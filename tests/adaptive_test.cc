@@ -1,0 +1,140 @@
+// Tests for adaptive-precision top-k (relative-error extension).
+
+#include "simpush/adaptive.h"
+
+#include "exact/power_method.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+AdaptiveOptions TestOptions() {
+  AdaptiveOptions options;
+  options.base.epsilon = 0.2;  // deliberately coarse start
+  options.base.walk_budget_cap = 5000;
+  options.base.seed = 31;
+  options.rho = 0.5;
+  options.refine_factor = 0.5;
+  options.epsilon_min = 0.005;
+  return options;
+}
+
+TEST(AdaptiveTopKTest, ValidatesArguments) {
+  auto graph = GenerateErdosRenyi(50, 250, 3);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(AdaptiveTopK(*graph, 99, 5, TestOptions()).ok());
+  EXPECT_FALSE(AdaptiveTopK(*graph, 1, 0, TestOptions()).ok());
+
+  AdaptiveOptions bad = TestOptions();
+  bad.rho = 1.5;
+  EXPECT_FALSE(AdaptiveTopK(*graph, 1, 5, bad).ok());
+  bad = TestOptions();
+  bad.refine_factor = 1.0;
+  EXPECT_FALSE(AdaptiveTopK(*graph, 1, 5, bad).ok());
+  bad = TestOptions();
+  bad.epsilon_min = 0.5;  // above starting epsilon
+  EXPECT_FALSE(AdaptiveTopK(*graph, 1, 5, bad).ok());
+}
+
+TEST(AdaptiveTopKTest, StopsAndReturnsKEntries) {
+  auto graph = GenerateChungLu(500, 3000, 2.5, 7);
+  ASSERT_TRUE(graph.ok());
+  auto result = AdaptiveTopK(*graph, 11, 10, TestOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->topk.entries.size(), 10u);
+  EXPECT_GE(result->rounds, 1u);
+  EXPECT_GT(result->final_epsilon, 0.0);
+  EXPECT_LE(result->final_epsilon, 0.2);
+  // Scores must be sorted descending.
+  const auto& entries = result->topk.entries;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i].score, entries[i - 1].score);
+  }
+}
+
+TEST(AdaptiveTopKTest, RefinementImprovesOverCoarseStart) {
+  // On a graph with a flat score distribution the coarse start cannot
+  // certify the cut, so the loop must refine at least once.
+  auto graph = GenerateErdosRenyi(800, 8000, 13);
+  ASSERT_TRUE(graph.ok());
+  auto result = AdaptiveTopK(*graph, 5, 10, TestOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rounds, 1u) << "flat scores need refinement";
+  EXPECT_LT(result->final_epsilon, 0.2);
+}
+
+TEST(AdaptiveTopKTest, StarStopsInOneRoundViaRelativeFloor) {
+  // Bidirectional star: every spoke scores exactly c = 0.6 vs another
+  // spoke. All top-k scores tie, so the separation rule can never fire
+  // — but the k-th score is large (0.6), so the coarse start already
+  // satisfies ε <= ρ·s_k and the loop stops after one round.
+  auto star = GenerateStar(100, /*bidirectional=*/true);
+  ASSERT_TRUE(star.ok());
+  AdaptiveOptions options = TestOptions();
+  auto result = AdaptiveTopK(*star, /*u=*/5, /*k=*/3, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds, 1u);
+  EXPECT_EQ(result->stop_reason, AdaptiveStopReason::kRelativeFloor);
+}
+
+TEST(AdaptiveTopKTest, RelativeErrorGuaranteeHolds) {
+  // Whatever the stop reason except kEpsilonMin/kExhausted, the final ε
+  // must satisfy its rule against the returned scores.
+  auto graph = GenerateChungLu(600, 4000, 2.4, 19);
+  ASSERT_TRUE(graph.ok());
+  AdaptiveOptions options = TestOptions();
+  for (NodeId u : {0u, 50u, 100u}) {
+    auto result = AdaptiveTopK(*graph, u, 10, options);
+    ASSERT_TRUE(result.ok());
+    if (result->topk.entries.size() < 10) continue;
+    const double kth = result->topk.entries[9].score;
+    switch (result->stop_reason) {
+      case AdaptiveStopReason::kRelativeFloor:
+        EXPECT_LE(result->final_epsilon, options.rho * kth + 1e-12);
+        break;
+      case AdaptiveStopReason::kSeparated:
+      case AdaptiveStopReason::kEpsilonMin:
+      case AdaptiveStopReason::kExhausted:
+        break;  // other rules checked elsewhere / nothing to assert
+    }
+  }
+}
+
+TEST(AdaptiveTopKTest, TopKMatchesExactRankingOnSmallGraph) {
+  auto graph = GenerateErdosRenyi(80, 600, 23);
+  ASSERT_TRUE(graph.ok());
+  PowerMethodOptions pm;
+  auto exact = ComputeExactSimRank(*graph, pm);
+  ASSERT_TRUE(exact.ok());
+
+  const NodeId u = 7;
+  AdaptiveOptions options = TestOptions();
+  options.epsilon_min = 0.002;
+  auto result = AdaptiveTopK(*graph, u, 5, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->topk.entries.size(), 1u);
+
+  // Each reported score within final ε + small slack of exact.
+  for (const auto& entry : result->topk.entries) {
+    EXPECT_NEAR(entry.score, (*exact)(u, entry.node),
+                result->final_epsilon + 0.02)
+        << "node " << entry.node;
+  }
+}
+
+TEST(AdaptiveTopKTest, EpsilonMinCapsCost) {
+  auto graph = GenerateErdosRenyi(400, 4000, 29);
+  ASSERT_TRUE(graph.ok());
+  AdaptiveOptions options = TestOptions();
+  options.rho = 0.01;          // nearly impossible relative target
+  options.epsilon_min = 0.05;  // but a high floor
+  auto result = AdaptiveTopK(*graph, 3, 10, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->final_epsilon, 0.05 - 1e-12);
+  // Rounds bounded by log_{1/refine}(start/min) + 1 = 3.
+  EXPECT_LE(result->rounds, 3u);
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,95 @@
+// Tests for the batch query extension.
+
+#include "gtest/gtest.h"
+#include "simpush/batch.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace {
+
+SimPushOptions FastOptions() {
+  SimPushOptions options;
+  options.epsilon = 0.05;
+  options.walk_budget_cap = 20000;
+  return options;
+}
+
+TEST(BatchTest, ProcessesAllQueries) {
+  Graph g = testing_util::RandomGraph(100, 800, 801);
+  SimPushEngine engine(g, FastOptions());
+  std::vector<NodeId> queries{1, 5, 9, 13};
+  size_t seen = 0;
+  BatchStats stats = QueryBatch(
+      &engine, queries, [&seen, &g](NodeId u, const SimPushResult& result) {
+        EXPECT_EQ(result.scores.size(), g.num_nodes());
+        EXPECT_DOUBLE_EQ(result.scores[u], 1.0);
+        ++seen;
+        return true;
+      });
+  EXPECT_EQ(seen, 4u);
+  EXPECT_EQ(stats.queries_ok, 4u);
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.max_query_seconds, 0.0);
+  EXPECT_LE(stats.max_query_seconds, stats.total_seconds + 1e-9);
+}
+
+TEST(BatchTest, SkipsInvalidQueries) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushEngine engine(g, FastOptions());
+  std::vector<NodeId> queries{1, 9999, 3};
+  size_t seen = 0;
+  BatchStats stats = QueryBatch(&engine, queries,
+                                [&seen](NodeId, const SimPushResult&) {
+                                  ++seen;
+                                  return true;
+                                });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(stats.queries_ok, 2u);
+  EXPECT_EQ(stats.queries_failed, 1u);
+}
+
+TEST(BatchTest, CallbackCanAbortEarly) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushEngine engine(g, FastOptions());
+  std::vector<NodeId> queries{0, 1, 2, 3, 4};
+  size_t seen = 0;
+  QueryBatch(&engine, queries, [&seen](NodeId, const SimPushResult&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(BatchTest, BatchTopKMatchesSingleQueries) {
+  Graph g = testing_util::RandomGraph(120, 1000, 803);
+  SimPushEngine engine(g, FastOptions());
+  std::vector<NodeId> queries{2, 40};
+  auto batch = QueryBatchTopK(&engine, queries, 5);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  for (const BatchTopKResult& entry : *batch) {
+    EXPECT_LE(entry.topk.size(), 5u);
+    for (size_t i = 1; i < entry.topk.size(); ++i) {
+      EXPECT_GE(entry.topk[i - 1].second, entry.topk[i].second);
+    }
+  }
+}
+
+TEST(BatchTest, AllInvalidReturnsError) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushEngine engine(g, FastOptions());
+  auto batch = QueryBatchTopK(&engine, {999, 1000}, 5);
+  EXPECT_FALSE(batch.ok());
+}
+
+TEST(BatchTest, EmptyBatchIsEmptySuccess) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushEngine engine(g, FastOptions());
+  auto batch = QueryBatchTopK(&engine, {}, 5);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,96 @@
+// Tests for the SPG1 binary graph format.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/binary_io.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripPreservesGraph) {
+  Graph original = testing_util::RandomGraph(200, 1500, 701);
+  const std::string path = TempPath("roundtrip.spg");
+  ASSERT_TRUE(SaveBinaryGraph(original, path).ok());
+  auto reloaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(reloaded->num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    auto a = original.OutNeighbors(v);
+    auto b = reloaded->OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "node " << v;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  EXPECT_TRUE(reloaded->Validate().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, PreservesSymmetricFlag) {
+  auto g = GenerateErdosRenyi(30, 80, 3, /*undirected=*/true);
+  ASSERT_TRUE(g.ok());
+  const std::string path = TempPath("symmetric.spg");
+  ASSERT_TRUE(SaveBinaryGraph(*g, path).ok());
+  auto reloaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->is_symmetric());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, EmptyGraphRoundTrips) {
+  GraphBuilder builder(5);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  const std::string path = TempPath("empty.spg");
+  ASSERT_TRUE(SaveBinaryGraph(*g, path).ok());
+  auto reloaded = LoadBinaryGraph(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_nodes(), 5u);
+  EXPECT_EQ(reloaded->num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsMissingFile) {
+  EXPECT_FALSE(LoadBinaryGraph("/nonexistent/g.spg").ok());
+}
+
+TEST(BinaryIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("badmagic.spg");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a graph file at all, padding padding";
+  }
+  auto result = LoadBinaryGraph(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile) {
+  Graph g = testing_util::RandomGraph(100, 800, 703);
+  const std::string full_path = TempPath("full.spg");
+  ASSERT_TRUE(SaveBinaryGraph(g, full_path).ok());
+  // Truncate to half size.
+  std::ifstream in(full_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string cut_path = TempPath("cut.spg");
+  {
+    std::ofstream out(cut_path, std::ios::binary);
+    out.write(bytes.data(), bytes.size() / 2);
+  }
+  EXPECT_FALSE(LoadBinaryGraph(cut_path).ok());
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+}  // namespace
+}  // namespace simpush

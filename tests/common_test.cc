@@ -1,0 +1,225 @@
+// Unit tests for the common substrate: Status/StatusOr, Rng, Timer,
+// memory accounting, logging.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/memory.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad node");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad node");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad node");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(41);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(*so, 41);
+  EXPECT_EQ(so.value_or(0), 41);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("missing"));
+  EXPECT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(so.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> so(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(so).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+StatusOr<int> HelperReturnsThroughMacro(bool fail) {
+  StatusOr<int> inner = fail ? StatusOr<int>(Status::Internal("boom"))
+                             : StatusOr<int>(7);
+  SIMPUSH_ASSIGN_OR_RETURN(int x, std::move(inner));
+  return x + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*HelperReturnsThroughMacro(false), 8);
+  EXPECT_EQ(HelperReturnsThroughMacro(true).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanIsHalf) {
+  Rng rng(9);
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) total += rng.NextDouble();
+  EXPECT_NEAR(total / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(13);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], trials / double(bound), trials * 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  const int trials = 200000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / double(trials), 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng forked = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == forked.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3 * 0.5);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(StageTimerTest, AccumulatesAcrossIntervals) {
+  StageTimer stage;
+  stage.Start();
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + std::sqrt(double(i));
+  stage.Stop();
+  const double first = stage.TotalSeconds();
+  EXPECT_GT(first, 0.0);
+  stage.Start();
+  for (int i = 0; i < 10000; ++i) sink = sink + std::sqrt(double(i));
+  stage.Stop();
+  EXPECT_GT(stage.TotalSeconds(), first);
+  stage.Reset();
+  EXPECT_EQ(stage.TotalSeconds(), 0.0);
+}
+
+TEST(MemoryTest, PeakRssNonZero) { EXPECT_GT(PeakRssBytes(), 0u); }
+
+TEST(MemoryTest, CurrentRssNonZero) { EXPECT_GT(CurrentRssBytes(), 0u); }
+
+TEST(MemoryTest, TrackerTracksPeak) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(200);
+  tracker.Sub(150);
+  EXPECT_EQ(tracker.current_bytes(), 150u);
+  EXPECT_EQ(tracker.peak_bytes(), 300u);
+  tracker.Sub(1000);  // Clamps at zero.
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  tracker.Reset();
+  EXPECT_EQ(tracker.peak_bytes(), 0u);
+}
+
+TEST(MemoryTest, HumanBytesUnits) {
+  double v = 512;
+  EXPECT_STREQ(HumanBytesUnit(&v), "B");
+  v = 2048;
+  EXPECT_STREQ(HumanBytesUnit(&v), "KB");
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  v = 3.5 * 1024 * 1024 * 1024;
+  EXPECT_STREQ(HumanBytesUnit(&v), "GB");
+}
+
+TEST(LoggingTest, LevelFilterRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SIMPUSH_LOG(kInfo) << "suppressed message";  // Must not crash.
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,100 @@
+// Tests for connectivity utilities, including the SimRank-specific
+// guarantee that scores never leak across weak components.
+
+#include <unordered_set>
+
+#include "graph/components.h"
+#include "gtest/gtest.h"
+#include "simpush/simpush.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  auto g = GenerateCycle(8);
+  ASSERT_TRUE(g.ok());
+  ComponentInfo info = WeaklyConnectedComponents(*g);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.sizes[0], 8u);
+  for (uint32_t label : info.component_of) EXPECT_EQ(label, 0u);
+}
+
+TEST(ComponentsTest, IsolatedNodesAreOwnComponents) {
+  Graph g = testing_util::MakeGraph(5, {{0, 1}});
+  ComponentInfo info = WeaklyConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_NE(info.component_of[2], info.component_of[3]);
+  EXPECT_EQ(info.sizes[info.component_of[0]], 2u);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  // 0 -> 1, 2 -> 1: weakly connected even though 0 cannot reach 2.
+  Graph g = testing_util::MakeGraph(3, {{0, 1}, {2, 1}});
+  ComponentInfo info = WeaklyConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 1u);
+}
+
+TEST(ComponentsTest, SizesSumToN) {
+  Graph g = testing_util::RandomGraph(200, 300, 1001);  // Sparse: splits.
+  ComponentInfo info = WeaklyConnectedComponents(g);
+  NodeId total = 0;
+  for (NodeId size : info.sizes) total += size;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(InReachableTest, ChainDepths) {
+  // 4 -> 3 -> 2 -> 1 -> 0 (in-neighbors ascend the chain).
+  Graph g = testing_util::MakeGraph(5, {{4, 3}, {3, 2}, {2, 1}, {1, 0}});
+  EXPECT_EQ(InReachableSet(g, 0, 1), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(InReachableSet(g, 0, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(InReachableSet(g, 0, 0), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(InReachableSet(g, 4, 3), (std::vector<NodeId>{4}));
+}
+
+TEST(InReachableTest, CycleSaturates) {
+  auto g = GenerateCycle(6);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(InReachableSet(*g, 0, 0).size(), 6u);
+  EXPECT_EQ(InReachableSet(*g, 0, 2).size(), 3u);
+}
+
+TEST(CandidatesTest, SupersetOfPositiveScores) {
+  Graph g = testing_util::RandomGraph(150, 600, 1003);
+  SimPushOptions options;
+  options.epsilon = 0.05;
+  options.walk_budget_cap = 20000;
+  SimPushEngine engine(g, options);
+  const NodeId u = 9;
+  auto result = engine.Query(u);
+  ASSERT_TRUE(result.ok());
+  auto candidates = PossiblySimilarCandidates(g, u, /*max_depth=*/0);
+  std::unordered_set<NodeId> candidate_set(candidates.begin(),
+                                           candidates.end());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v != u && result->scores[v] > 0.0) {
+      EXPECT_TRUE(candidate_set.count(v) > 0)
+          << "node " << v << " scored " << result->scores[v]
+          << " but is not a candidate";
+    }
+  }
+}
+
+TEST(CandidatesTest, NoCrossComponentCandidates) {
+  Graph g = testing_util::MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  auto candidates = PossiblySimilarCandidates(g, 0, 0);
+  for (NodeId v : candidates) EXPECT_LT(v, 3u);
+}
+
+TEST(CandidatesTest, DanglingQueryOnlyItself) {
+  Graph g = testing_util::MakeGraph(3, {{0, 1}, {1, 2}});
+  // Node 0 has no in-neighbors: its walk region is {0}; candidates are
+  // nodes whose walks can visit 0 — via out-edges from 0: 1, then 2.
+  auto candidates = PossiblySimilarCandidates(g, 0, 0);
+  EXPECT_EQ(candidates, (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,111 @@
+// Tests for the CSV result sink.
+
+#include "eval/csv_report.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("simpush"), "simpush");
+  EXPECT_EQ(CsvEscape("0.0123"), "0.0123");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, SpecialCharactersQuoted) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = TempPath("csv_basic.csv");
+  auto writer = CsvWriter::Create(path, {"method", "eps", "ms"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendRow({"SimPush", "0.02", "1.5"}).ok());
+  ASSERT_TRUE(writer->AppendRow({"ProbeSim", "0.05", "12.25"}).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(ReadAll(path),
+            "method,eps,ms\nSimPush,0.02,1.5\nProbeSim,0.05,12.25\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriterTest, RejectsWrongFieldCount) {
+  const std::string path = TempPath("csv_wrongcount.csv");
+  auto writer = CsvWriter::Create(path, {"a", "b"});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->AppendRow({"only-one"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer->AppendRow({"1", "2", "3"}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(writer->AppendRow({"1", "2"}).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriterTest, EmptyHeaderRejected) {
+  EXPECT_FALSE(CsvWriter::Create(TempPath("csv_empty.csv"), {}).ok());
+}
+
+TEST(CsvWriterTest, UnwritablePathFails) {
+  EXPECT_FALSE(
+      CsvWriter::Create("/nonexistent_dir_xyz/out.csv", {"a"}).ok());
+}
+
+TEST(CsvWriterTest, RowBuilderFormatsTypes) {
+  CsvWriter::RowBuilder row;
+  row.Add("SimPush").Add(0.000123456).Add(uint64_t{42});
+  ASSERT_EQ(row.fields().size(), 3u);
+  EXPECT_EQ(row.fields()[0], "SimPush");
+  EXPECT_EQ(row.fields()[1], "0.000123456");
+  EXPECT_EQ(row.fields()[2], "42");
+}
+
+TEST(CsvWriterTest, DoubleFinishFails) {
+  const std::string path = TempPath("csv_doublefinish.csv");
+  auto writer = CsvWriter::Create(path, {"x"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(writer->Finish().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->AppendRow({"1"}).code(),
+            StatusCode::kFailedPrecondition);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchCsvDirTest, ReflectsEnvironment) {
+  unsetenv("SIMPUSH_BENCH_CSV_DIR");
+  EXPECT_TRUE(BenchCsvDir().empty());
+  setenv("SIMPUSH_BENCH_CSV_DIR", "/tmp/bench_csv", 1);
+  EXPECT_EQ(BenchCsvDir(), "/tmp/bench_csv");
+  unsetenv("SIMPUSH_BENCH_CSV_DIR");
+}
+
+TEST(CsvWriterTest, QuotedFieldRoundTrip) {
+  const std::string path = TempPath("csv_quoted.csv");
+  auto writer = CsvWriter::Create(path, {"name", "note"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendRow({"a,b", "says \"ok\""}).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_EQ(ReadAll(path), "name,note\n\"a,b\",\"says \"\"ok\"\"\"\n");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,186 @@
+// Unit tests for the DynamicGraph substrate and update-stream generator.
+
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+TEST(DynamicGraphTest, EmptyGraphHasNoEdges) {
+  DynamicGraph graph(5);
+  EXPECT_EQ(graph.num_nodes(), 5u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph.OutDegree(v), 0u);
+    EXPECT_EQ(graph.InDegree(v), 0u);
+  }
+}
+
+TEST(DynamicGraphTest, AddEdgeUpdatesBothDirections) {
+  DynamicGraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(0, 2).ok());
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.InDegree(1), 1u);
+  EXPECT_EQ(graph.InDegree(2), 1u);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_FALSE(graph.HasEdge(1, 0));
+}
+
+TEST(DynamicGraphTest, AddEdgeRejectsOutOfRange) {
+  DynamicGraph graph(3);
+  EXPECT_EQ(graph.AddEdge(0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.AddEdge(7, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeReversesAdd) {
+  DynamicGraph graph(4);
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 3).ok());
+  ASSERT_TRUE(graph.RemoveEdge(1, 2).ok());
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_FALSE(graph.HasEdge(1, 2));
+  EXPECT_EQ(graph.OutDegree(1), 0u);
+  EXPECT_EQ(graph.InDegree(2), 0u);
+  EXPECT_TRUE(graph.HasEdge(2, 3));
+}
+
+TEST(DynamicGraphTest, RemoveMissingEdgeIsNotFound) {
+  DynamicGraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  EXPECT_EQ(graph.RemoveEdge(1, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(graph.RemoveEdge(0, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(graph.num_edges(), 1u);
+}
+
+TEST(DynamicGraphTest, ParallelEdgesRemoveOneAtATime) {
+  DynamicGraph graph(2);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  EXPECT_EQ(graph.num_edges(), 2u);
+  ASSERT_TRUE(graph.RemoveEdge(0, 1).ok());
+  EXPECT_TRUE(graph.HasEdge(0, 1)) << "second copy must survive";
+  ASSERT_TRUE(graph.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+}
+
+TEST(DynamicGraphTest, AddNodeExtendsGraph) {
+  DynamicGraph graph(2);
+  const NodeId v = graph.AddNode();
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(graph.num_nodes(), 3u);
+  EXPECT_TRUE(graph.AddEdge(v, 0).ok());
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+}
+
+TEST(DynamicGraphTest, RoundTripThroughSnapshot) {
+  auto original = GenerateErdosRenyi(50, 300, /*seed=*/7);
+  ASSERT_TRUE(original.ok());
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*original);
+  EXPECT_EQ(dynamic.num_nodes(), original->num_nodes());
+  EXPECT_EQ(dynamic.num_edges(), original->num_edges());
+
+  auto snapshot = dynamic.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(snapshot->Validate().ok());
+  ASSERT_EQ(snapshot->num_nodes(), original->num_nodes());
+  ASSERT_EQ(snapshot->num_edges(), original->num_edges());
+  for (NodeId v = 0; v < original->num_nodes(); ++v) {
+    auto a = original->OutNeighbors(v);
+    auto b = snapshot->OutNeighbors(v);
+    std::vector<NodeId> av(a.begin(), a.end()), bv(b.begin(), b.end());
+    std::sort(av.begin(), av.end());
+    std::sort(bv.begin(), bv.end());
+    EXPECT_EQ(av, bv) << "node " << v;
+  }
+}
+
+TEST(DynamicGraphTest, SnapshotAfterUpdatesReflectsMutations) {
+  DynamicGraph graph(4);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 3).ok());
+  ASSERT_TRUE(graph.RemoveEdge(1, 2).ok());
+  auto snapshot = graph.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->num_edges(), 2u);
+  EXPECT_EQ(snapshot->OutDegree(1), 0u);
+  EXPECT_EQ(snapshot->InDegree(3), 1u);
+}
+
+TEST(DynamicGraphTest, ApplyStopsAtFirstInvalidUpdate) {
+  DynamicGraph graph(3);
+  std::vector<EdgeUpdate> updates = {
+      {EdgeUpdate::Kind::kInsert, 0, 1},
+      {EdgeUpdate::Kind::kDelete, 2, 0},  // not present
+      {EdgeUpdate::Kind::kInsert, 1, 2},
+  };
+  EXPECT_EQ(graph.Apply(updates).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(graph.HasEdge(0, 1)) << "earlier updates stay applied";
+  EXPECT_FALSE(graph.HasEdge(1, 2)) << "later updates not applied";
+}
+
+TEST(DynamicGraphTest, MemoryBytesGrowsWithEdges) {
+  DynamicGraph small(100);
+  DynamicGraph big(100);
+  for (NodeId v = 0; v + 1 < 100; ++v) {
+    ASSERT_TRUE(big.AddEdge(v, v + 1).ok());
+  }
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+class UpdateStreamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UpdateStreamTest, StreamRepaysAgainstLiveEdgeSet) {
+  const double delete_fraction = GetParam();
+  auto base = GenerateErdosRenyi(40, 200, /*seed=*/11);
+  ASSERT_TRUE(base.ok());
+  auto stream =
+      GenerateUpdateStream(*base, 500, delete_fraction, /*seed=*/3);
+  ASSERT_EQ(stream.size(), 500u);
+
+  // Every update must apply cleanly in order: deletions always target a
+  // live edge by construction.
+  DynamicGraph graph = DynamicGraph::FromGraph(*base);
+  ASSERT_TRUE(graph.Apply(stream).ok());
+
+  size_t deletes = 0;
+  for (const auto& update : stream) {
+    if (update.kind == EdgeUpdate::Kind::kDelete) ++deletes;
+    EXPECT_NE(update.src, update.dst) << "inserts never add self-loops";
+  }
+  if (delete_fraction == 0.0) {
+    EXPECT_EQ(deletes, 0u);
+  } else {
+    // Loose binomial band (n=500).
+    EXPECT_GT(deletes, 500 * delete_fraction * 0.5);
+    EXPECT_LT(deletes, 500 * delete_fraction * 1.5 + 10);
+  }
+  EXPECT_EQ(graph.num_edges(),
+            base->num_edges() + (stream.size() - deletes) - deletes);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeleteFractions, UpdateStreamTest,
+                         ::testing::Values(0.0, 0.2, 0.5));
+
+TEST(UpdateStreamTest, DeterministicInSeed) {
+  auto base = GenerateErdosRenyi(30, 100, /*seed=*/1);
+  ASSERT_TRUE(base.ok());
+  auto s1 = GenerateUpdateStream(*base, 100, 0.3, 99);
+  auto s2 = GenerateUpdateStream(*base, 100, 0.3, 99);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].kind, s2[i].kind);
+    EXPECT_EQ(s1[i].src, s2[i].src);
+    EXPECT_EQ(s1[i].dst, s2[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace simpush

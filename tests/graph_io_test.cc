@@ -1,0 +1,82 @@
+// Unit tests for edge-list parsing and round-tripping.
+
+#include <cstdio>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+TEST(GraphIoTest, ParseBasicDirected) {
+  auto result = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_nodes(), 3u);
+  EXPECT_EQ(result->num_edges(), 3u);
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  auto result = ParseEdgeList("# header\n\n% other comment\n0 1\n\n1 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, CompactsSparseIds) {
+  auto result = ParseEdgeList("1000 2000\n2000 31\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_nodes(), 3u);
+  EXPECT_EQ(result->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, UndirectedDoublesEdges) {
+  EdgeListOptions options;
+  options.undirected = true;
+  auto result = ParseEdgeList("0 1\n1 2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 4u);
+  EXPECT_TRUE(result->is_symmetric());
+}
+
+TEST(GraphIoTest, MalformedLineFails) {
+  auto result = ParseEdgeList("0 1\nnot numbers\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  auto result = LoadEdgeList("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  auto original = ParseEdgeList("0 1\n0 2\n1 2\n2 3\n3 0\n");
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/simpush_io_test.txt";
+  ASSERT_TRUE(SaveEdgeList(*original, path).ok());
+  auto reloaded = LoadEdgeList(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_nodes(), original->num_nodes());
+  EXPECT_EQ(reloaded->num_edges(), original->num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DedupeOption) {
+  EdgeListOptions options;
+  options.dedupe = false;
+  auto result = ParseEdgeList("0 1\n0 1\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, SelfLoopDropOption) {
+  EdgeListOptions options;
+  options.drop_self_loops = true;
+  auto result = ParseEdgeList("0 0\n0 1\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,86 @@
+// Unit tests for the evaluation metrics (AvgError@k, Precision@k, TopK).
+
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+TEST(TopKTest, ReturnsHighestScores) {
+  std::vector<double> scores{0.1, 0.9, 0.5, 0.7, 0.3};
+  auto top = TopK(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(TopKTest, ExcludesQueryNode) {
+  std::vector<double> scores{0.1, 0.9, 0.5};
+  auto top = TopK(scores, 2, /*exclude=*/1);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 0u);
+}
+
+TEST(TopKTest, TieBreaksBySmallerId) {
+  std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  auto top = TopK(scores, 3);
+  EXPECT_EQ(top, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopKTest, KLargerThanN) {
+  std::vector<double> scores{0.2, 0.8};
+  auto top = TopK(scores, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKTest, EmptyScores) {
+  std::vector<double> scores;
+  EXPECT_TRUE(TopK(scores, 5).empty());
+}
+
+TEST(AvgErrorTest, ExactMatchIsZero) {
+  std::vector<std::pair<NodeId, double>> truth{{0, 0.5}, {1, 0.25}};
+  std::vector<double> estimate{0.5, 0.25, 0.0};
+  EXPECT_DOUBLE_EQ(AvgErrorAtK(truth, estimate), 0.0);
+}
+
+TEST(AvgErrorTest, AveragesAbsoluteErrors) {
+  std::vector<std::pair<NodeId, double>> truth{{0, 0.5}, {2, 0.3}};
+  std::vector<double> estimate{0.4, 0.0, 0.5};
+  // |0.4-0.5| = 0.1, |0.5-0.3| = 0.2 -> avg 0.15.
+  EXPECT_NEAR(AvgErrorAtK(truth, estimate), 0.15, 1e-12);
+}
+
+TEST(AvgErrorTest, EmptyTruthIsZero) {
+  std::vector<std::pair<NodeId, double>> truth;
+  std::vector<double> estimate{0.4};
+  EXPECT_DOUBLE_EQ(AvgErrorAtK(truth, estimate), 0.0);
+}
+
+TEST(PrecisionTest, FullOverlapIsOne) {
+  std::vector<NodeId> truth{1, 2, 3};
+  std::vector<NodeId> estimate{3, 2, 1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(truth, estimate), 1.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  std::vector<NodeId> truth{1, 2, 3, 4};
+  std::vector<NodeId> estimate{1, 2, 9, 8};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(truth, estimate), 0.5);
+}
+
+TEST(PrecisionTest, NoOverlapIsZero) {
+  std::vector<NodeId> truth{1, 2};
+  std::vector<NodeId> estimate{3, 4};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(truth, estimate), 0.0);
+}
+
+TEST(PrecisionTest, EmptyTruthIsOne) {
+  std::vector<NodeId> truth;
+  std::vector<NodeId> estimate{1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(truth, estimate), 1.0);
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,170 @@
+// Tests for READS incremental index maintenance (walk-suffix repair
+// after in-neighborhood changes) and the index self-check.
+
+#include <cmath>
+#include <set>
+
+#include "baselines/reads.h"
+#include "exact/monte_carlo.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace {
+
+ReadsOptions SmallIndex() {
+  ReadsOptions options;
+  options.num_walks = 40;
+  options.max_depth = 6;
+  options.seed = 3;
+  return options;
+}
+
+TEST(ReadsDynamicTest, FreshIndexValidates) {
+  auto graph = GenerateChungLu(200, 1200, 2.5, 7);
+  ASSERT_TRUE(graph.ok());
+  Reads reads(*graph, SmallIndex());
+  ASSERT_TRUE(reads.Prepare().ok());
+  EXPECT_TRUE(reads.ValidateIndex(*graph).ok());
+}
+
+TEST(ReadsDynamicTest, RepairBeforePrepareFails) {
+  auto graph = GenerateErdosRenyi(50, 250, 3);
+  ASSERT_TRUE(graph.ok());
+  Reads reads(*graph, SmallIndex());
+  EXPECT_EQ(reads.RepairAfterInNeighborhoodChange(*graph, 0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(reads.ValidateIndex(*graph).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReadsDynamicTest, RepairRejectsBadArguments) {
+  auto graph = GenerateErdosRenyi(50, 250, 3);
+  ASSERT_TRUE(graph.ok());
+  Reads reads(*graph, SmallIndex());
+  ASSERT_TRUE(reads.Prepare().ok());
+  EXPECT_EQ(reads.RepairAfterInNeighborhoodChange(*graph, 99).code(),
+            StatusCode::kInvalidArgument);
+  auto other = GenerateErdosRenyi(60, 250, 3);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(reads.RepairAfterInNeighborhoodChange(*other, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReadsDynamicTest, IndexValidAfterSingleEdgeInsert) {
+  auto base = GenerateErdosRenyi(100, 600, 11);
+  ASSERT_TRUE(base.ok());
+  Reads reads(*base, SmallIndex());
+  ASSERT_TRUE(reads.Prepare().ok());
+
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*base);
+  // Insert a fresh edge; only dst's in-neighborhood changes.
+  NodeId src = 5, dst = 70;
+  while (dynamic.HasEdge(src, dst)) ++dst;
+  ASSERT_TRUE(dynamic.AddEdge(src, dst).ok());
+  auto current = dynamic.Snapshot();
+  ASSERT_TRUE(current.ok());
+
+  ASSERT_TRUE(reads.RepairAfterInNeighborhoodChange(*current, dst).ok());
+  EXPECT_TRUE(reads.ValidateIndex(*current).ok());
+}
+
+TEST(ReadsDynamicTest, IndexValidAfterEdgeDelete) {
+  auto base = GenerateErdosRenyi(100, 800, 13);
+  ASSERT_TRUE(base.ok());
+  Reads reads(*base, SmallIndex());
+  ASSERT_TRUE(reads.Prepare().ok());
+
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*base);
+  // Delete the first edge of node 0's out-list.
+  ASSERT_GT(base->OutDegree(0), 0u);
+  const NodeId dst = base->OutNeighbors(0)[0];
+  ASSERT_TRUE(dynamic.RemoveEdge(0, dst).ok());
+  auto current = dynamic.Snapshot();
+  ASSERT_TRUE(current.ok());
+
+  ASSERT_TRUE(reads.RepairAfterInNeighborhoodChange(*current, dst).ok());
+  EXPECT_TRUE(reads.ValidateIndex(*current).ok());
+}
+
+TEST(ReadsDynamicTest, IndexValidAfterUpdateStream) {
+  auto base = GenerateChungLu(150, 900, 2.4, 17);
+  ASSERT_TRUE(base.ok());
+  Reads reads(*base, SmallIndex());
+  ASSERT_TRUE(reads.Prepare().ok());
+
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*base);
+  auto stream = GenerateUpdateStream(*base, 80, 0.3, 23);
+  for (const EdgeUpdate& update : stream) {
+    if (update.kind == EdgeUpdate::Kind::kInsert) {
+      ASSERT_TRUE(dynamic.AddEdge(update.src, update.dst).ok());
+    } else {
+      ASSERT_TRUE(dynamic.RemoveEdge(update.src, update.dst).ok());
+    }
+    auto current = dynamic.Snapshot();
+    ASSERT_TRUE(current.ok());
+    // Only the destination's in-neighborhood changed.
+    ASSERT_TRUE(
+        reads.RepairAfterInNeighborhoodChange(*current, update.dst).ok());
+  }
+  auto final_graph = dynamic.Snapshot();
+  ASSERT_TRUE(final_graph.ok());
+  EXPECT_TRUE(reads.ValidateIndex(*final_graph).ok());
+}
+
+TEST(ReadsDynamicTest, RepairedIndexStaysAccurate) {
+  // After updates + repair, query accuracy should match a from-scratch
+  // rebuild against Monte-Carlo ground truth (both are MC estimators;
+  // compare their error magnitudes, not their exact values).
+  auto base = GenerateStochasticBlockModel(120, 4, 0.25, 0.01, 31);
+  ASSERT_TRUE(base.ok());
+  ReadsOptions options;
+  options.num_walks = 300;
+  options.max_depth = 8;
+  options.seed = 5;
+
+  Reads repaired(*base, options);
+  ASSERT_TRUE(repaired.Prepare().ok());
+
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*base);
+  auto stream = GenerateUpdateStream(*base, 40, 0.2, 37);
+  std::set<NodeId> touched;
+  ASSERT_TRUE(dynamic.Apply(stream).ok());
+  auto current = dynamic.Snapshot();
+  ASSERT_TRUE(current.ok());
+  for (const EdgeUpdate& update : stream) touched.insert(update.dst);
+  for (NodeId node : touched) {
+    ASSERT_TRUE(
+        repaired.RepairAfterInNeighborhoodChange(*current, node).ok());
+  }
+  ASSERT_TRUE(repaired.ValidateIndex(*current).ok());
+
+  Reads rebuilt(*current, options);
+  ASSERT_TRUE(rebuilt.Prepare().ok());
+
+  const NodeId u = 10;
+  auto repaired_scores = repaired.Query(u);
+  auto rebuilt_scores = rebuilt.Query(u);
+  ASSERT_TRUE(repaired_scores.ok() && rebuilt_scores.ok());
+
+  // Ground truth on the updated graph.
+  MonteCarloOptions mc;
+  mc.num_samples = 30000;
+  mc.seed = 7;
+  double repaired_error = 0, rebuilt_error = 0;
+  for (NodeId v = 0; v < 30; ++v) {
+    if (v == u) continue;
+    auto truth = EstimateSimRankPair(*current, u, v, mc);
+    ASSERT_TRUE(truth.ok());
+    repaired_error += std::abs((*repaired_scores)[v] - *truth);
+    rebuilt_error += std::abs((*rebuilt_scores)[v] - *truth);
+  }
+  // The repaired index must not be meaningfully worse than a rebuild
+  // (both carry ~1/sqrt(r) MC noise; allow 2x + absolute slack).
+  EXPECT_LE(repaired_error, 2.0 * rebuilt_error + 0.3)
+      << "repaired=" << repaired_error << " rebuilt=" << rebuilt_error;
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,214 @@
+// Tests for Source-Push (Algorithm 2): derived parameters, propagated
+// hitting probabilities vs. the exact DP reference, G_u structure, and
+// attention-node identification.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "simpush/options.h"
+#include "simpush/source_push.h"
+#include "test_util.h"
+#include "walk/walk_stats.h"
+
+namespace simpush {
+namespace {
+
+SimPushOptions FastOptions(double eps = 0.05) {
+  SimPushOptions options;
+  options.epsilon = eps;
+  options.walk_budget_cap = 20000;
+  return options;
+}
+
+TEST(DerivedParamsTest, MatchesFormulas) {
+  SimPushOptions options;
+  options.epsilon = 0.02;
+  options.decay = 0.6;
+  options.delta = 1e-4;
+  const DerivedParams p = ComputeDerivedParams(options);
+  const double sqrt_c = std::sqrt(0.6);
+  EXPECT_NEAR(p.sqrt_c, sqrt_c, 1e-12);
+  EXPECT_NEAR(p.eps_h, (1 - sqrt_c) / (3 * sqrt_c) * 0.02, 1e-12);
+  const uint32_t expected_l_star = static_cast<uint32_t>(
+      std::floor(std::log(1 / p.eps_h) / std::log(1 / sqrt_c)));
+  EXPECT_EQ(p.l_star, expected_l_star);
+  EXPECT_EQ(p.max_attention, static_cast<uint64_t>(std::floor(
+                                 sqrt_c / ((1 - sqrt_c) * p.eps_h))));
+}
+
+TEST(DerivedParamsTest, WalkBudgetCapApplies) {
+  SimPushOptions options;
+  options.epsilon = 0.02;
+  const DerivedParams uncapped = ComputeDerivedParams(options);
+  options.walk_budget_cap = 1000;
+  const DerivedParams capped = ComputeDerivedParams(options);
+  EXPECT_GT(uncapped.num_walks, capped.num_walks);
+  EXPECT_EQ(capped.num_walks, 1000u);
+  // Threshold shrinks proportionally with the walk count.
+  EXPECT_LT(capped.level_count_threshold, uncapped.level_count_threshold);
+}
+
+TEST(DerivedParamsTest, SmallerEpsilonDeeperHorizon) {
+  SimPushOptions coarse = FastOptions(0.1);
+  SimPushOptions fine = FastOptions(0.005);
+  EXPECT_LT(ComputeDerivedParams(coarse).l_star,
+            ComputeDerivedParams(fine).l_star);
+  EXPECT_LT(ComputeDerivedParams(coarse).max_attention,
+            ComputeDerivedParams(fine).max_attention);
+}
+
+TEST(SourcePushTest, HittingProbsMatchExactDP) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushOptions options = FastOptions();
+  options.use_level_detection = false;  // Explore all L* levels.
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(1);
+  SourcePushStats stats;
+  auto gu = SourcePush(g, 0, options, params, &rng, &stats);
+  ASSERT_TRUE(gu.ok());
+  auto exact = ExactHittingProbabilities(g, 0, gu->max_level(), params.sqrt_c);
+  for (uint32_t level = 0; level <= gu->max_level(); ++level) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(gu->HittingProb(level, v), exact[level][v], 1e-12)
+          << "level " << level << " node " << v;
+    }
+  }
+}
+
+TEST(SourcePushTest, AttentionNodesAreExactlyThoseAboveThreshold) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushOptions options = FastOptions();
+  options.use_level_detection = false;
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(2);
+  auto gu = SourcePush(g, 2, options, params, &rng, nullptr);
+  ASSERT_TRUE(gu.ok());
+  for (uint32_t level = 1; level <= gu->max_level(); ++level) {
+    for (const auto& [node, h] : gu->Level(level)) {
+      AttentionId id;
+      const bool is_attention = gu->LookupAttention(level, node, &id);
+      EXPECT_EQ(is_attention, h >= params.eps_h)
+          << "level " << level << " node " << node << " h=" << h;
+      if (is_attention) {
+        const AttentionNode& a = gu->attention_nodes()[id];
+        EXPECT_EQ(a.node, node);
+        EXPECT_EQ(a.level, level);
+        EXPECT_DOUBLE_EQ(a.hitting_prob, h);
+      }
+    }
+  }
+}
+
+TEST(SourcePushTest, AttentionCountWithinLemma2Bound) {
+  Graph g = testing_util::RandomGraph(300, 2400, 41);
+  SimPushOptions options = FastOptions(0.02);
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(3);
+  SourcePushStats stats;
+  auto gu = SourcePush(g, 7, options, params, &rng, &stats);
+  ASSERT_TRUE(gu.ok());
+  EXPECT_LE(gu->num_attention(), params.max_attention);
+  EXPECT_LE(gu->max_level(), params.l_star);
+}
+
+TEST(SourcePushTest, LevelMassBoundedBySqrtCPower) {
+  Graph g = testing_util::RandomGraph(200, 1500, 43);
+  SimPushOptions options = FastOptions();
+  options.use_level_detection = false;
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(4);
+  auto gu = SourcePush(g, 11, options, params, &rng, nullptr);
+  ASSERT_TRUE(gu.ok());
+  for (uint32_t level = 0; level <= gu->max_level(); ++level) {
+    double mass = 0;
+    for (const auto& [node, h] : gu->Level(level)) {
+      (void)node;
+      mass += h;
+    }
+    EXPECT_LE(mass, std::pow(params.sqrt_c, level) + 1e-9);
+  }
+}
+
+TEST(SourcePushTest, DanglingQueryNodeYieldsRootOnly) {
+  // Node 0 has no in-neighbors: G_u is only the root; no attention nodes.
+  Graph g = testing_util::MakeGraph(3, {{0, 1}, {1, 2}});
+  SimPushOptions options = FastOptions();
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(5);
+  SourcePushStats stats;
+  auto gu = SourcePush(g, 0, options, params, &rng, &stats);
+  ASSERT_TRUE(gu.ok());
+  EXPECT_EQ(gu->num_attention(), 0u);
+  EXPECT_TRUE(gu->Level(1).empty());
+}
+
+TEST(SourcePushTest, RejectsOutOfRangeQuery) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushOptions options = FastOptions();
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(6);
+  EXPECT_FALSE(SourcePush(g, 100, options, params, &rng, nullptr).ok());
+}
+
+TEST(SourcePushTest, LevelDetectionNeverExceedsLStar) {
+  Graph g = testing_util::RandomGraph(100, 700, 47);
+  SimPushOptions options = FastOptions(0.1);
+  const DerivedParams params = ComputeDerivedParams(options);
+  for (NodeId u = 0; u < 10; ++u) {
+    Rng rng(100 + u);
+    SourcePushStats stats;
+    auto gu = SourcePush(g, u, options, params, &rng, &stats);
+    ASSERT_TRUE(gu.ok());
+    EXPECT_LE(stats.detected_level, params.l_star);
+    EXPECT_GE(stats.detected_level, 1u);
+    EXPECT_EQ(stats.num_attention, gu->num_attention());
+  }
+}
+
+TEST(SourcePushTest, CycleGraphKeepsFullMass) {
+  // On a directed cycle each node has exactly one in-neighbor, so the
+  // pushed mass at level l concentrates on a single node: √c^l.
+  auto g = GenerateCycle(12);
+  ASSERT_TRUE(g.ok());
+  SimPushOptions options = FastOptions();
+  options.use_level_detection = false;
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(7);
+  auto gu = SourcePush(*g, 0, options, params, &rng, nullptr);
+  ASSERT_TRUE(gu.ok());
+  for (uint32_t level = 1; level <= gu->max_level(); ++level) {
+    ASSERT_EQ(gu->Level(level).size(), 1u);
+    const NodeId expected = (0 + 12 - (level % 12)) % 12;
+    EXPECT_NEAR(gu->HittingProb(level, expected),
+                std::pow(params.sqrt_c, level), 1e-12);
+  }
+}
+
+TEST(SourceGraphTest, CountEdgesMatchesManualCount) {
+  Graph g = testing_util::MakeFixtureGraph();
+  SimPushOptions options = FastOptions();
+  options.use_level_detection = false;
+  const DerivedParams params = ComputeDerivedParams(options);
+  Rng rng(8);
+  auto gu = SourcePush(g, 0, options, params, &rng, nullptr);
+  ASSERT_TRUE(gu.ok());
+  size_t manual = 0;
+  for (uint32_t level = 0; level + 1 <= gu->max_level(); ++level) {
+    for (const auto& [node, h] : gu->Level(level)) {
+      (void)h;
+      manual += g.InDegree(node);
+    }
+  }
+  EXPECT_EQ(gu->CountEdges(g), manual);
+  EXPECT_EQ(gu->TotalNodeOccurrences(),
+            [&] {
+              size_t total = 0;
+              for (uint32_t l = 1; l <= gu->max_level(); ++l) {
+                total += gu->Level(l).size();
+              }
+              return total;
+            }());
+}
+
+}  // namespace
+}  // namespace simpush

@@ -1,0 +1,153 @@
+// Tests for the √c-walk engine: stopping law, transition correctness,
+// Monte-Carlo agreement with exact hitting probabilities, and the
+// paired-walk meeting estimator.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "walk/walk_stats.h"
+#include "walk/walker.h"
+
+namespace simpush {
+namespace {
+
+constexpr double kSqrtC = 0.7745966692414834;  // sqrt(0.6)
+
+TEST(WalkerTest, DanglingNodeStopsImmediately) {
+  Graph g = testing_util::MakeGraph(2, {{0, 1}});  // node 0 has no in-edges
+  Walker walker(g, kSqrtC);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    Walk walk = walker.SampleWalk(0, &rng);
+    EXPECT_EQ(walk.length(), 0u);
+  }
+}
+
+TEST(WalkerTest, StepGoesToInNeighbor) {
+  Graph g = testing_util::MakeGraph(3, {{1, 0}, {2, 0}});
+  Walker walker(g, kSqrtC);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    NodeId next = walker.Step(0, &rng);
+    if (next != kInvalidNode) {
+      EXPECT_TRUE(next == 1 || next == 2);
+    }
+  }
+}
+
+TEST(WalkerTest, WalkLengthIsGeometric) {
+  // On a cycle every node has an in-neighbor, so length ~ Geometric(1-√c):
+  // E[len] = √c/(1-√c) ≈ 3.436 for c = 0.6.
+  auto g = GenerateCycle(10);
+  ASSERT_TRUE(g.ok());
+  Walker walker(*g, kSqrtC);
+  Rng rng(3);
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    total += double(walker.SampleWalk(0, &rng).length());
+  }
+  EXPECT_NEAR(total / trials, kSqrtC / (1 - kSqrtC), 0.05);
+}
+
+TEST(WalkerTest, UniformInNeighborChoice) {
+  Graph g = testing_util::MakeGraph(4, {{1, 0}, {2, 0}, {3, 0}});
+  Walker walker(g, kSqrtC);
+  Rng rng(5);
+  int counts[4] = {0, 0, 0, 0};
+  int steps = 0;
+  for (int i = 0; i < 300000 && steps < 100000; ++i) {
+    NodeId next = walker.Step(0, &rng);
+    if (next != kInvalidNode) {
+      ++counts[next];
+      ++steps;
+    }
+  }
+  for (NodeId v = 1; v <= 3; ++v) {
+    EXPECT_NEAR(counts[v] / double(steps), 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(WalkerTest, VisitCallbackMatchesSampleWalk) {
+  Graph g = testing_util::MakeFixtureGraph();
+  Walker walker(g, kSqrtC);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int i = 0; i < 50; ++i) {
+    Walk walk = walker.SampleWalk(3, &rng_a);
+    std::vector<NodeId> visited;
+    walker.SampleWalkVisit(3, &rng_b, [&visited](uint32_t step, NodeId node) {
+      EXPECT_EQ(step, visited.size() + 1);
+      visited.push_back(node);
+    });
+    ASSERT_EQ(visited.size(), walk.length());
+    for (size_t s = 0; s < visited.size(); ++s) {
+      EXPECT_EQ(visited[s], walk.positions[s + 1]);
+    }
+  }
+}
+
+TEST(WalkStatsTest, ExactHittingProbsSumToSqrtCPowers) {
+  Graph g = testing_util::MakeFixtureGraph();
+  auto h = ExactHittingProbabilities(g, 0, 4, kSqrtC);
+  // At level l, total mass <= √c^l (equality iff no walk died at a
+  // dangling node before step l).
+  for (uint32_t level = 0; level <= 4; ++level) {
+    double total = 0;
+    for (double p : h[level]) total += p;
+    EXPECT_LE(total, std::pow(kSqrtC, level) + 1e-12);
+    EXPECT_GE(total, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(h[0][0], 1.0);
+}
+
+TEST(WalkStatsTest, MonteCarloMatchesExactHitting) {
+  Graph g = testing_util::MakeFixtureGraph();
+  Walker walker(g, kSqrtC);
+  Rng rng(11);
+  const uint64_t walks = 400000;
+  VisitCounts counts = CountVisits(walker, 0, walks, &rng);
+  auto exact = ExactHittingProbabilities(g, 0, 3, kSqrtC);
+  for (uint32_t level = 1; level <= 3; ++level) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double estimated = double(counts.Count(level, v)) / walks;
+      EXPECT_NEAR(estimated, exact[level][v], 0.005)
+          << "level " << level << " node " << v;
+    }
+  }
+}
+
+TEST(WalkStatsTest, VisitCountsAccessors) {
+  VisitCounts counts;
+  counts.Record(1, 5);
+  counts.Record(1, 5);
+  counts.Record(3, 2);
+  EXPECT_EQ(counts.Count(1, 5), 2u);
+  EXPECT_EQ(counts.Count(2, 5), 0u);
+  EXPECT_EQ(counts.Count(3, 2), 1u);
+  EXPECT_EQ(counts.MaxLevel(), 3u);
+  EXPECT_EQ(counts.Level(1).size(), 1u);
+  EXPECT_TRUE(counts.Level(9).empty());
+  counts.Record(0, 1);  // Level 0 records are ignored.
+  EXPECT_EQ(counts.Count(0, 1), 0u);
+}
+
+TEST(WalkerTest, PairMeetingMatchesExactSimRank) {
+  // Validates the core identity s(u,v) = Pr[paired √c-walks meet]
+  // against the power method on the fixture graph.
+  Graph g = testing_util::MakeFixtureGraph();
+  SimRankMatrix exact = testing_util::ExactSimRank(g);
+  Walker walker(g, kSqrtC);
+  Rng rng(13);
+  const uint64_t trials = 300000;
+  const NodeId u = 1, v = 2;
+  uint64_t meets = 0;
+  for (uint64_t i = 0; i < trials; ++i) {
+    if (walker.PairWalkMeets(u, v, &rng)) ++meets;
+  }
+  EXPECT_NEAR(double(meets) / trials, exact(u, v), 0.005);
+}
+
+}  // namespace
+}  // namespace simpush

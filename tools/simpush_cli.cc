@@ -1,0 +1,476 @@
+// simpush_cli — command-line front end for the library.
+//
+// Subcommands:
+//   query    answer single-source SimRank queries on an edge-list graph
+//   topk     answer top-k queries (fixed-ε or --adaptive)
+//   pair     estimate s(u, v) for explicit pairs
+//   join     similarity join (pairs with s >= threshold) / top pairs
+//   index    build, persist, and reuse a baseline index (reads|sling|prsim)
+//   stats    print graph statistics (degree histogram + power-law fit)
+//   convert  edge-list <-> SPG1 binary conversion
+//   generate write a synthetic graph (er | ba | chunglu | rmat | ws | sbm)
+//
+// Examples:
+//   simpush_cli generate --kind chunglu --nodes 10000 --edges 80000 \
+//       --out web.txt
+//   simpush_cli query --graph web.txt --node 42 --epsilon 0.01
+//   simpush_cli topk --graph web.txt --node 42 --k 20 --method probesim
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/probesim.h"
+#include "baselines/prsim.h"
+#include "baselines/sling.h"
+#include "eval/metrics.h"
+#include "graph/binary_io.h"
+#include "graph/degree_stats.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "baselines/reads.h"
+#include "simpush/adaptive.h"
+#include "simpush/single_pair.h"
+#include "simpush/join.h"
+#include "simpush/topk.h"
+
+namespace {
+
+using namespace simpush;
+
+// Minimal --flag value parser: flags come as "--name value" pairs.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: simpush_cli <query|topk|pair|stats|convert|generate> [--flag "
+      "value]...\n"
+      "  query    --graph F --node U [--epsilon E] [--decay C] "
+      "[--undirected 1] [--limit N]\n"
+      "  topk     --graph F --node U [--k K] [--epsilon E] [--method "
+      "simpush|probesim|sling|prsim] [--adaptive 1 [--rho R]]\n"
+      "  pair     --graph F --node U --targets V1,V2,... [--epsilon E] "
+      "[--walks W]\n"
+      "  join     --graph F [--threshold T | --top N] [--epsilon E] "
+      "[--threads P]\n"
+      "  index    --graph F --method reads|sling|prsim --file IDX "
+      "(--build 1 to create; then --node U queries via the index)\n"
+      "  stats    --graph F [--undirected 1] (degree stats + power-law "
+      "fit)\n"
+      "  convert  --in F --out F (format by extension: .spg = binary)\n"
+      "  generate --kind er|ba|chunglu|rmat|ws|sbm --nodes N [--edges M] "
+      "[--gamma G] [--seed S] --out F\n");
+  return 2;
+}
+
+StatusOr<Graph> LoadGraphArg(const Args& args, const std::string& key) {
+  const std::string path = args.Get(key, "");
+  if (path.empty()) return Status::InvalidArgument("missing --" + key);
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".spg") {
+    return LoadBinaryGraph(path);
+  }
+  EdgeListOptions options;
+  options.undirected = args.GetInt("undirected", 0) != 0;
+  return LoadEdgeList(path, options);
+}
+
+int RunQuery(const Args& args) {
+  auto graph = LoadGraphArg(args, "graph");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  SimPushOptions options;
+  options.epsilon = args.GetDouble("epsilon", 0.01);
+  options.decay = args.GetDouble("decay", 0.6);
+  options.walk_budget_cap = args.GetInt("walk-cap", 100000);
+  SimPushEngine engine(*graph, options);
+  const NodeId u = static_cast<NodeId>(args.GetInt("node", 0));
+  auto result = engine.Query(u);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const size_t limit = args.GetInt("limit", 20);
+  std::printf("# s(%u, v) — showing %zu highest of %u nodes (%.2f ms)\n", u,
+              limit, graph->num_nodes(), result->stats.total_seconds * 1e3);
+  for (NodeId v : TopK(result->scores, limit, u)) {
+    std::printf("%u %.6f\n", v, result->scores[v]);
+  }
+  return 0;
+}
+
+int RunTopK(const Args& args) {
+  auto graph = LoadGraphArg(args, "graph");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const NodeId u = static_cast<NodeId>(args.GetInt("node", 0));
+  const size_t k = args.GetInt("k", 10);
+  const std::string method = args.Get("method", "simpush");
+  const double epsilon = args.GetDouble("epsilon", 0.01);
+
+  if (method == "simpush" && args.GetInt("adaptive", 0) != 0) {
+    AdaptiveOptions options;
+    options.base.epsilon = epsilon > 0.1 ? epsilon : 0.1;  // coarse start
+    options.base.walk_budget_cap = args.GetInt("walk-cap", 100000);
+    options.rho = args.GetDouble("rho", 0.5);
+    options.epsilon_min = args.GetDouble("epsilon-min", 1e-3);
+    auto result = AdaptiveTopK(*graph, u, k, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# %u rounds, final epsilon %.4g\n", result->rounds,
+                result->final_epsilon);
+    for (const TopKEntry& entry : result->topk.entries) {
+      std::printf("%u %.6f\n", entry.node, entry.score);
+    }
+    return 0;
+  }
+  if (method == "simpush") {
+    SimPushOptions options;
+    options.epsilon = epsilon;
+    options.walk_budget_cap = args.GetInt("walk-cap", 100000);
+    SimPushEngine engine(*graph, options);
+    auto result = QueryTopK(&engine, u, k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    for (const TopKEntry& entry : result->entries) {
+      std::printf("%u %.6f\n", entry.node, entry.score);
+    }
+    return 0;
+  }
+
+  std::unique_ptr<SingleSourceAlgorithm> algo;
+  if (method == "probesim") {
+    ProbeSimOptions o;
+    o.epsilon = epsilon;
+    o.max_walks = 50000;
+    algo = std::make_unique<ProbeSim>(*graph, o);
+  } else if (method == "sling") {
+    SlingOptions o;
+    o.epsilon = epsilon;
+    algo = std::make_unique<Sling>(*graph, o);
+  } else if (method == "prsim") {
+    PRSimOptions o;
+    o.epsilon = epsilon;
+    algo = std::make_unique<PRSim>(*graph, o);
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  Status prep = algo->Prepare();
+  if (!prep.ok()) {
+    std::fprintf(stderr, "%s\n", prep.ToString().c_str());
+    return 1;
+  }
+  auto scores = algo->Query(u);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  for (NodeId v : TopK(*scores, k, u)) {
+    std::printf("%u %.6f\n", v, (*scores)[v]);
+  }
+  return 0;
+}
+
+int RunPair(const Args& args) {
+  auto graph = LoadGraphArg(args, "graph");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const NodeId u = static_cast<NodeId>(args.GetInt("node", 0));
+  const std::string targets = args.Get("targets", "");
+  if (targets.empty()) return Usage();
+
+  SimPushOptions options;
+  options.epsilon = args.GetDouble("epsilon", 0.01);
+  options.walk_budget_cap = args.GetInt("walk-cap", 100000);
+  auto session = SinglePairSession::Create(*graph, u, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t walks = args.GetInt("walks", 0);  // 0 = Hoeffding default
+  std::printf("# s(%u, v) pair estimates (%zu attention nodes, L=%u)\n", u,
+              session->num_attention(), session->max_level());
+  size_t start = 0;
+  while (start < targets.size()) {
+    size_t comma = targets.find(',', start);
+    if (comma == std::string::npos) comma = targets.size();
+    const NodeId v = static_cast<NodeId>(
+        std::strtoull(targets.substr(start, comma - start).c_str(), nullptr,
+                      10));
+    auto result = session->Estimate(v, walks);
+    if (!result.ok()) {
+      std::fprintf(stderr, "node %u: %s\n", v,
+                   result.status().ToString().c_str());
+    } else {
+      std::printf("%u %.6f\n", v, result->score);
+    }
+    start = comma + 1;
+  }
+  return 0;
+}
+
+
+int RunJoin(const Args& args) {
+  auto graph = LoadGraphArg(args, "graph");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  JoinOptions options;
+  options.query.epsilon = args.GetDouble("epsilon", 0.01);
+  options.query.walk_budget_cap = args.GetInt("walk-cap", 50000);
+  options.num_threads = args.GetInt("threads", 0);
+
+  StatusOr<std::vector<SimilarPair>> pairs =
+      args.Has("top")
+          ? TopPairs(*graph, args.GetInt("top", 25), options)
+          : SimilarityJoin(*graph, args.GetDouble("threshold", 0.1),
+                           options);
+  if (!pairs.ok()) {
+    std::fprintf(stderr, "%s\n", pairs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# %zu pairs\n", pairs->size());
+  for (const SimilarPair& pair : *pairs) {
+    std::printf("%u %u %.6f\n", pair.u, pair.v, pair.score);
+  }
+  return 0;
+}
+
+int RunIndex(const Args& args) {
+  auto graph = LoadGraphArg(args, "graph");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string method = args.Get("method", "reads");
+  const std::string file = args.Get("file", "");
+  if (file.empty()) return Usage();
+  const bool build = args.GetInt("build", 0) != 0;
+
+  // A small polymorphic shim over the three persistable index methods.
+  std::unique_ptr<SingleSourceAlgorithm> algo;
+  std::function<Status(const std::string&)> save, load;
+  if (method == "reads") {
+    ReadsOptions o;
+    o.num_walks = static_cast<uint32_t>(args.GetInt("walks", 100));
+    o.max_depth = static_cast<uint32_t>(args.GetInt("depth", 10));
+    auto reads = std::make_unique<Reads>(*graph, o);
+    save = [r = reads.get()](const std::string& p) { return r->SaveIndex(p); };
+    load = [r = reads.get()](const std::string& p) { return r->LoadIndex(p); };
+    algo = std::move(reads);
+  } else if (method == "sling") {
+    SlingOptions o;
+    o.epsilon = args.GetDouble("epsilon", 0.05);
+    auto sling = std::make_unique<Sling>(*graph, o);
+    save = [x = sling.get()](const std::string& p) { return x->SaveIndex(p); };
+    load = [x = sling.get()](const std::string& p) { return x->LoadIndex(p); };
+    algo = std::move(sling);
+  } else if (method == "prsim") {
+    PRSimOptions o;
+    o.epsilon = args.GetDouble("epsilon", 0.05);
+    auto prsim = std::make_unique<PRSim>(*graph, o);
+    save = [x = prsim.get()](const std::string& p) { return x->SaveIndex(p); };
+    load = [x = prsim.get()](const std::string& p) { return x->LoadIndex(p); };
+    algo = std::move(prsim);
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  if (build) {
+    Status prep = algo->Prepare();
+    if (!prep.ok()) {
+      std::fprintf(stderr, "%s\n", prep.ToString().c_str());
+      return 1;
+    }
+    Status saved = save(file);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("built %s index in %.2fs, wrote %s (%zu bytes in memory)\n",
+                algo->name().c_str(), algo->PrepareSeconds(), file.c_str(),
+                algo->IndexBytes());
+    return 0;
+  }
+
+  Status loaded = load(file);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const NodeId u = static_cast<NodeId>(args.GetInt("node", 0));
+  auto scores = algo->Query(u);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  for (NodeId v : TopK(*scores, args.GetInt("k", 10), u)) {
+    std::printf("%u %.6f\n", v, (*scores)[v]);
+  }
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  auto graph = LoadGraphArg(args, "graph");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = graph->ComputeDegreeStats();
+  std::printf("nodes:        %u\n", graph->num_nodes());
+  std::printf("edges:        %llu\n",
+              static_cast<unsigned long long>(graph->num_edges()));
+  std::printf("avg degree:   %.3f\n", stats.avg_out_degree);
+  std::printf("max out-deg:  %u\n", stats.max_out_degree);
+  std::printf("max in-deg:   %u\n", stats.max_in_degree);
+  std::printf("sink nodes:   %u\n", stats.num_sink_nodes);
+  std::printf("source nodes: %u\n", stats.num_source_nodes);
+  std::printf("symmetric:    %s\n", graph->is_symmetric() ? "yes" : "no");
+  std::printf("CSR bytes:    %zu\n", graph->MemoryBytes());
+
+  const auto histogram = ComputeDegreeHistogram(*graph, DegreeKind::kIn);
+  std::printf("degree gini:  %.3f\n", DegreeGini(histogram));
+  auto fit = FitPowerLaw(histogram);
+  if (fit.ok()) {
+    std::printf("power-law:    alpha=%.2f dmin=%u ks=%.3f (tail %llu "
+                "nodes)\n",
+                fit->alpha, fit->d_min, fit->ks_distance,
+                static_cast<unsigned long long>(fit->tail_nodes));
+  } else {
+    std::printf("power-law:    no fit (%s)\n",
+                fit.status().message().c_str());
+  }
+  return 0;
+}
+
+int RunConvert(const Args& args) {
+  auto graph = LoadGraphArg(args, "in");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  Status status =
+      (out.size() > 4 && out.substr(out.size() - 4) == ".spg")
+          ? SaveBinaryGraph(*graph, out)
+          : SaveEdgeList(*graph, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (n=%u, m=%llu)\n", out.c_str(), graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()));
+  return 0;
+}
+
+int RunGenerate(const Args& args) {
+  const std::string kind = args.Get("kind", "chunglu");
+  const NodeId n = static_cast<NodeId>(args.GetInt("nodes", 10000));
+  const EdgeId m = args.GetInt("edges", uint64_t(n) * 8);
+  const uint64_t seed = args.GetInt("seed", 1);
+  const bool undirected = args.GetInt("undirected", 0) != 0;
+  StatusOr<Graph> graph = Status::InvalidArgument("unknown kind");
+  if (kind == "er") {
+    graph = GenerateErdosRenyi(n, m, seed, undirected);
+  } else if (kind == "ba") {
+    graph = GenerateBarabasiAlbert(
+        n, static_cast<uint32_t>(args.GetInt("attach", 4)), seed, undirected);
+  } else if (kind == "chunglu") {
+    graph = GenerateChungLu(n, m, args.GetDouble("gamma", 2.2), seed,
+                            undirected);
+  } else if (kind == "rmat") {
+    // --nodes is rounded up to the next power of two.
+    uint32_t scale = 1;
+    while ((1u << scale) < n && scale < 30) ++scale;
+    graph = GenerateRMat(scale, m, seed, args.GetDouble("a", 0.57),
+                         args.GetDouble("b", 0.19), args.GetDouble("c", 0.19),
+                         undirected);
+  } else if (kind == "ws") {
+    graph = GenerateWattsStrogatz(
+        n, static_cast<uint32_t>(args.GetInt("k", 8)),
+        args.GetDouble("beta", 0.1), seed);
+  } else if (kind == "sbm") {
+    graph = GenerateStochasticBlockModel(
+        n, static_cast<uint32_t>(args.GetInt("blocks", 10)),
+        args.GetDouble("p-in", 0.05), args.GetDouble("p-out", 0.001), seed);
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  Status status =
+      (out.size() > 4 && out.substr(out.size() - 4) == ".spg")
+          ? SaveBinaryGraph(*graph, out)
+          : SaveEdgeList(*graph, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (n=%u, m=%llu)\n", out.c_str(), graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "query") return RunQuery(args);
+  if (command == "topk") return RunTopK(args);
+  if (command == "pair") return RunPair(args);
+  if (command == "join") return RunJoin(args);
+  if (command == "index") return RunIndex(args);
+  if (command == "stats") return RunStats(args);
+  if (command == "convert") return RunConvert(args);
+  if (command == "generate") return RunGenerate(args);
+  return Usage();
+}
