@@ -35,7 +35,7 @@ double TimeSeparateReversePush(const Graph& graph, NodeId u, double eps,
 
   Timer timer;
   std::vector<double> scores(graph.num_nodes(), 0.0);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   // One single-attention G_u shell per occurrence.
   for (AttentionId id = 0; id < gu->num_attention(); ++id) {
     const AttentionNode& w = gu->attention_nodes()[id];

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/memory.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "graph/dynamic_graph.h"
@@ -78,9 +79,14 @@ void BM_SourcePushStage(benchmark::State& state) {
   o.walk_budget_cap = 20000;
   const DerivedParams params = ComputeDerivedParams(o);
   Rng rng(3);
+  // Warm workspace + G_u, as a long-lived engine holds them.
+  QueryWorkspace workspace;
+  SourceGraph gu;
   NodeId u = 0;
   for (auto _ : state) {
-    auto gu = SourcePush(g, u, o, params, &rng, nullptr);
+    auto status = SourcePushInto(g, u, o, params, &rng, &workspace, &gu,
+                                 nullptr);
+    benchmark::DoNotOptimize(status);
     benchmark::DoNotOptimize(gu);
     u = (u + 37) % g.num_nodes();
   }
@@ -96,9 +102,12 @@ void BM_GammaStage(benchmark::State& state) {
   Rng rng(4);
   auto gu = SourcePush(g, 11, o, params, &rng, nullptr);
   if (!gu.ok()) std::abort();
+  QueryWorkspace workspace;
+  HittingTable table;
+  std::vector<double> gamma;
   for (auto _ : state) {
-    HittingTable table = ComputeHittingTable(g, *gu, params.sqrt_c);
-    auto gamma = ComputeLastMeetingProbabilities(*gu, table);
+    ComputeHittingTable(g, *gu, params.sqrt_c, &workspace, &table);
+    ComputeLastMeetingProbabilities(*gu, table, &workspace, &gamma);
     benchmark::DoNotOptimize(gamma);
   }
 }
@@ -115,7 +124,7 @@ void BM_ReversePushStage(benchmark::State& state) {
   if (!gu.ok()) std::abort();
   HittingTable table = ComputeHittingTable(g, *gu, params.sqrt_c);
   auto gamma = ComputeLastMeetingProbabilities(*gu, table);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   for (auto _ : state) {
     std::fill(scores.begin(), scores.end(), 0.0);
@@ -140,6 +149,64 @@ void BM_FullQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullQuery)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+
+// Steady state vs. cold start, plus the zero-allocation claim.
+//
+// BM_QuerySteadyState reuses one engine and one result across queries —
+// the serving hot path. After a warm-up pass the workspace has hit its
+// high-water marks and QueryInto must not touch the heap at all; the
+// "allocs/query" counter (counting operator new, linked into this
+// binary only) proves it. BM_QueryColdEngine constructs the engine per
+// query for contrast — the setup cost SimPush's realtime claim cannot
+// afford.
+
+void BM_QuerySteadyState(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions o;
+  o.epsilon = 0.02;
+  o.walk_budget_cap = 20000;
+  SimPushEngine engine(g, o);
+  SimPushResult result;
+  // Warm-up: touch every query in the rotation once so all pooled
+  // buffers reach their high-water sizes.
+  const NodeId stride = 101;
+  const int kRotation = 16;
+  NodeId warm = 0;
+  for (int i = 0; i < kRotation; ++i) {
+    if (!engine.QueryInto(warm, &result).ok()) std::abort();
+    warm = (warm + stride) % (stride * kRotation);
+  }
+  const AllocationStats before = GetAllocationStats();
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.QueryInto(u, &result));
+    benchmark::DoNotOptimize(result);
+    u = (u + stride) % (stride * kRotation);
+  }
+  const AllocationStats after = GetAllocationStats();
+  state.counters["allocs/query"] = benchmark::Counter(
+      double(after.allocations - before.allocations) / state.iterations());
+}
+BENCHMARK(BM_QuerySteadyState);
+
+void BM_QueryColdEngine(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  SimPushOptions o;
+  o.epsilon = 0.02;
+  o.walk_budget_cap = 20000;
+  const AllocationStats before = GetAllocationStats();
+  NodeId u = 0;
+  for (auto _ : state) {
+    SimPushEngine engine(g, o);
+    auto r = engine.Query(u);
+    benchmark::DoNotOptimize(r);
+    u = (u + 101) % (101 * 16);
+  }
+  const AllocationStats after = GetAllocationStats();
+  state.counters["allocs/query"] = benchmark::Counter(
+      double(after.allocations - before.allocations) / state.iterations());
+}
+BENCHMARK(BM_QueryColdEngine);
 
 
 void BM_SinglePairSessionCreate(benchmark::State& state) {

@@ -1,0 +1,74 @@
+// Counting global operator new/delete. Linked only into binaries that
+// verify allocation behaviour (bench_micro, workspace_test) via the
+// `simpush_alloc_hook` CMake target — keep it out of everything else so
+// the counters cost nothing in production builds.
+
+#include <cstdlib>
+#include <new>
+
+#include "common/memory.h"
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  if (void* ptr = std::malloc(size == 0 ? 1 : size)) {
+    simpush::internal::RecordAllocation(size);
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+void CountedFree(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  simpush::internal::RecordDeallocation();
+  std::free(ptr);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* ptr = std::aligned_alloc(alignment, rounded == 0 ? alignment
+                                                             : rounded)) {
+    simpush::internal::RecordAllocation(size);
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr != nullptr) simpush::internal::RecordAllocation(size);
+  return ptr;
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr != nullptr) simpush::internal::RecordAllocation(size);
+  return ptr;
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { CountedFree(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  CountedFree(ptr);
+}

@@ -3,9 +3,37 @@
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 
 namespace simpush {
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_deallocations{0};
+std::atomic<uint64_t> g_bytes_allocated{0};
+}  // namespace
+
+AllocationStats GetAllocationStats() {
+  AllocationStats stats;
+  stats.allocations = g_allocations.load(std::memory_order_relaxed);
+  stats.deallocations = g_deallocations.load(std::memory_order_relaxed);
+  stats.bytes_allocated = g_bytes_allocated.load(std::memory_order_relaxed);
+  return stats;
+}
+
+namespace internal {
+
+void RecordAllocation(size_t bytes) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void RecordDeallocation() {
+  g_deallocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 size_t PeakRssBytes() {
   struct rusage usage;

@@ -14,6 +14,17 @@ namespace simpush {
 /// Mixes a 64-bit seed into a well-distributed state word (splitmix64).
 uint64_t SplitMix64(uint64_t* state);
 
+/// Derives a per-stream seed from a base seed and a stream id (query
+/// node, source node, …). Every consumer of per-query randomness uses
+/// this one mapping, so a query's RNG stream depends only on
+/// (base seed, stream id) — never on which engine, worker thread, or
+/// position in a batch executed it. That invariant is what makes batch
+/// results bit-identical across thread counts and engine reuse.
+inline uint64_t DeriveStreamSeed(uint64_t base_seed, uint64_t stream_id) {
+  uint64_t state = base_seed ^ (0xBF58476D1CE4E5B9ULL * (stream_id + 1));
+  return SplitMix64(&state);
+}
+
 /// xoshiro256++ generator: small state, excellent statistical quality,
 /// much faster than std::mt19937_64 for the walk-heavy workloads here.
 class Rng {

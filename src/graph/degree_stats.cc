@@ -2,24 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <vector>
 
 namespace simpush {
 
 DegreeHistogram ComputeDegreeHistogram(const Graph& graph, DegreeKind kind) {
-  std::map<uint32_t, uint64_t> counts;
+  // Flat sort + run-length encode: O(n) memory regardless of the max
+  // degree (a dense per-degree tally would be O(max degree) — hundreds
+  // of MB for a single web-scale hub) and no tree-map rebalancing per
+  // node on graph load.
+  std::vector<uint32_t> degrees(graph.num_nodes());
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    const uint32_t d =
+    degrees[v] =
         kind == DegreeKind::kIn ? graph.InDegree(v) : graph.OutDegree(v);
-    ++counts[d];
   }
+  std::sort(degrees.begin(), degrees.end());
   DegreeHistogram histogram;
   histogram.num_nodes = graph.num_nodes();
-  histogram.degrees.reserve(counts.size());
-  histogram.counts.reserve(counts.size());
-  for (const auto& [degree, count] : counts) {
-    histogram.degrees.push_back(degree);
-    histogram.counts.push_back(count);
+  for (size_t i = 0; i < degrees.size();) {
+    size_t j = i + 1;
+    while (j < degrees.size() && degrees[j] == degrees[i]) ++j;
+    histogram.degrees.push_back(degrees[i]);
+    histogram.counts.push_back(j - i);
+    i = j;
   }
   return histogram;
 }

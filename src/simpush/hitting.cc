@@ -2,21 +2,23 @@
 
 #include <algorithm>
 
+#include "simpush/workspace.h"
+
 namespace simpush {
 
-namespace {
-const HittingVector kEmptyVector;
-}  // namespace
-
-const HittingVector& HittingTable::VectorAt(uint32_t level, NodeId v) const {
-  if (level >= per_level_.size()) return kEmptyVector;
-  auto it = per_level_[level].find(v);
-  return it == per_level_[level].end() ? kEmptyVector : it->second;
+HittingVector HittingTable::VectorAt(uint32_t level, NodeId v) const {
+  if (level >= num_levels_) return {};
+  const LevelVectors& vectors = per_level_[level];
+  auto it = std::lower_bound(
+      vectors.nodes.begin(), vectors.nodes.end(), v,
+      [](const NodeSpan& span, NodeId node) { return span.node < node; });
+  if (it == vectors.nodes.end() || it->node != v) return {};
+  return {vectors.pool.data() + it->begin, vectors.pool.data() + it->end};
 }
 
 double HittingTable::Probability(uint32_t level, NodeId v,
                                  AttentionId target) const {
-  const HittingVector& vec = VectorAt(level, v);
+  const HittingVector vec = VectorAt(level, v);
   auto it = std::lower_bound(
       vec.begin(), vec.end(), target,
       [](const auto& entry, AttentionId id) { return entry.first < id; });
@@ -26,78 +28,99 @@ double HittingTable::Probability(uint32_t level, NodeId v,
 
 size_t HittingTable::NumVectors() const {
   size_t total = 0;
-  for (const auto& level : per_level_) total += level.size();
+  for (uint32_t level = 0; level < num_levels_; ++level) {
+    total += per_level_[level].nodes.size();
+  }
   return total;
 }
 
 size_t HittingTable::NumEntries() const {
   size_t total = 0;
-  for (const auto& level : per_level_) {
-    for (const auto& [node, vec] : level) {
-      (void)node;
-      total += vec.size();
-    }
+  for (uint32_t level = 0; level < num_levels_; ++level) {
+    total += per_level_[level].pool.size();
   }
   return total;
 }
 
-HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
-                                 double sqrt_c) {
-  HittingTable table;
+void HittingTable::Reset(uint32_t max_level) {
+  const uint32_t levels = max_level + 1;
+  if (per_level_.size() < levels) per_level_.resize(levels);
+  for (uint32_t level = 0; level < std::max(levels, num_levels_); ++level) {
+    per_level_[level].nodes.clear();
+    per_level_[level].pool.clear();
+  }
+  num_levels_ = levels;
+}
+
+void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
+                         double sqrt_c, QueryWorkspace* workspace,
+                         HittingTable* table) {
+  workspace->Prepare(graph.num_nodes());
   const uint32_t max_level = gu.max_level();
-  table.per_level_.resize(max_level + 1);
-  if (max_level < 2) return table;  // No targets deeper than level 1.
+  table->Reset(max_level);
+  if (max_level < 2) return;  // No targets deeper than level 1.
 
   const size_t num_attention = gu.num_attention();
   // Dense scratch accumulator over attention ids with a touched list,
-  // reused across nodes to avoid per-node allocation.
-  std::vector<double> accum(num_attention, 0.0);
-  std::vector<AttentionId> touched;
-  // Byte masks over graph nodes, reused across levels:
-  //   is_holder  — nodes of level+1 holding a nonzero vector;
-  //   is_member  — nodes present on the current level of G_u;
-  //   is_receiver— current-level nodes already queued for a pull.
+  // zero-restored after each node to avoid per-node clears.
+  std::vector<double>& accum = workspace->attention_accum;
+  if (accum.size() < num_attention) accum.resize(num_attention, 0.0);
+  std::vector<AttentionId>& touched = workspace->attention_touched;
+  // Epoch-stamped per-node scratch over graph nodes, one epoch per
+  // level:
+  //   holder_index — maps a node of level+1 holding a nonzero vector to
+  //                  (index of its NodeSpan) + 1, so a pull reads the
+  //                  holder's span without any hashing;
+  //   member_marks — nodes present on the current level of G_u;
+  //   receiver_marks — current-level nodes already queued for a pull.
   // Receivers are discovered by scanning the holders' out-edges, so a
   // level's cost is Σ outdeg(holders) + Σ indeg(receivers) instead of
   // an O(|G_u level|) sweep — holders cluster near the attention set.
-  std::vector<uint8_t> is_holder(graph.num_nodes(), 0);
-  std::vector<uint8_t> is_member(graph.num_nodes(), 0);
-  std::vector<uint8_t> is_receiver(graph.num_nodes(), 0);
-  std::vector<NodeId> receivers;
+  EpochArray<uint32_t>& holder_index = workspace->holder_index;
+  EpochArray<uint8_t>& member_marks = workspace->member_marks;
+  EpochArray<uint8_t>& receiver_marks = workspace->receiver_marks;
+  std::vector<NodeId>& receivers = workspace->receivers;
 
   // Self entries at the deepest level: h̃^(0)(w, w) = 1 for attention w
   // at levels 2..L (level-1 attention nodes are never ρ-targets).
-  auto self_entry_level = [&](uint32_t level) {
-    for (AttentionId id : gu.AttentionOnLevel(level)) {
+  // Attention ids are appended in node order by Source-Push, so the
+  // resulting NodeSpans are already sorted by node.
+  {
+    HittingTable::LevelVectors& deepest = table->per_level_[max_level];
+    for (AttentionId id : gu.AttentionOnLevel(max_level)) {
       const AttentionNode& a = gu.attention_nodes()[id];
-      table.per_level_[level][a.node].emplace_back(id, 1.0);
+      const uint32_t begin = static_cast<uint32_t>(deepest.pool.size());
+      deepest.pool.emplace_back(id, 1.0);
+      deepest.nodes.push_back({a.node, begin, begin + 1});
     }
-  };
-  self_entry_level(max_level);
+    std::sort(deepest.nodes.begin(), deepest.nodes.end(),
+              [](const HittingTable::NodeSpan& a,
+                 const HittingTable::NodeSpan& b) { return a.node < b.node; });
+  }
 
   // Pull from level+1 into level, for level = L-1 .. 1.
   for (uint32_t level = max_level - 1; level >= 1; --level) {
-    const auto& nodes_here = gu.Level(level);
-    const auto& vectors_above = table.per_level_[level + 1];
-    auto& vectors_here = table.per_level_[level];
-    for (const auto& [node, vec] : vectors_above) {
-      (void)vec;
-      is_holder[node] = 1;
+    const HittingTable::LevelVectors& above = table->per_level_[level + 1];
+    HittingTable::LevelVectors& here = table->per_level_[level];
+    holder_index.BeginEpoch();
+    member_marks.BeginEpoch();
+    receiver_marks.BeginEpoch();
+    for (uint32_t i = 0; i < above.nodes.size(); ++i) {
+      holder_index.Set(above.nodes[i].node, i + 1);
     }
-    for (const auto& [node, h] : nodes_here) {
+    for (const auto& [node, h] : gu.Level(level)) {
       (void)h;
-      is_member[node] = 1;
+      member_marks.Set(node, 1);
     }
     // Receivers: current-level nodes with at least one holder
     // in-neighbor, found via the holders' out-edges; plus this level's
     // attention nodes, which must emit a self entry even when they pull
     // nothing (e.g. dangling nodes).
     receivers.clear();
-    for (const auto& [holder, vec] : vectors_above) {
-      (void)vec;
-      for (NodeId v : graph.OutNeighbors(holder)) {
-        if (is_member[v] && !is_receiver[v]) {
-          is_receiver[v] = 1;
+    for (const HittingTable::NodeSpan& holder : above.nodes) {
+      for (NodeId v : graph.OutNeighbors(holder.node)) {
+        if (member_marks.IsSet(v) && !receiver_marks.IsSet(v)) {
+          receiver_marks.Set(v, 1);
           receivers.push_back(v);
         }
       }
@@ -105,14 +128,13 @@ HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
     if (level >= 2) {
       for (AttentionId id : gu.AttentionOnLevel(level)) {
         const NodeId node = gu.attention_nodes()[id].node;
-        if (!is_receiver[node]) {
-          is_receiver[node] = 1;
+        if (!receiver_marks.IsSet(node)) {
+          receiver_marks.Set(node, 1);
           receivers.push_back(node);
         }
       }
     }
     for (NodeId v : receivers) {
-      is_receiver[v] = 0;
       touched.clear();
       const uint32_t deg = graph.InDegree(v);
       // A dangling node (deg == 0) pulls nothing, but when it is an
@@ -121,17 +143,18 @@ HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
       if (deg > 0) {
         const double scale = sqrt_c / deg;
         for (NodeId vp : graph.InNeighbors(v)) {
-          if (!is_holder[vp]) continue;
-          auto it = vectors_above.find(vp);
-          for (const auto& [target, prob] : it->second) {
+          const uint32_t span_index = holder_index.Get(vp);
+          if (span_index == 0) continue;
+          const HittingTable::NodeSpan& span = above.nodes[span_index - 1];
+          for (uint32_t e = span.begin; e < span.end; ++e) {
+            const auto& [target, prob] = above.pool[e];
             if (accum[target] == 0.0) touched.push_back(target);
             accum[target] += prob * scale;
           }
         }
       }
       std::sort(touched.begin(), touched.end());
-      HittingVector vec;
-      vec.reserve(touched.size() + 1);
+      const uint32_t begin = static_cast<uint32_t>(here.pool.size());
       // Self entry when v is itself an attention node on this level
       // (level >= 2): its id is distinct from every pulled target id
       // (those are occurrences at deeper levels), so a plain sorted
@@ -142,25 +165,28 @@ HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
       bool self_inserted = false;
       for (AttentionId target : touched) {
         if (has_self && !self_inserted && self_id < target) {
-          vec.emplace_back(self_id, 1.0);
+          here.pool.emplace_back(self_id, 1.0);
           self_inserted = true;
         }
-        vec.emplace_back(target, accum[target]);
+        here.pool.emplace_back(target, accum[target]);
         accum[target] = 0.0;
       }
-      if (has_self && !self_inserted) vec.emplace_back(self_id, 1.0);
-      if (!vec.empty()) vectors_here.emplace(v, std::move(vec));
+      if (has_self && !self_inserted) here.pool.emplace_back(self_id, 1.0);
+      const uint32_t end = static_cast<uint32_t>(here.pool.size());
+      if (end > begin) here.nodes.push_back({v, begin, end});
     }
-    for (const auto& [node, vec] : vectors_above) {
-      (void)vec;
-      is_holder[node] = 0;
-    }
-    for (const auto& [node, h] : nodes_here) {
-      (void)h;
-      is_member[node] = 0;
-    }
+    std::sort(here.nodes.begin(), here.nodes.end(),
+              [](const HittingTable::NodeSpan& a,
+                 const HittingTable::NodeSpan& b) { return a.node < b.node; });
     if (level == 1) break;  // uint32_t wrap guard.
   }
+}
+
+HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
+                                 double sqrt_c) {
+  QueryWorkspace workspace;
+  HittingTable table;
+  ComputeHittingTable(graph, gu, sqrt_c, &workspace, &table);
   return table;
 }
 

@@ -8,12 +8,16 @@
 // p = h̃^(ℓ_a - ℓ)(v, a). Vectors are built by pulling from level ℓ+1
 // down to level 1 (the pull at v divides by d_I(v), which equals v's
 // G_u in-degree whenever that is non-empty).
+//
+// Vectors live in one pooled entry array per level (CSR-style spans
+// instead of per-node heap vectors), so a table owned by a long-lived
+// engine is rebuilt every query without allocating.
 
 #ifndef SIMPUSH_SIMPUSH_HITTING_H_
 #define SIMPUSH_SIMPUSH_HITTING_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -22,16 +26,21 @@
 
 namespace simpush {
 
-/// Sparse hitting-probability vector: (attention id, probability) pairs,
+class QueryWorkspace;
+
+/// One (attention id, probability) entry of a hitting vector.
+using HittingEntry = std::pair<AttentionId, double>;
+
+/// Sparse hitting-probability vector: view over a node's entries,
 /// sorted by attention id.
-using HittingVector = std::vector<std::pair<AttentionId, double>>;
+using HittingVector = std::span<const HittingEntry>;
 
 /// All within-G_u hitting probabilities needed by Algorithm 4.
 class HittingTable {
  public:
   /// Vector of node v at level ℓ; empty if v holds no probability mass
   /// toward any attention target.
-  const HittingVector& VectorAt(uint32_t level, NodeId v) const;
+  HittingVector VectorAt(uint32_t level, NodeId v) const;
 
   /// h̃^(i)(w, target) where i = level(target) - level(w); 0 if absent.
   double Probability(uint32_t level, NodeId v, AttentionId target) const;
@@ -42,15 +51,36 @@ class HittingTable {
   /// Total stored entries (for stats/tests).
   size_t NumEntries() const;
 
+  /// Clears contents while keeping pooled capacity.
+  void Reset(uint32_t max_level);
+
  private:
-  friend HittingTable ComputeHittingTable(const Graph& graph,
-                                          const SourceGraph& gu,
-                                          double sqrt_c);
-  // per level: node -> sparse vector.
-  std::vector<std::unordered_map<NodeId, HittingVector>> per_level_;
+  friend void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
+                                  double sqrt_c, QueryWorkspace* workspace,
+                                  HittingTable* table);
+  // One node's span into the level's entry pool.
+  struct NodeSpan {
+    NodeId node;
+    uint32_t begin;
+    uint32_t end;
+  };
+  struct LevelVectors {
+    std::vector<NodeSpan> nodes;  ///< Sorted by node id.
+    std::vector<HittingEntry> pool;
+  };
+  // Levels 0..num_levels_-1 are live; deeper slots retain capacity.
+  std::vector<LevelVectors> per_level_;
+  uint32_t num_levels_ = 0;
 };
 
-/// Runs Algorithm 3 over G_u. O(m·log(1/ε)/ε) worst case (Lemma 6).
+/// Runs Algorithm 3 over G_u into `table`, using `workspace` for dense
+/// scratch. O(m·log(1/ε)/ε) worst case (Lemma 6).
+void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
+                         double sqrt_c, QueryWorkspace* workspace,
+                         HittingTable* table);
+
+/// Convenience overload for tests and one-shot callers: allocates its
+/// own scratch and returns the table by value.
 HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
                                  double sqrt_c);
 

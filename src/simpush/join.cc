@@ -5,8 +5,8 @@
 #include <functional>
 #include <mutex>
 
-#include "common/rng.h"
 #include "common/thread_pool.h"
+#include "simpush/parallel.h"
 #include "simpush/simpush.h"
 
 namespace simpush {
@@ -19,15 +19,15 @@ bool PairLess(const SimilarPair& a, const SimilarPair& b) {
   return a.v < b.v;
 }
 
-uint64_t PerSourceSeed(uint64_t base_seed, NodeId source) {
-  uint64_t state = base_seed ^ (0x94D049BB133111EBULL * (source + 1));
-  return SplitMix64(&state);
-}
-
 // Shared scan: runs one query per source, hands qualifying pairs to
 // `emit` under a mutex. `dedupe` keeps only u < v pairs (full join);
 // otherwise all targets are kept (restricted join emits (source, v)
 // pairs canonicalized later).
+//
+// Sources are fanned across the pool via ForEachQueryChunked: one
+// long-lived engine per worker, per-source randomness pinned to
+// (options.query.seed, source) inside the engine, so results do not
+// depend on the chunking or thread count.
 Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
                    double floor, const JoinOptions& options,
                    const std::function<bool(NodeId, NodeId, double)>& emit) {
@@ -35,35 +35,37 @@ Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
   std::atomic<bool> invalid{false};
   std::mutex emit_mu;
   ThreadPool pool(options.num_threads);
-  ParallelFor(pool, 0, sources.size(), [&](size_t i) {
-    if (aborted.load(std::memory_order_relaxed)) return;
-    const NodeId u = sources[i];
-    if (u >= graph.num_nodes()) {
-      invalid.store(true);
-      return;
-    }
-    // A node with no in-neighbors has s(u, v) = 0 for all v != u: the
-    // √c-walk from u can never move, so no meeting is possible.
-    if (graph.InDegree(u) == 0) return;
-    SimPushOptions per_source = options.query;
-    per_source.seed = PerSourceSeed(options.query.seed, u);
-    SimPushEngine engine(graph, per_source);
-    auto result = engine.Query(u);
-    if (!result.ok()) {
-      invalid.store(true);
-      return;
-    }
-    std::lock_guard<std::mutex> lock(emit_mu);
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      if (v == u) continue;
-      const double score = result->scores[v];
-      if (score < floor) continue;
-      if (!emit(u, v, score)) {
-        aborted.store(true);
-        return;
-      }
-    }
-  });
+  ForEachQueryChunked(
+      pool, graph, options.query, sources.size(),
+      [&](SimPushEngine& engine, size_t begin, size_t end) {
+        SimPushResult result;  // Buffers reused across the whole chunk.
+        for (size_t i = begin; i < end; ++i) {
+          if (aborted.load(std::memory_order_relaxed)) return;
+          const NodeId u = sources[i];
+          if (u >= graph.num_nodes()) {
+            invalid.store(true);
+            continue;
+          }
+          // A node with no in-neighbors has s(u, v) = 0 for all v != u:
+          // the √c-walk from u can never move, so no meeting is
+          // possible.
+          if (graph.InDegree(u) == 0) continue;
+          if (!engine.QueryInto(u, &result).ok()) {
+            invalid.store(true);
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(emit_mu);
+          for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+            if (v == u) continue;
+            const double score = result.scores[v];
+            if (score < floor) continue;
+            if (!emit(u, v, score)) {
+              aborted.store(true);
+              return;
+            }
+          }
+        }
+      });
   if (invalid.load()) {
     return Status::InvalidArgument("join contained an invalid source node");
   }

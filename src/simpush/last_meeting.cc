@@ -2,27 +2,11 @@
 
 #include <algorithm>
 
+#include "simpush/workspace.h"
+
 namespace simpush {
 
 namespace {
-
-// Reusable scratch for the γ computation of one attention source.
-struct GammaScratch {
-  // Dense per-target accumulator + touched list.
-  std::vector<double> acc;
-  std::vector<AttentionId> touched;
-  // pending[lvl]: (target, amount) pairs to subtract from targets at
-  // level lvl — the ρ(j)·h̃(i-j)² terms of Eq. 11, emitted once when a
-  // ρ-carrier is finalized instead of being re-scanned per level.
-  std::vector<std::vector<std::pair<AttentionId, double>>> pending;
-
-  void Prepare(size_t num_attention, uint32_t max_level) {
-    if (acc.size() < num_attention) acc.assign(num_attention, 0.0);
-    touched.clear();
-    pending.resize(max_level + 1);
-    for (auto& level : pending) level.clear();
-  }
-};
 
 // Eq. 9-11 for one attention occurrence, one forward sweep over levels:
 //   ρ at level ℓ+i starts from h̃(i)(w,·)² (the meeting probability) and
@@ -36,7 +20,7 @@ double GammaFor(const SourceGraph& gu, const HittingTable& hitting,
   const uint32_t max_level = gu.max_level();
   if (level >= max_level) return 1.0;
 
-  const HittingVector& from_w = hitting.VectorAt(level, w.node);
+  const HittingVector from_w = hitting.VectorAt(level, w.node);
   if (from_w.empty()) return 1.0;
   scratch->Prepare(gu.num_attention(), max_level);
 
@@ -81,13 +65,21 @@ double ComputeGammaFor(const SourceGraph& gu, const HittingTable& hitting,
   return GammaFor(gu, hitting, id, &scratch);
 }
 
+void ComputeLastMeetingProbabilities(const SourceGraph& gu,
+                                     const HittingTable& hitting,
+                                     QueryWorkspace* workspace,
+                                     std::vector<double>* gamma) {
+  gamma->assign(gu.num_attention(), 1.0);
+  for (AttentionId id = 0; id < gu.num_attention(); ++id) {
+    (*gamma)[id] = GammaFor(gu, hitting, id, &workspace->gamma_scratch);
+  }
+}
+
 std::vector<double> ComputeLastMeetingProbabilities(
     const SourceGraph& gu, const HittingTable& hitting) {
-  std::vector<double> gamma(gu.num_attention(), 1.0);
-  GammaScratch scratch;
-  for (AttentionId id = 0; id < gu.num_attention(); ++id) {
-    gamma[id] = GammaFor(gu, hitting, id, &scratch);
-  }
+  QueryWorkspace workspace;
+  std::vector<double> gamma;
+  ComputeLastMeetingProbabilities(gu, hitting, &workspace, &gamma);
   return gamma;
 }
 

@@ -13,9 +13,18 @@
 
 namespace simpush {
 
-/// Computes γ^(ℓ)(w) for every attention occurrence, indexed by
-/// AttentionId. Values are clamped to [0, 1] against floating-point
-/// drift; mathematically they lie there already.
+class QueryWorkspace;
+
+/// Computes γ^(ℓ)(w) for every attention occurrence into `gamma`
+/// (indexed by AttentionId), reusing the workspace's scratch. Values are
+/// clamped to [0, 1] against floating-point drift; mathematically they
+/// lie there already. Allocation-free once the workspace is warm.
+void ComputeLastMeetingProbabilities(const SourceGraph& gu,
+                                     const HittingTable& hitting,
+                                     QueryWorkspace* workspace,
+                                     std::vector<double>* gamma);
+
+/// Convenience overload for tests and one-shot callers.
 std::vector<double> ComputeLastMeetingProbabilities(
     const SourceGraph& gu, const HittingTable& hitting);
 

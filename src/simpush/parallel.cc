@@ -1,5 +1,6 @@
 #include "simpush/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
@@ -10,16 +11,24 @@
 
 namespace simpush {
 
-namespace {
-
-// Derives a per-query seed so results do not depend on which worker or
-// in which order a query runs.
-uint64_t PerQuerySeed(uint64_t base_seed, NodeId query) {
-  uint64_t state = base_seed ^ (0xBF58476D1CE4E5B9ULL * (query + 1));
-  return SplitMix64(&state);
+void ForEachQueryChunked(
+    ThreadPool& pool, const Graph& graph, const SimPushOptions& options,
+    size_t num_items,
+    const std::function<void(SimPushEngine&, size_t begin, size_t end)>&
+        run_chunk) {
+  const size_t workers = pool.num_threads();
+  const size_t chunk = (num_items + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(num_items, begin + chunk);
+    if (begin >= end) break;
+    pool.Submit([&graph, &options, &run_chunk, begin, end] {
+      SimPushEngine engine(graph, options);
+      run_chunk(engine, begin, end);
+    });
+  }
+  pool.Wait();
 }
-
-}  // namespace
 
 ParallelBatchStats ParallelQueryBatch(
     const Graph& graph, const SimPushOptions& options,
@@ -35,25 +44,23 @@ ParallelBatchStats ParallelQueryBatch(
   std::atomic<size_t> failed{0};
   std::atomic<uint64_t> cpu_nanos{0};
 
-  // One task per query: engine construction is O(1) (index-free), and a
-  // per-query engine pins the RNG stream to (seed, node) so the output
-  // is identical for any thread count.
-  ParallelFor(pool, 0, queries.size(), [&](size_t i) {
-    const NodeId u = queries[i];
-    SimPushOptions per_query = options;
-    per_query.seed = PerQuerySeed(options.seed, u);
-    SimPushEngine engine(graph, per_query);
-    auto result = engine.Query(u);
-    if (!result.ok()) {
-      failed.fetch_add(1);
-      return;
-    }
-    ok.fetch_add(1);
-    cpu_nanos.fetch_add(
-        static_cast<uint64_t>(result->stats.total_seconds * 1e9));
-    std::lock_guard<std::mutex> lock(result_mu);
-    on_result(u, *result);
-  });
+  ForEachQueryChunked(
+      pool, graph, options, queries.size(),
+      [&](SimPushEngine& engine, size_t begin, size_t end) {
+        SimPushResult result;  // Buffers reused across the whole chunk.
+        for (size_t i = begin; i < end; ++i) {
+          const NodeId u = queries[i];
+          if (!engine.QueryInto(u, &result).ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          ok.fetch_add(1);
+          cpu_nanos.fetch_add(
+              static_cast<uint64_t>(result.stats.total_seconds * 1e9));
+          std::lock_guard<std::mutex> lock(result_mu);
+          on_result(u, result);
+        }
+      });
 
   stats.queries_ok = ok.load();
   stats.queries_failed = failed.load();
@@ -76,25 +83,26 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
   std::atomic<size_t> failed{0};
   std::atomic<uint64_t> cpu_nanos{0};
 
-  ParallelFor(pool, 0, queries.size(), [&](size_t i) {
-    const NodeId u = queries[i];
-    SimPushOptions per_query = options;
-    per_query.seed = PerQuerySeed(options.seed, u);
-    SimPushEngine engine(graph, per_query);
-    auto topk = QueryTopK(&engine, u, k);
-    if (!topk.ok()) {
-      failed.fetch_add(1);
-      return;
-    }
-    ok.fetch_add(1);
-    cpu_nanos.fetch_add(
-        static_cast<uint64_t>(topk->stats.total_seconds * 1e9));
-    results[i].query = u;
-    results[i].topk.reserve(topk->entries.size());
-    for (const TopKEntry& entry : topk->entries) {
-      results[i].topk.emplace_back(entry.node, entry.score);
-    }
-  });
+  ForEachQueryChunked(
+      pool, graph, options, queries.size(),
+      [&](SimPushEngine& engine, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const NodeId u = queries[i];
+          auto topk = QueryTopK(&engine, u, k);
+          if (!topk.ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          ok.fetch_add(1);
+          cpu_nanos.fetch_add(
+              static_cast<uint64_t>(topk->stats.total_seconds * 1e9));
+          results[i].query = u;
+          results[i].topk.reserve(topk->entries.size());
+          for (const TopKEntry& entry : topk->entries) {
+            results[i].topk.emplace_back(entry.node, entry.score);
+          }
+        }
+      });
 
   local_stats.queries_ok = ok.load();
   local_stats.queries_failed = failed.load();

@@ -52,6 +52,20 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
     const std::vector<NodeId>& queries, size_t k, size_t num_threads,
     ParallelBatchStats* stats = nullptr);
 
+class ThreadPool;
+
+/// Building block shared by the batch and join fan-outs: splits
+/// [0, num_items) into contiguous chunks, one per pool worker, and runs
+/// `run_chunk(engine, begin, end)` with a long-lived engine (and thus
+/// one warm QueryWorkspace) per chunk. Blocks until all chunks finish.
+/// Determinism does not depend on the chunking: every query's RNG
+/// stream is derived from (options.seed, node) inside the engine.
+void ForEachQueryChunked(
+    ThreadPool& pool, const Graph& graph, const SimPushOptions& options,
+    size_t num_items,
+    const std::function<void(SimPushEngine&, size_t begin, size_t end)>&
+        run_chunk);
+
 }  // namespace simpush
 
 #endif  // SIMPUSH_SIMPUSH_PARALLEL_H_

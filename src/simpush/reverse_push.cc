@@ -2,26 +2,23 @@
 
 #include <algorithm>
 
-namespace simpush {
+#include "simpush/workspace.h"
 
-void ReversePushWorkspace::Prepare(NodeId num_nodes) {
-  if (current_.size() < num_nodes) {
-    current_.assign(num_nodes, 0.0);
-    next_.assign(num_nodes, 0.0);
-  }
-  current_touched_.clear();
-  next_touched_.clear();
-}
+namespace simpush {
 
 void ReversePush(const Graph& graph, const SourceGraph& gu,
                  const std::vector<double>& gamma, double sqrt_c,
-                 double eps_h, ReversePushWorkspace* workspace,
+                 double eps_h, QueryWorkspace* workspace,
                  std::vector<double>* scores, ReversePushStats* stats) {
   workspace->Prepare(graph.num_nodes());
-  auto& current = workspace->current();
-  auto& next = workspace->next();
-  auto& current_touched = workspace->current_touched();
-  auto& next_touched = workspace->next_touched();
+  EpochArray<double>& current = workspace->dense_a;
+  EpochArray<double>& next = workspace->dense_b;
+  std::vector<NodeId>& current_touched = workspace->frontier_a;
+  std::vector<NodeId>& next_touched = workspace->frontier_b;
+  current.BeginEpoch();
+  next.BeginEpoch();
+  current_touched.clear();
+  next_touched.clear();
 
   ReversePushStats local_stats;
   const uint32_t max_level = gu.max_level();
@@ -34,13 +31,16 @@ void ReversePush(const Graph& graph, const SourceGraph& gu,
       const AttentionNode& w = gu.attention_nodes()[id];
       const double residue = w.hitting_prob * gamma[id];
       if (residue == 0.0) continue;
-      if (current[w.node] == 0.0) current_touched.push_back(w.node);
-      current[w.node] += residue;
+      if (!current.IsSet(w.node)) {
+        current.Set(w.node, residue);
+        current_touched.push_back(w.node);
+      } else {
+        current.RawRef(w.node) += residue;
+      }
     }
 
     for (NodeId vp : current_touched) {
-      const double residue = current[vp];
-      current[vp] = 0.0;
+      const double residue = current.RawRef(vp);
       // Push threshold: √c·r^(ℓ')(v') >= ε_h (Algorithm 5 line 4);
       // below-threshold residue is dropped — that is the approximation
       // ĥ introduces.
@@ -50,20 +50,24 @@ void ReversePush(const Graph& graph, const SourceGraph& gu,
         ++local_stats.edges_traversed;
         const double share = sqrt_c * residue / graph.InDegree(v);
         if (level > 1) {
-          if (next[v] == 0.0) next_touched.push_back(v);
-          next[v] += share;
+          if (!next.IsSet(v)) {
+            next.Set(v, share);
+            next_touched.push_back(v);
+          } else {
+            next.RawRef(v) += share;
+          }
         } else {
           (*scores)[v] += share;
         }
       }
     }
+    // The consumed level's residues are invalidated in O(1); the array
+    // then serves as the next level's accumulator after the swap.
+    current.BeginEpoch();
     current_touched.clear();
     std::swap(current, next);
     std::swap(current_touched, next_touched);
   }
-  // Drain any leftover marks so the workspace is clean for reuse.
-  for (NodeId v : current_touched) current[v] = 0.0;
-  current_touched.clear();
 
   if (stats != nullptr) *stats = local_stats;
 }

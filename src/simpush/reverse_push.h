@@ -15,22 +15,7 @@
 
 namespace simpush {
 
-/// Reusable dense scratch space so repeated queries do not reallocate
-/// O(n) buffers.
-class ReversePushWorkspace {
- public:
-  /// Ensures capacity for an n-node graph.
-  void Prepare(NodeId num_nodes);
-
-  std::vector<double>& current() { return current_; }
-  std::vector<double>& next() { return next_; }
-  std::vector<NodeId>& current_touched() { return current_touched_; }
-  std::vector<NodeId>& next_touched() { return next_touched_; }
-
- private:
-  std::vector<double> current_, next_;
-  std::vector<NodeId> current_touched_, next_touched_;
-};
+class QueryWorkspace;
 
 /// Statistics from one Reverse-Push invocation.
 struct ReversePushStats {
@@ -40,10 +25,13 @@ struct ReversePushStats {
 
 /// Runs Algorithm 5. `gamma` is indexed by AttentionId; `scores` must be
 /// a zeroed vector of size n and receives s̃(u, ·) with s̃(u,u) = 1 set
-/// by the caller (the driver), matching Algorithm 5 line 10.
+/// by the caller (the driver), matching Algorithm 5 line 10. The
+/// workspace provides the dense residue scratch (shared with
+/// Source-Push — the stages run sequentially); the call is
+/// allocation-free once the workspace is warm.
 void ReversePush(const Graph& graph, const SourceGraph& gu,
                  const std::vector<double>& gamma, double sqrt_c,
-                 double eps_h, ReversePushWorkspace* workspace,
+                 double eps_h, QueryWorkspace* workspace,
                  std::vector<double>* scores, ReversePushStats* stats);
 
 }  // namespace simpush

@@ -12,54 +12,68 @@ SimPushEngine::SimPushEngine(const Graph& graph,
                              const SimPushOptions& options)
     : graph_(graph),
       options_(options),
-      derived_(ComputeDerivedParams(options)),
-      rng_(options.seed) {}
+      derived_(ComputeDerivedParams(options)) {}
 
-StatusOr<SimPushResult> SimPushEngine::Query(NodeId u) {
+Status SimPushEngine::QueryInto(NodeId u, SimPushResult* result) {
   SIMPUSH_RETURN_NOT_OK(options_.Validate());
   if (u >= graph_.num_nodes()) {
     return Status::InvalidArgument("query node " + std::to_string(u) +
                                    " out of range");
   }
 
-  SimPushResult result;
+  result->stats = SimPushQueryStats{};
   Timer total_timer;
   Timer stage_timer;
 
+  // The RNG stream is pinned to (seed, query node): reusing the engine,
+  // re-running a query, or moving it to another thread cannot change
+  // the result.
+  Rng query_rng(DeriveStreamSeed(options_.seed, u));
+
   // Stage 1: Source-Push (Algorithm 2) — attention nodes + G_u.
   SourcePushStats sp_stats;
-  Rng query_rng = rng_.Fork();
-  SIMPUSH_ASSIGN_OR_RETURN(
-      SourceGraph gu,
-      SourcePush(graph_, u, options_, derived_, &query_rng, &sp_stats));
-  result.stats.max_level = sp_stats.detected_level;
-  result.stats.num_attention = sp_stats.num_attention;
-  result.stats.gu_node_occurrences = sp_stats.gu_node_occurrences;
-  result.stats.walks_sampled = sp_stats.walks_sampled;
-  result.stats.source_push_seconds = stage_timer.ElapsedSeconds();
+  SourceGraph& gu = workspace_.source_graph;
+  SIMPUSH_RETURN_NOT_OK(SourcePushInto(graph_, u, options_, derived_,
+                                       &query_rng, &workspace_, &gu,
+                                       &sp_stats));
+  result->stats.max_level = sp_stats.detected_level;
+  result->stats.num_attention = sp_stats.num_attention;
+  result->stats.gu_node_occurrences = sp_stats.gu_node_occurrences;
+  result->stats.walks_sampled = sp_stats.walks_sampled;
+  result->stats.source_push_seconds = stage_timer.ElapsedSeconds();
 
   // Stage 2: hitting probabilities within G_u (Algorithm 3) and
   // last-meeting probabilities γ (Algorithm 4).
   stage_timer.Restart();
-  std::vector<double> gamma(gu.num_attention(), 1.0);
+  std::vector<double>& gamma = workspace_.gamma;
   if (options_.use_gamma_correction) {
-    HittingTable hitting = ComputeHittingTable(graph_, gu, derived_.sqrt_c);
-    gamma = ComputeLastMeetingProbabilities(gu, hitting);
+    ComputeHittingTable(graph_, gu, derived_.sqrt_c, &workspace_,
+                        &workspace_.hitting_table);
+    ComputeLastMeetingProbabilities(gu, workspace_.hitting_table,
+                                    &workspace_, &gamma);
+  } else {
+    gamma.assign(gu.num_attention(), 1.0);
   }
-  result.stats.gamma_seconds = stage_timer.ElapsedSeconds();
+  result->stats.gamma_seconds = stage_timer.ElapsedSeconds();
 
   // Stage 3: Reverse-Push (Algorithm 5).
   stage_timer.Restart();
-  result.scores.assign(graph_.num_nodes(), 0.0);
+  result->scores.assign(graph_.num_nodes(), 0.0);
   ReversePushStats rp_stats;
   ReversePush(graph_, gu, gamma, derived_.sqrt_c, derived_.eps_h,
-              &workspace_, &result.scores, &rp_stats);
-  result.scores[u] = 1.0;  // Algorithm 5 line 10.
-  result.stats.reverse_pushes = rp_stats.pushes;
-  result.stats.reverse_edges = rp_stats.edges_traversed;
-  result.stats.reverse_push_seconds = stage_timer.ElapsedSeconds();
+              &workspace_, &result->scores, &rp_stats);
+  result->scores[u] = 1.0;  // Algorithm 5 line 10.
+  result->stats.reverse_pushes = rp_stats.pushes;
+  result->stats.reverse_edges = rp_stats.edges_traversed;
+  result->stats.reverse_push_seconds = stage_timer.ElapsedSeconds();
 
-  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  result->stats.total_seconds = total_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<SimPushResult> SimPushEngine::Query(NodeId u) {
+  SimPushResult result;
+  SIMPUSH_RETURN_NOT_OK(QueryInto(u, &result));
   return result;
 }
 

@@ -6,6 +6,12 @@
 //   simpush::SimPushEngine engine(graph, options);
 //   auto result = engine.Query(u);
 //   if (result.ok()) { use result->scores[v] ... }
+//
+// A long-lived engine owns a QueryWorkspace holding every piece of
+// per-query scratch, so repeated queries perform zero steady-state heap
+// allocations when the caller also reuses the result via QueryInto.
+// Results depend only on (options.seed, query node) — not on engine
+// reuse, thread placement, or query order.
 
 #ifndef SIMPUSH_SIMPUSH_SIMPUSH_H_
 #define SIMPUSH_SIMPUSH_SIMPUSH_H_
@@ -19,6 +25,7 @@
 #include "simpush/options.h"
 #include "simpush/reverse_push.h"
 #include "simpush/source_push.h"
+#include "simpush/workspace.h"
 
 namespace simpush {
 
@@ -57,6 +64,12 @@ class SimPushEngine {
   /// |s̃(u,v) - s(u,v)| <= ε for all v w.p. >= 1-δ.
   StatusOr<SimPushResult> Query(NodeId u);
 
+  /// Like Query, but writes into a caller-owned result whose buffers are
+  /// reused — the steady-state hot path for a query loop. After warm-up
+  /// (first query on this engine + result pair), performs zero heap
+  /// allocations. Produces bit-identical scores to Query.
+  Status QueryInto(NodeId u, SimPushResult* result);
+
   const SimPushOptions& options() const { return options_; }
   const DerivedParams& derived() const { return derived_; }
 
@@ -64,8 +77,7 @@ class SimPushEngine {
   const Graph& graph_;
   SimPushOptions options_;
   DerivedParams derived_;
-  Rng rng_;
-  ReversePushWorkspace workspace_;
+  QueryWorkspace workspace_;
 };
 
 }  // namespace simpush

@@ -1,5 +1,6 @@
 #include "simpush/single_pair.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "simpush/hitting.h"
@@ -42,8 +43,13 @@ StatusOr<SinglePairSession> SinglePairSession::Create(
   for (AttentionId id = 0; id < gu->num_attention(); ++id) {
     const AttentionNode& attention = gu->attention_nodes()[id];
     // Levels are 1..L; store at index level-1.
-    session.residues_[attention.level - 1][attention.node] =
-        attention.hitting_prob * gamma[id];
+    session.residues_[attention.level - 1].emplace_back(
+        attention.node, attention.hitting_prob * gamma[id]);
+  }
+  // Attention occurrences arrive in node order per level already, but
+  // sort defensively — Estimate's lookup relies on it.
+  for (auto& level : session.residues_) {
+    std::sort(level.begin(), level.end());
   }
 
   // Hoeffding walk budget: each walk's accumulated residue lies in
@@ -85,8 +91,12 @@ StatusOr<SinglePairResult> SinglePairSession::Estimate(NodeId v,
       current = graph_->InNeighborAt(
           current, static_cast<uint32_t>(rng_.NextBounded(degree)));
       const auto& level_residues = residues_[level - 1];
-      auto it = level_residues.find(current);
-      if (it != level_residues.end()) total += it->second;
+      auto it = std::lower_bound(
+          level_residues.begin(), level_residues.end(), current,
+          [](const auto& entry, NodeId node) { return entry.first < node; });
+      if (it != level_residues.end() && it->first == current) {
+        total += it->second;
+      }
     }
   }
   result.score = total / static_cast<double>(num_walks);

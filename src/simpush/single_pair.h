@@ -23,7 +23,7 @@
 #define SIMPUSH_SIMPUSH_SINGLE_PAIR_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -72,8 +72,9 @@ class SinglePairSession {
   size_t num_attention_ = 0;
   uint64_t default_walks_ = 0;
   Rng rng_;
-  // residues_[ℓ-1]: node -> r^(ℓ)(node) for attention occurrences on ℓ.
-  std::vector<std::unordered_map<NodeId, double>> residues_;
+  // residues_[ℓ-1]: (node, r^(ℓ)(node)) for attention occurrences on ℓ,
+  // sorted by node — the per-step lookup in Estimate binary searches.
+  std::vector<std::vector<std::pair<NodeId, double>>> residues_;
 };
 
 }  // namespace simpush

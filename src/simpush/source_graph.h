@@ -8,12 +8,17 @@
 // G_u therefore does not store explicit edge lists: the adjacency of G
 // restricted to consecutive level sets *is* the G_u adjacency, which is
 // how Algorithms 3–4 traverse it.
+//
+// Storage is flat: each level is a vector of (node, h) pairs and the
+// attention sets are id vectors, all of which keep their capacity across
+// Reset() so a long-lived engine rebuilds G_u every query without
+// touching the heap.
 
 #ifndef SIMPUSH_SIMPUSH_SOURCE_GRAPH_H_
 #define SIMPUSH_SIMPUSH_SOURCE_GRAPH_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -35,20 +40,32 @@ struct AttentionNode {
 /// Level-structured source graph G_u plus the attention sets A_u^(ℓ).
 class SourceGraph {
  public:
+  /// (node, h^(ℓ)(u, node)) pairs of one level.
+  using LevelEntries = std::vector<std::pair<NodeId, double>>;
+
   /// Max level L (levels are 0..L; level 0 is the query node).
   uint32_t max_level() const { return max_level_; }
   void set_max_level(uint32_t level) {
     max_level_ = level;
-    levels_.resize(level + 1);
+    if (levels_.size() < level + 1) levels_.resize(level + 1);
   }
 
-  /// Hitting-probability map of one level: node -> h^(ℓ)(u, node).
-  std::unordered_map<NodeId, double>& MutableLevel(uint32_t level) {
-    return levels_[level];
+  /// Clears all contents (levels, attention sets) while keeping every
+  /// buffer's capacity, then sets the new max level. O(L) — not O(n).
+  void Reset(uint32_t max_level);
+
+  /// Appends one (node, h) entry to a level. Entries within a level must
+  /// be unique; Source-Push sorts each finished level via SortLevel so
+  /// lookups can assume node order.
+  void AddEntry(uint32_t level, NodeId node, double h) {
+    levels_[level].emplace_back(node, h);
   }
-  const std::unordered_map<NodeId, double>& Level(uint32_t level) const {
-    return levels_[level];
-  }
+
+  /// Sorts a level's entries by node id (after bulk appends).
+  void SortLevel(uint32_t level);
+
+  /// Entries of one level; empty for levels beyond max_level().
+  const LevelEntries& Level(uint32_t level) const;
 
   /// h^(ℓ)(u, v); 0 when v is not on level ℓ of G_u.
   double HittingProb(uint32_t level, NodeId v) const;
@@ -80,13 +97,16 @@ class SourceGraph {
 
  private:
   uint32_t max_level_ = 0;
-  // levels_[ℓ]: node -> h^(ℓ)(u, node). levels_[0] = { {u, 1.0} }.
-  std::vector<std::unordered_map<NodeId, double>> levels_;
+  // levels_[ℓ]: (node, h^(ℓ)(u, node)). levels_[0] = { (u, 1.0) }.
+  // Sized to the largest max level ever seen; inner vectors pooled.
+  std::vector<LevelEntries> levels_;
   std::vector<AttentionNode> attention_;
   // attention_on_level_[ℓ]: ids of attention occurrences at level ℓ.
+  // Ids appended in node order when Source-Push builds the graph, which
+  // enables binary-search lookup; hand-built graphs that insert out of
+  // order fall back to a linear scan (tracked per level).
   std::vector<std::vector<AttentionId>> attention_on_level_;
-  // (level, node) -> attention id.
-  std::unordered_map<uint64_t, AttentionId> attention_index_;
+  std::vector<uint8_t> attention_level_sorted_;
 };
 
 }  // namespace simpush

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "simpush/workspace.h"
 #include "walk/walker.h"
 
 namespace simpush {
@@ -17,27 +16,30 @@ namespace {
 // probability >= ε_h/2). Capped by L* afterwards by the caller.
 //
 // This is the per-query latency floor of SimPush, so the walk loop is
-// inlined (no std::function) and counts live in one flat hash map keyed
-// by (level << 32 | node); levels beyond L* are not even tallied.
+// fully inlined: each walk's decay length is sampled with one RNG draw
+// (geometric inverse CDF, already capped at L*), neighbor picks are the
+// only per-step randomness, and counts live in the workspace's epoch-
+// stamped open-addressing tally — no hashing container churn, no O(n)
+// clears between queries.
 uint32_t DetectMaxLevel(const Graph& graph, NodeId u,
                         const DerivedParams& params, Rng* rng,
-                        uint64_t* walks_out) {
-  Walker walker(graph, params.sqrt_c);
+                        QueryWorkspace* workspace, uint64_t* walks_out) {
+  const Walker walker(graph, params.sqrt_c);
   *walks_out = params.num_walks;
-  std::unordered_map<uint64_t, uint64_t> counts;
-  counts.reserve(1024);
+  LevelNodeTally& tally = workspace->level_tally;
+  tally.NewRound();
   uint32_t max_level = 0;
   for (uint64_t i = 0; i < params.num_walks; ++i) {
+    const uint32_t length = walker.SampleWalkLength(rng, params.l_star);
     NodeId current = u;
-    uint32_t level = 0;
-    while (level < params.l_star) {
-      const NodeId next = walker.Step(current, rng);
-      if (next == kInvalidNode) break;
-      ++level;
-      current = next;
+    for (uint32_t level = 1; level <= length; ++level) {
+      const uint32_t deg = graph.InDegree(current);
+      if (deg == 0) break;  // Dangling: the walk must stop.
+      current = graph.InNeighborAt(
+          current, static_cast<uint32_t>(rng->NextBounded(deg)));
       if (level <= max_level) continue;  // Only deeper levels matter.
-      const uint64_t key = (static_cast<uint64_t>(level) << 32) | next;
-      if (++counts[key] >= params.level_count_threshold) {
+      const uint64_t key = (static_cast<uint64_t>(level) << 32) | current;
+      if (tally.Increment(key) >= params.level_count_threshold) {
         max_level = level;
       }
     }
@@ -47,19 +49,21 @@ uint32_t DetectMaxLevel(const Graph& graph, NodeId u,
 
 }  // namespace
 
-StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
-                                 const SimPushOptions& options,
-                                 const DerivedParams& params, Rng* rng,
-                                 SourcePushStats* stats) {
+Status SourcePushInto(const Graph& graph, NodeId u,
+                      const SimPushOptions& options,
+                      const DerivedParams& params, Rng* rng,
+                      QueryWorkspace* workspace, SourceGraph* gu,
+                      SourcePushStats* stats) {
   if (u >= graph.num_nodes()) {
     return Status::InvalidArgument("query node " + std::to_string(u) +
                                    " out of range");
   }
+  workspace->Prepare(graph.num_nodes());
 
   uint32_t max_level = params.l_star;
   uint64_t walks = 0;
   if (options.use_level_detection) {
-    max_level = DetectMaxLevel(graph, u, params, rng, &walks);
+    max_level = DetectMaxLevel(graph, u, params, rng, workspace, &walks);
     max_level = std::min(max_level, params.l_star);
   }
   // Even when sampling saw nothing past level 0 (e.g. u has no
@@ -68,51 +72,59 @@ StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
   // propagation itself is cheap for one level, so explore at least 1.
   max_level = std::max<uint32_t>(max_level, 1);
 
-  SourceGraph gu;
-  gu.set_max_level(max_level);
-  gu.MutableLevel(0).emplace(u, 1.0);
+  gu->Reset(max_level);
+  gu->AddEntry(0, u, 1.0);
 
   // Lines 9-19: level-wise propagation h^(ℓ+1)(u, v') += √c·h^(ℓ)(u,v)/d_I(v)
   // for every in-neighbor v' of every frontier node v. The inner loop
-  // runs on dense scratch arrays with a touched list (hash maps per
-  // level would dominate query time on dense graphs); each finished
-  // level is then compacted into G_u's per-level map in one pass.
-  const NodeId n = graph.num_nodes();
-  std::vector<double> current(n, 0.0);
-  std::vector<double> next(n, 0.0);
-  std::vector<NodeId> frontier{u};
-  std::vector<NodeId> frontier_next;
-  current[u] = 1.0;
+  // runs on the workspace's epoch-stamped dense arrays with a touched
+  // list (hash maps per level would dominate query time on dense
+  // graphs); each finished level is then compacted into G_u's flat
+  // per-level entries in one pass.
+  EpochArray<double>& current = workspace->dense_a;
+  EpochArray<double>& next = workspace->dense_b;
+  std::vector<NodeId>& frontier = workspace->frontier_a;
+  std::vector<NodeId>& frontier_next = workspace->frontier_b;
+  current.BeginEpoch();
+  next.BeginEpoch();
+  frontier.clear();
+  frontier.push_back(u);
+  current.Set(u, 1.0);
   for (uint32_t level = 0; level < max_level; ++level) {
     if (frontier.empty()) break;
     frontier_next.clear();
     for (NodeId v : frontier) {
-      const double h = current[v];
-      current[v] = 0.0;
+      const double h = current.RawRef(v);
       const uint32_t deg = graph.InDegree(v);
       if (deg == 0) continue;
       const double share = params.sqrt_c * h / deg;
       for (NodeId vp : graph.InNeighbors(v)) {
-        if (next[vp] == 0.0) frontier_next.push_back(vp);
-        next[vp] += share;
+        if (!next.IsSet(vp)) {
+          next.Set(vp, share);
+          frontier_next.push_back(vp);
+        } else {
+          next.RawRef(vp) += share;
+        }
       }
     }
-    auto& level_map = gu.MutableLevel(level + 1);
-    level_map.reserve(frontier_next.size());
     for (NodeId vp : frontier_next) {
-      level_map.emplace(vp, next[vp]);
+      gu->AddEntry(level + 1, vp, next.RawRef(vp));
     }
+    gu->SortLevel(level + 1);
+    // The consumed level's stamps are wiped in O(1) so the array can be
+    // reused as the next level's accumulator after the swap.
+    current.BeginEpoch();
     std::swap(current, next);
     std::swap(frontier, frontier_next);
   }
-  // Drain scratch marks (current holds the last level's values).
-  for (NodeId v : frontier) current[v] = 0.0;
 
   // Lines 20-21: attention nodes are those with h^(ℓ)(u, w) >= ε_h.
+  // Levels are sorted by node, so per-level attention ids are appended
+  // in node order and LookupAttention can binary search.
   for (uint32_t level = 1; level <= max_level; ++level) {
-    for (const auto& [node, h] : gu.Level(level)) {
+    for (const auto& [node, h] : gu->Level(level)) {
       if (h >= params.eps_h) {
-        gu.AddAttentionNode(node, level, h);
+        gu->AddAttentionNode(node, level, h);
       }
     }
   }
@@ -120,9 +132,20 @@ StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
   if (stats != nullptr) {
     stats->detected_level = max_level;
     stats->walks_sampled = walks;
-    stats->gu_node_occurrences = gu.TotalNodeOccurrences();
-    stats->num_attention = gu.num_attention();
+    stats->gu_node_occurrences = gu->TotalNodeOccurrences();
+    stats->num_attention = gu->num_attention();
   }
+  return Status::OK();
+}
+
+StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
+                                 const SimPushOptions& options,
+                                 const DerivedParams& params, Rng* rng,
+                                 SourcePushStats* stats) {
+  QueryWorkspace workspace;
+  SourceGraph gu;
+  SIMPUSH_RETURN_NOT_OK(SourcePushInto(graph, u, options, params, rng,
+                                       &workspace, &gu, stats));
   return gu;
 }
 

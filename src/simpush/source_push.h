@@ -16,6 +16,8 @@
 
 namespace simpush {
 
+class QueryWorkspace;
+
 /// Statistics reported by one Source-Push invocation.
 struct SourcePushStats {
   uint32_t detected_level = 0;   ///< L (after capping by L*).
@@ -24,8 +26,19 @@ struct SourcePushStats {
   size_t num_attention = 0;
 };
 
-/// Runs Algorithm 2 for query node u. `params` carries ε_h, L*, and the
-/// walk budget; `rng` supplies the level-detection randomness.
+/// Runs Algorithm 2 for query node u into `gu` (typically the one owned
+/// by `workspace`, but any SourceGraph works — it is Reset first).
+/// `params` carries ε_h, L*, and the walk budget; `rng` supplies the
+/// level-detection randomness. Allocation-free once the workspace and
+/// `gu` are warm.
+Status SourcePushInto(const Graph& graph, NodeId u,
+                      const SimPushOptions& options,
+                      const DerivedParams& params, Rng* rng,
+                      QueryWorkspace* workspace, SourceGraph* gu,
+                      SourcePushStats* stats);
+
+/// Convenience overload for tests and one-shot callers: allocates its
+/// own workspace and returns G_u by value.
 StatusOr<SourceGraph> SourcePush(const Graph& graph, NodeId u,
                                  const SimPushOptions& options,
                                  const DerivedParams& params, Rng* rng,

@@ -1,0 +1,121 @@
+// QueryWorkspace: every piece of per-query scratch the SimPush stages
+// need, owned in one place so a long-lived SimPushEngine answers
+// queries with zero steady-state heap allocations.
+//
+// Ownership map (stage → scratch):
+//   Source-Push (Alg. 2)   — level_tally (walk level detection),
+//                            dense_a/dense_b + frontier_a/frontier_b
+//                            (level-wise residue propagation),
+//                            source_graph (the G_u being built).
+//   Hitting (Alg. 3)       — holder_index/member_marks/receiver_marks,
+//                            receivers, attention_accum/attention_touched,
+//                            hitting_table.
+//   Last-meeting (Alg. 4)  — gamma_scratch, gamma.
+//   Reverse-Push (Alg. 5)  — dense_a/dense_b + frontier_a/frontier_b
+//                            again (the stages are sequential).
+//
+// All buffers grow to a high-water mark and are logically cleared per
+// query by epoch bumps or O(touched) clears — never O(n) sweeps.
+
+#ifndef SIMPUSH_SIMPUSH_WORKSPACE_H_
+#define SIMPUSH_SIMPUSH_WORKSPACE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/epoch_array.h"
+#include "graph/graph.h"
+#include "simpush/hitting.h"
+#include "simpush/source_graph.h"
+
+namespace simpush {
+
+/// Flat open-addressing (level, node) → count tally for Source-Push
+/// level detection. Slots are epoch-stamped, so starting a new query is
+/// O(1); the table only allocates while growing to its high-water size.
+class LevelNodeTally {
+ public:
+  /// O(1) logical clear (epoch bump).
+  void NewRound();
+
+  /// Increments the count of `key` and returns the new value.
+  /// `key` packs (level << 32 | node).
+  uint64_t Increment(uint64_t key);
+
+  /// Live entries in the current round (for tests).
+  size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t count = 0;
+    uint32_t epoch = 0;
+  };
+
+  void Grow();
+
+  std::vector<Slot> slots_;  // Power-of-two size.
+  size_t size_ = 0;          // Live entries this round.
+  uint32_t epoch_ = 1;
+};
+
+/// Reusable scratch for the γ computation (Algorithm 4).
+struct GammaScratch {
+  // Dense per-target accumulator + touched list.
+  std::vector<double> acc;
+  std::vector<AttentionId> touched;
+  // pending[lvl]: (target, amount) pairs to subtract from targets at
+  // level lvl — the ρ(j)·h̃(i-j)² terms of Eq. 11, emitted once when a
+  // ρ-carrier is finalized instead of being re-scanned per level.
+  std::vector<std::vector<std::pair<AttentionId, double>>> pending;
+
+  void Prepare(size_t num_attention, uint32_t max_level) {
+    if (acc.size() < num_attention) acc.resize(num_attention, 0.0);
+    touched.clear();
+    if (pending.size() < max_level + 1) pending.resize(max_level + 1);
+    for (auto& level : pending) level.clear();
+  }
+};
+
+/// All per-query scratch of the SimPush engine. One instance per engine
+/// (or per worker thread); not thread-safe.
+class QueryWorkspace {
+ public:
+  /// Readies the workspace for one query on an n-node graph: grows the
+  /// dense arrays to n (no-op after the first query) and starts fresh
+  /// epochs. O(1) once warm.
+  void Prepare(NodeId num_nodes);
+
+  // --- Dense per-node value scratch, shared by Source-Push (levels) and
+  // Reverse-Push (residues); both consume it level by level.
+  EpochArray<double> dense_a;
+  EpochArray<double> dense_b;
+  std::vector<NodeId> frontier_a;
+  std::vector<NodeId> frontier_b;
+
+  // --- Source-Push level detection.
+  LevelNodeTally level_tally;
+
+  // --- Hitting-table construction. holder_index maps a node of level
+  // ℓ+1 to (index of its NodeSpan) + 1; member/receiver marks track the
+  // current level's G_u membership and queued pulls.
+  EpochArray<uint32_t> holder_index;
+  EpochArray<uint8_t> member_marks;
+  EpochArray<uint8_t> receiver_marks;
+  std::vector<NodeId> receivers;
+  std::vector<double> attention_accum;    // Zero-restored after each use.
+  std::vector<AttentionId> attention_touched;
+
+  // --- Last-meeting probabilities.
+  GammaScratch gamma_scratch;
+  std::vector<double> gamma;
+
+  // --- Per-query data products, pooled across queries.
+  SourceGraph source_graph;
+  HittingTable hitting_table;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_WORKSPACE_H_

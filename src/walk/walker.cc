@@ -12,43 +12,38 @@ NodeId Walker::Step(NodeId current, Rng* rng) const {
 
 Walk Walker::SampleWalk(NodeId start, Rng* rng) const {
   Walk walk;
+  const uint32_t length = SampleWalkLength(rng);
+  walk.positions.reserve(length + 1);
   walk.positions.push_back(start);
   NodeId current = start;
-  while (true) {
-    const NodeId next = Step(current, rng);
-    if (next == kInvalidNode) break;
-    walk.positions.push_back(next);
-    current = next;
+  for (uint32_t step = 1; step <= length; ++step) {
+    const uint32_t deg = graph_.InDegree(current);
+    if (deg == 0) break;
+    current = graph_.InNeighborAt(
+        current, static_cast<uint32_t>(rng->NextBounded(deg)));
+    walk.positions.push_back(current);
   }
   return walk;
 }
 
-void Walker::SampleWalkVisit(
-    NodeId start, Rng* rng,
-    const std::function<void(uint32_t, NodeId)>& visit) const {
-  NodeId current = start;
-  uint32_t step = 0;
-  while (true) {
-    const NodeId next = Step(current, rng);
-    if (next == kInvalidNode) break;
-    ++step;
-    visit(step, next);
-    current = next;
-  }
-}
-
 bool Walker::PairWalkMeets(NodeId u, NodeId v, Rng* rng) const {
+  // Both walks' decay lengths are sampled up front (one draw each); the
+  // walks then advance in lockstep until the shorter one stops — a
+  // meeting requires the same step index on both walks.
+  const uint32_t length =
+      std::min(SampleWalkLength(rng), SampleWalkLength(rng));
   NodeId a = u;
   NodeId b = v;
-  // Both walks advance in lockstep; if either stops, no further meeting
-  // (a meeting requires the same step index on both walks).
-  while (true) {
-    a = Step(a, rng);
-    if (a == kInvalidNode) return false;
-    b = Step(b, rng);
-    if (b == kInvalidNode) return false;
+  for (uint32_t step = 1; step <= length; ++step) {
+    const uint32_t deg_a = graph_.InDegree(a);
+    if (deg_a == 0) return false;
+    a = graph_.InNeighborAt(a, static_cast<uint32_t>(rng->NextBounded(deg_a)));
+    const uint32_t deg_b = graph_.InDegree(b);
+    if (deg_b == 0) return false;
+    b = graph_.InNeighborAt(b, static_cast<uint32_t>(rng->NextBounded(deg_b)));
     if (a == b) return true;
   }
+  return false;
 }
 
 }  // namespace simpush

@@ -1,0 +1,162 @@
+// Determinism regression tests: batch results must be bit-identical for
+// any thread count, and identical whether an engine is fresh, reused
+// across many queries, or owned by a parallel worker. The invariant
+// behind all of it: a query's RNG stream is derived from
+// (options.seed, query node) and per-query scratch never leaks state.
+
+#include <map>
+#include <vector>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "simpush/batch.h"
+#include "simpush/parallel.h"
+
+namespace simpush {
+namespace {
+
+SimPushOptions TestOptions() {
+  SimPushOptions options;
+  options.epsilon = 0.05;
+  options.walk_budget_cap = 5000;
+  options.seed = 1234;
+  return options;
+}
+
+std::vector<NodeId> FirstNodes(size_t count) {
+  std::vector<NodeId> queries(count);
+  for (size_t i = 0; i < count; ++i) queries[i] = static_cast<NodeId>(i);
+  return queries;
+}
+
+using ScoreTable = std::map<NodeId, std::vector<double>>;
+
+ScoreTable RunBatch(const Graph& graph, const std::vector<NodeId>& queries,
+                    size_t threads) {
+  ScoreTable scores;
+  auto stats = ParallelQueryBatch(graph, TestOptions(), queries, threads,
+                                  [&](NodeId u, const SimPushResult& result) {
+                                    scores[u] = result.scores;
+                                  });
+  // Guard against a vacuous pass: empty-vs-empty tables compare equal.
+  EXPECT_EQ(stats.queries_ok, queries.size());
+  EXPECT_EQ(scores.size(), queries.size());
+  return scores;
+}
+
+void ExpectIdentical(const ScoreTable& a, const ScoreTable& b,
+                     const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (const auto& [u, scores] : a) {
+    auto it = b.find(u);
+    ASSERT_NE(it, b.end()) << label << " query " << u;
+    ASSERT_EQ(scores.size(), it->second.size()) << label << " query " << u;
+    for (size_t v = 0; v < scores.size(); ++v) {
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(scores[v], it->second[v])
+          << label << " query " << u << " node " << v;
+    }
+  }
+}
+
+TEST(DeterminismTest, BatchBitIdenticalAcrossThreadCounts) {
+  auto graph = GenerateChungLu(300, 1800, 2.4, 77);
+  ASSERT_TRUE(graph.ok());
+  const auto queries = FirstNodes(24);
+
+  const ScoreTable with_one = RunBatch(*graph, queries, 1);
+  const ScoreTable with_two = RunBatch(*graph, queries, 2);
+  const ScoreTable with_eight = RunBatch(*graph, queries, 8);
+  ExpectIdentical(with_one, with_two, "1-vs-2 threads");
+  ExpectIdentical(with_one, with_eight, "1-vs-8 threads");
+}
+
+TEST(DeterminismTest, BatchMatchesPerQueryFreshEngines) {
+  // A parallel batch (engines reused across each worker's chunk) must
+  // produce exactly what one fresh engine per query produces.
+  auto graph = GenerateChungLu(250, 1500, 2.5, 79);
+  ASSERT_TRUE(graph.ok());
+  const auto queries = FirstNodes(12);
+
+  ScoreTable fresh;
+  for (NodeId u : queries) {
+    SimPushEngine engine(*graph, TestOptions());
+    auto result = engine.Query(u);
+    ASSERT_TRUE(result.ok());
+    fresh[u] = result->scores;
+  }
+  const ScoreTable batched = RunBatch(*graph, queries, 3);
+  ExpectIdentical(fresh, batched, "fresh-vs-batch");
+}
+
+TEST(DeterminismTest, EngineReuseIdenticalToFreshEngine) {
+  // Same engine, same query, repeated: bit-identical each time, and
+  // identical to a brand-new engine's answer (before/after reuse).
+  auto graph = GenerateErdosRenyi(200, 1400, 81);
+  ASSERT_TRUE(graph.ok());
+  SimPushEngine reused(*graph, TestOptions());
+
+  auto first = reused.Query(7);
+  ASSERT_TRUE(first.ok());
+  // Interleave other queries to dirty the workspace.
+  for (NodeId u : {3u, 11u, 42u, 7u, 199u}) {
+    ASSERT_TRUE(reused.Query(u).ok());
+  }
+  auto again = reused.Query(7);
+  ASSERT_TRUE(again.ok());
+
+  SimPushEngine fresh(*graph, TestOptions());
+  auto from_fresh = fresh.Query(7);
+  ASSERT_TRUE(from_fresh.ok());
+
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    ASSERT_EQ(first->scores[v], again->scores[v]) << "node " << v;
+    ASSERT_EQ(first->scores[v], from_fresh->scores[v]) << "node " << v;
+  }
+}
+
+TEST(DeterminismTest, TopKBatchBitIdenticalAcrossThreadCounts) {
+  auto graph = GenerateChungLu(300, 1800, 2.4, 83);
+  ASSERT_TRUE(graph.ok());
+  const auto queries = FirstNodes(16);
+
+  auto run = [&](size_t threads) {
+    ParallelBatchStats stats;
+    auto results = ParallelQueryBatchTopK(*graph, TestOptions(), queries, 10,
+                                          threads, &stats);
+    EXPECT_TRUE(results.ok());
+    EXPECT_EQ(stats.queries_ok, queries.size());
+    return std::move(results).value();
+  };
+  const auto with_one = run(1);
+  const auto with_eight = run(8);
+  ASSERT_EQ(with_one.size(), with_eight.size());
+  for (size_t i = 0; i < with_one.size(); ++i) {
+    ASSERT_EQ(with_one[i].query, with_eight[i].query);
+    ASSERT_EQ(with_one[i].topk.size(), with_eight[i].topk.size());
+    for (size_t j = 0; j < with_one[i].topk.size(); ++j) {
+      ASSERT_EQ(with_one[i].topk[j].first, with_eight[i].topk[j].first);
+      ASSERT_EQ(with_one[i].topk[j].second, with_eight[i].topk[j].second);
+    }
+  }
+}
+
+TEST(DeterminismTest, SequentialBatchMatchesParallelBatch) {
+  // QueryBatch (one engine, sequential) and ParallelQueryBatch must
+  // agree exactly: engine reuse is invisible to results.
+  auto graph = GenerateChungLu(200, 1200, 2.3, 89);
+  ASSERT_TRUE(graph.ok());
+  const auto queries = FirstNodes(10);
+
+  SimPushEngine engine(*graph, TestOptions());
+  ScoreTable sequential;
+  QueryBatch(&engine, queries, [&](NodeId u, const SimPushResult& result) {
+    sequential[u] = result.scores;
+    return true;
+  });
+  const ScoreTable parallel = RunBatch(*graph, queries, 4);
+  ExpectIdentical(sequential, parallel, "sequential-vs-parallel");
+}
+
+}  // namespace
+}  // namespace simpush

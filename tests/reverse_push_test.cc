@@ -9,6 +9,7 @@
 #include "simpush/options.h"
 #include "simpush/reverse_push.h"
 #include "simpush/source_push.h"
+#include "simpush/workspace.h"
 #include "test_util.h"
 
 namespace simpush {
@@ -40,7 +41,7 @@ Fixture MakeFixture(const Graph& graph, NodeId u, double eps,
 TEST(ReversePushTest, ScoresNonNegativeAndBounded) {
   Graph g = testing_util::RandomGraph(120, 900, 111);
   Fixture f = MakeFixture(g, 3, 0.05, 111);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   ReversePushStats stats;
   ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
@@ -62,12 +63,12 @@ TEST(ReversePushTest, ZeroEpsHThresholdConservesResidueMass) {
   Graph g = testing_util::MakeFixtureGraph();
   SourceGraph gu;
   gu.set_max_level(1);
-  gu.MutableLevel(0).emplace(0, 1.0);
+  gu.AddEntry(0, 0, 1.0);
   // Node 9 has out-neighbors {5, 6} in the fixture graph.
-  gu.MutableLevel(1).emplace(9, 1.0);
+  gu.AddEntry(1, 9, 1.0);
   gu.AddAttentionNode(9, 1, 1.0);
   std::vector<double> gamma{1.0};
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   const double sqrt_c = std::sqrt(0.6);
   ReversePush(g, gu, gamma, sqrt_c, /*eps_h=*/0.0, &workspace, &scores,
@@ -83,7 +84,7 @@ TEST(ReversePushTest, ZeroEpsHThresholdConservesResidueMass) {
 TEST(ReversePushTest, HighThresholdDropsEverything) {
   Graph g = testing_util::RandomGraph(60, 400, 113);
   Fixture f = MakeFixture(g, 2, 0.05, 113);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   ReversePushStats stats;
   ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, /*eps_h=*/10.0,
@@ -100,14 +101,14 @@ TEST(ReversePushTest, TwoLevelResidueCombination) {
   Graph g = testing_util::MakeGraph(3, {{2, 1}, {1, 0}, {2, 0}});
   SourceGraph gu;
   gu.set_max_level(2);
-  gu.MutableLevel(0).emplace(0, 1.0);
-  gu.MutableLevel(1).emplace(1, 0.5);
-  gu.MutableLevel(2).emplace(2, 0.4);
+  gu.AddEntry(0, 0, 1.0);
+  gu.AddEntry(1, 1, 0.5);
+  gu.AddEntry(2, 2, 0.4);
   gu.AddAttentionNode(1, 1, 0.5);
   gu.AddAttentionNode(2, 2, 0.4);
   std::vector<double> gamma{1.0, 1.0};
   const double sqrt_c = std::sqrt(0.6);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   ReversePush(g, gu, gamma, sqrt_c, /*eps_h=*/0.0, &workspace, &scores,
               nullptr);
@@ -124,7 +125,7 @@ TEST(ReversePushTest, TwoLevelResidueCombination) {
 TEST(ReversePushTest, WorkspaceReuseIsClean) {
   Graph g = testing_util::RandomGraph(100, 800, 117);
   Fixture f = MakeFixture(g, 4, 0.05, 117);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
   std::vector<double> first(g.num_nodes(), 0.0);
   ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
               &workspace, &first, nullptr);
@@ -140,11 +141,11 @@ TEST(ReversePushTest, GammaScalesContributions) {
   Graph g = testing_util::MakeGraph(3, {{2, 1}, {1, 0}, {2, 0}});
   SourceGraph gu;
   gu.set_max_level(1);
-  gu.MutableLevel(0).emplace(0, 1.0);
-  gu.MutableLevel(1).emplace(1, 0.8);
+  gu.AddEntry(0, 0, 1.0);
+  gu.AddEntry(1, 1, 0.8);
   gu.AddAttentionNode(1, 1, 0.8);
   const double sqrt_c = std::sqrt(0.6);
-  ReversePushWorkspace workspace;
+  QueryWorkspace workspace;
 
   std::vector<double> full(g.num_nodes(), 0.0);
   std::vector<double> gamma_full{1.0};

@@ -1,0 +1,155 @@
+// Tests for the QueryWorkspace subsystem: epoch-array semantics, the
+// flat level tally, workspace reuse correctness across many queries on
+// one engine, and the zero-allocation steady state (this binary links
+// the counting operator new/delete from common/alloc_hook.cc).
+
+#include <vector>
+
+#include "common/epoch_array.h"
+#include "common/memory.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "simpush/simpush.h"
+#include "simpush/workspace.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace {
+
+TEST(EpochArrayTest, NewEpochClearsLogically) {
+  EpochArray<double> array;
+  array.Resize(8);
+  array.BeginEpoch();
+  EXPECT_FALSE(array.IsSet(3));
+  EXPECT_EQ(array.Get(3), 0.0);
+  array.Set(3, 2.5);
+  EXPECT_TRUE(array.IsSet(3));
+  EXPECT_EQ(array.Get(3), 2.5);
+  array.BeginEpoch();
+  EXPECT_FALSE(array.IsSet(3));
+  EXPECT_EQ(array.Get(3), 0.0);
+}
+
+TEST(EpochArrayTest, RefInitializesStaleSlot) {
+  EpochArray<double> array;
+  array.Resize(4);
+  array.BeginEpoch();
+  array.Set(1, 9.0);
+  array.BeginEpoch();
+  array.Ref(1) += 2.0;  // Stale 9.0 must not leak through.
+  EXPECT_EQ(array.Get(1), 2.0);
+  array.Ref(1) += 3.0;
+  EXPECT_EQ(array.Get(1), 5.0);
+}
+
+TEST(EpochArrayTest, ResizePreservesAndGrows) {
+  EpochArray<uint32_t> array;
+  array.Resize(2);
+  array.BeginEpoch();
+  array.Set(1, 7);
+  array.Resize(16);
+  EXPECT_TRUE(array.IsSet(1));
+  EXPECT_EQ(array.Get(1), 7u);
+  EXPECT_FALSE(array.IsSet(10));
+  array.Resize(4);  // Never shrinks.
+  EXPECT_EQ(array.size(), 16u);
+}
+
+TEST(LevelNodeTallyTest, CountsAndRoundsAreIsolated) {
+  LevelNodeTally tally;
+  tally.NewRound();
+  EXPECT_EQ(tally.Increment(42), 1u);
+  EXPECT_EQ(tally.Increment(42), 2u);
+  EXPECT_EQ(tally.Increment(7), 1u);
+  EXPECT_EQ(tally.size(), 2u);
+  tally.NewRound();
+  EXPECT_EQ(tally.size(), 0u);
+  EXPECT_EQ(tally.Increment(42), 1u) << "previous round must not leak";
+}
+
+TEST(LevelNodeTallyTest, SurvivesGrowthWithManyKeys) {
+  LevelNodeTally tally;
+  tally.NewRound();
+  const uint64_t kKeys = 5000;
+  for (uint64_t round = 0; round < 3; ++round) {
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      tally.Increment(key << 17 | key);  // Spread keys out.
+    }
+  }
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(tally.Increment(key << 17 | key), 4u) << "key " << key;
+  }
+}
+
+TEST(WorkspaceReuseTest, ManyQueriesMatchFreshEngineExactly) {
+  // >= 3 queries on one engine must match a fresh engine's answer for
+  // every query, bit for bit — workspace reuse is invisible.
+  Graph g = testing_util::RandomGraph(150, 1050, 53);
+  SimPushOptions options;
+  options.epsilon = 0.05;
+  options.walk_budget_cap = 5000;
+
+  SimPushEngine reused(g, options);
+  const std::vector<NodeId> queries = {5, 77, 5, 149, 0, 23};
+  for (NodeId u : queries) {
+    auto from_reused = reused.Query(u);
+    ASSERT_TRUE(from_reused.ok()) << "query " << u;
+    SimPushEngine fresh(g, options);
+    auto from_fresh = fresh.Query(u);
+    ASSERT_TRUE(from_fresh.ok()) << "query " << u;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(from_reused->scores[v], from_fresh->scores[v])
+          << "query " << u << " node " << v;
+    }
+  }
+}
+
+TEST(WorkspaceReuseTest, QueryIntoMatchesQuery) {
+  Graph g = testing_util::RandomGraph(120, 840, 59);
+  SimPushOptions options;
+  options.epsilon = 0.05;
+  options.walk_budget_cap = 5000;
+  SimPushEngine engine(g, options);
+
+  SimPushResult reused_result;
+  for (NodeId u : {NodeId(2), NodeId(60), NodeId(119)}) {
+    ASSERT_TRUE(engine.QueryInto(u, &reused_result).ok());
+    auto fresh_result = engine.Query(u);
+    ASSERT_TRUE(fresh_result.ok());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(reused_result.scores[v], fresh_result->scores[v])
+          << "query " << u << " node " << v;
+    }
+  }
+}
+
+TEST(WorkspaceReuseTest, SteadyStateQueriesAllocateNothing) {
+  // The zero-allocation claim, enforced: after one warm-up pass over
+  // the query rotation, QueryInto on a reused engine + result must not
+  // touch the heap. This binary links the counting operator new.
+  Graph g = testing_util::RandomGraph(200, 1600, 61);
+  SimPushOptions options;
+  options.epsilon = 0.05;
+  options.walk_budget_cap = 5000;
+  SimPushEngine engine(g, options);
+  SimPushResult result;
+
+  const std::vector<NodeId> rotation = {0, 31, 62, 93, 124, 155, 186};
+  for (NodeId u : rotation) {
+    ASSERT_TRUE(engine.QueryInto(u, &result).ok());
+  }
+
+  const AllocationStats before = GetAllocationStats();
+  ASSERT_GT(before.allocations, 0u) << "alloc hook not linked in";
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId u : rotation) {
+      ASSERT_TRUE(engine.QueryInto(u, &result).ok());
+    }
+  }
+  const AllocationStats after = GetAllocationStats();
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "steady-state queries must perform zero heap allocations";
+}
+
+}  // namespace
+}  // namespace simpush
