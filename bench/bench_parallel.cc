@@ -2,20 +2,107 @@
 // batch SimRank processing as future work).
 //
 // Measures end-to-end wall time for a fixed batch of single-source
-// queries at 1, 2, 4, and 8 worker threads, reporting queries/second
-// and the speedup over one thread. Per-query results are bitwise
-// independent of thread count (seeded per query node), so accuracy
-// columns are omitted — only scheduling changes.
+// queries at 1, 2, 4, and 8 worker threads, comparing three execution
+// models:
+//   engine/worker — one full SimPushEngine (and its O(n) scratch)
+//                   constructed per worker, the pre-pool design;
+//   pooled        — one shared immutable EngineCore + a WorkspacePool
+//                   capped at the worker count (QueryExecutor);
+//   pooled-half   — same, pool capped at half the workers: the
+//                   memory/parallelism tradeoff only the pool exposes.
+// Reported per row: wall time, aggregate and per-worker queries/second,
+// speedup over one thread, summed per-query CPU time, and process peak
+// RSS (monotone per process — within a thread count the pooled rows run
+// first so their readings are not inflated by the baseline's).
+// Per-query results are bitwise independent of thread count and of
+// which model ran them (seeded per query node), so accuracy columns are
+// omitted — only scheduling changes.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/memory.h"
+#include "common/thread_pool.h"
 #include "simpush/parallel.h"
 
 namespace simpush {
 namespace bench {
 namespace {
+
+struct RunRow {
+  ParallelBatchStats stats;
+  size_t peak_rss = 0;
+};
+
+// The pre-pool execution model, kept as the bench baseline: a private
+// engine (core + workspace) per worker chunk.
+RunRow RunEnginePerWorker(const Graph& graph, const SimPushOptions& options,
+                          const std::vector<NodeId>& queries,
+                          size_t num_threads, size_t* sink) {
+  RunRow row;
+  // Pool construction precedes the timer on both models: the pooled
+  // path times only the batch (its executor is built first too), so
+  // thread-spawn cost must not be charged to this baseline either.
+  ThreadPool pool(num_threads);
+  Timer wall;
+  row.stats.num_threads = pool.num_threads();
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> local_sink{0};
+  std::atomic<uint64_t> cpu_nanos{0};
+  const size_t workers = pool.num_threads();
+  const size_t chunk = (queries.size() + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(queries.size(), begin + chunk);
+    if (begin >= end) break;
+    pool.Submit([&, begin, end] {
+      SimPushEngine engine(graph, options);
+      SimPushResult result;
+      for (size_t i = begin; i < end; ++i) {
+        if (!engine.QueryInto(queries[i], &result).ok()) continue;
+        ok.fetch_add(1);
+        cpu_nanos.fetch_add(
+            static_cast<uint64_t>(result.stats.total_seconds * 1e9));
+        local_sink.fetch_add(result.scores.size());
+      }
+    });
+  }
+  pool.Wait();
+  row.stats.queries_ok = ok.load();
+  row.stats.cpu_query_seconds = cpu_nanos.load() / 1e9;
+  row.stats.wall_seconds = wall.ElapsedSeconds();
+  row.peak_rss = PeakRssBytes();
+  *sink += local_sink.load();
+  return row;
+}
+
+RunRow RunPooled(const Graph& graph, const SimPushOptions& options,
+                 const std::vector<NodeId>& queries, size_t num_threads,
+                 size_t pool_capacity, size_t* sink) {
+  RunRow row;
+  QueryExecutor executor(graph, options, num_threads, pool_capacity);
+  row.stats = ParallelQueryBatch(
+      executor, queries, [sink](NodeId, const SimPushResult& result) {
+        *sink += result.scores.size();  // keep results alive to the end
+      });
+  row.peak_rss = PeakRssBytes();
+  return row;
+}
+
+void PrintRow(const char* model, const RunRow& row, size_t batch,
+              double baseline_wall) {
+  const double qps = batch / row.stats.wall_seconds;
+  double rss = static_cast<double>(row.peak_rss);
+  const char* unit = HumanBytesUnit(&rss);
+  std::printf("%-14s %-8zu %11.3f %11.1f %14.1f %9.2f %12.3f %9.1f%s\n",
+              model, row.stats.num_threads, row.stats.wall_seconds, qps,
+              qps / row.stats.num_threads,
+              baseline_wall / row.stats.wall_seconds,
+              row.stats.cpu_query_seconds, rss, unit);
+}
 
 void RunDataset(const DatasetSpec& spec) {
   Graph graph = MustBuildDataset(spec);
@@ -29,29 +116,50 @@ void RunDataset(const DatasetSpec& spec) {
 
   std::printf("\n-- %s: batch of %zu single-source queries --\n",
               spec.name.c_str(), queries.size());
-  std::printf("%-8s %14s %14s %12s %12s\n", "threads", "wall(s)",
-              "queries/s", "speedup", "cpu-sum(s)");
+  std::printf("%-14s %-8s %11s %11s %14s %9s %12s %10s\n", "model",
+              "threads", "wall(s)", "queries/s", "q/s/worker", "speedup",
+              "cpu-sum(s)", "peak-rss");
 
-  double baseline_wall = 0;
+  size_t sink = 0;
+  double engines_baseline = 0;
+  double pooled_baseline = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
-    size_t sink = 0;
-    auto stats = ParallelQueryBatch(
-        graph, options, queries, threads,
-        [&sink](NodeId, const SimPushResult& result) {
-          sink += result.scores.size();  // keep results alive to the end
-        });
-    if (stats.queries_failed != 0) {
+    // Peak RSS is process-monotone: every reading is a floor inherited
+    // from all earlier runs (including previous thread counts), not a
+    // per-model measurement. Running smallest-footprint first within a
+    // thread count keeps a model's reading from being inflated by a
+    // LARGER model at the same count — enough to demonstrate the capped
+    // pool's bound at the top thread count, not to detect small
+    // pooled-model memory regressions.
+    //
+    // Half-capacity pool first: same thread count, scratch bounded at
+    // O(threads/2 · n) — the memory/parallelism knob the
+    // per-worker-engine design cannot express.
+    RunRow capped = RunPooled(graph, options, queries, threads,
+                              std::max<size_t>(1, threads / 2), &sink);
+    RunRow pooled =
+        RunPooled(graph, options, queries, threads, threads, &sink);
+    if (pooled.stats.queries_ok != queries.size()) {
       std::fprintf(stderr, "FATAL: %zu queries failed\n",
-                   stats.queries_failed);
+                   pooled.stats.queries_failed);
       std::exit(1);
     }
-    if (threads == 1) baseline_wall = stats.wall_seconds;
-    std::printf("%-8zu %14.3f %14.1f %12.2f %12.3f\n", stats.num_threads,
-                stats.wall_seconds, queries.size() / stats.wall_seconds,
-                baseline_wall / stats.wall_seconds,
-                stats.cpu_query_seconds);
+    RunRow engines =
+        RunEnginePerWorker(graph, options, queries, threads, &sink);
+    if (engines.stats.queries_ok != queries.size()) {
+      std::fprintf(stderr, "FATAL: engine/worker run lost queries\n");
+      std::exit(1);
+    }
+    if (threads == 1) {
+      engines_baseline = engines.stats.wall_seconds;
+      pooled_baseline = pooled.stats.wall_seconds;
+    }
+    PrintRow("engine/worker", engines, queries.size(), engines_baseline);
+    PrintRow("pooled", pooled, queries.size(), pooled_baseline);
+    PrintRow("pooled-half", capped, queries.size(), pooled_baseline);
     std::fflush(stdout);
   }
+  if (sink == 0) std::printf("(unreachable sink: %zu)\n", sink);
 }
 
 }  // namespace
@@ -64,7 +172,8 @@ int main() {
   std::printf("== Parallel batch throughput (extension bench) ==\n");
   std::printf(
       "(single-query latency is unchanged; this measures how an "
-      "index-free method scales offline batch scoring)\n");
+      "index-free method scales offline batch scoring, and that the "
+      "pooled-workspace model costs nothing vs an engine per worker)\n");
   for (const DatasetSpec& spec : SmallDatasets()) {
     RunDataset(spec);
   }

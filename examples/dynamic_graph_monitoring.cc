@@ -13,7 +13,9 @@
 #include "eval/metrics.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
-#include "simpush/simpush.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace.h"
 
 namespace {
 
@@ -49,6 +51,11 @@ int main() {
   const NodeId watched = 17;  // Entity we keep similarity-monitoring.
   double simpush_total = 0, sling_rebuild_total = 0, sling_query_total = 0;
 
+  // The split makes the update story explicit: a graph change costs one
+  // new (trivially cheap) EngineCore, while the O(n) query scratch in
+  // the workspace survives every rebuild at its high-water size.
+  QueryWorkspace workspace;
+
   for (int batch = 0; batch < 5; ++batch) {
     // A batch of 100 random edge insertions arrives.
     std::vector<std::pair<NodeId, NodeId>> extra;
@@ -63,9 +70,10 @@ int main() {
     SimPushOptions options;
     options.epsilon = 0.02;
     options.walk_budget_cap = 50000;
-    SimPushEngine engine(graph, options);
+    EngineCore core(graph, options);
+    QueryRunner runner(core, &workspace);
     Timer simpush_timer;
-    auto result = engine.Query(watched);
+    auto result = runner.Query(watched);
     const double simpush_ms = simpush_timer.ElapsedMillis();
     if (!result.ok()) return 1;
     simpush_total += simpush_ms;

@@ -10,7 +10,9 @@
 
 #include "eval/metrics.h"
 #include "graph/graph_builder.h"
-#include "simpush/simpush.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace_pool.h"
 
 int main() {
   using namespace simpush;
@@ -38,11 +40,17 @@ int main() {
   // latency (see DESIGN.md §6); accuracy is unaffected on this graph.
   options.walk_budget_cap = 50000;
 
-  // 3. Query. No index, no preprocessing — the engine only holds
-  //    reusable scratch buffers.
-  SimPushEngine engine(*graph, options);
+  // 3. Query. No index, no preprocessing. The engine is split into an
+  //    immutable EngineCore (shareable across threads) and pooled
+  //    per-query workspaces; a QueryRunner binds one of each. For a
+  //    single-threaded tool a pool of one workspace is all it takes —
+  //    simpush::SimPushEngine wraps exactly this trio if you prefer
+  //    one object.
+  EngineCore core(*graph, options);
+  WorkspacePool workspaces(1);
+  QueryRunner runner(core, workspaces);
   const NodeId query = 5;
-  auto result = engine.Query(query);
+  auto result = runner.Query(query);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

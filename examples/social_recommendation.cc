@@ -9,7 +9,9 @@
 #include "eval/metrics.h"
 #include "exact/power_method.h"
 #include "graph/generators.h"
-#include "simpush/simpush.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace.h"
 
 int main() {
   using namespace simpush;
@@ -32,8 +34,12 @@ int main() {
   SimPushOptions options;
   options.epsilon = 0.005;
   options.walk_budget_cap = 100000;
-  SimPushEngine engine(*graph, options);
-  auto result = engine.Query(user);
+  // Immutable core + caller-owned workspace: the embedded shape of the
+  // engine split (no pool needed for a one-shot tool).
+  EngineCore core(*graph, options);
+  QueryWorkspace workspace;
+  QueryRunner runner(core, &workspace);
+  auto result = runner.Query(user);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

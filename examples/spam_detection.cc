@@ -15,8 +15,10 @@
 
 #include "graph/dynamic_graph.h"
 #include "graph/generators.h"
-#include "simpush/simpush.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
 #include "simpush/topk.h"
+#include "simpush/workspace.h"
 
 int main() {
   using namespace simpush;
@@ -56,9 +58,11 @@ int main() {
   SimPushOptions options;
   options.epsilon = 0.01;
   options.walk_budget_cap = 50000;
-  SimPushEngine engine(*graph, options);
+  EngineCore core(*graph, options);
+  QueryWorkspace workspace;
+  QueryRunner runner(core, &workspace);
 
-  auto topk = QueryTopK(&engine, seed, kFarmSize);
+  auto topk = QueryTopK(&runner, seed, kFarmSize);
   if (!topk.ok()) {
     std::fprintf(stderr, "%s\n", topk.status().ToString().c_str());
     return 1;
@@ -87,7 +91,7 @@ int main() {
   for (NodeId v = 1; v < base->num_nodes(); ++v) {
     if (graph->InDegree(v) > graph->InDegree(hub)) hub = v;
   }
-  auto hub_result = engine.Query(seed);
+  auto hub_result = runner.Query(seed);
   if (hub_result.ok()) {
     std::printf("  s(seed, honest hub %u) = %.5f (farm pages score ~%.3f)\n",
                 hub, hub_result->scores[hub],

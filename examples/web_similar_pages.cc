@@ -9,7 +9,9 @@
 
 #include "eval/metrics.h"
 #include "graph/generators.h"
-#include "simpush/simpush.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace_pool.h"
 
 int main() {
   using namespace simpush;
@@ -26,14 +28,21 @@ int main() {
   SimPushOptions options;
   options.epsilon = 0.02;
   options.walk_budget_cap = 100000;  // See DESIGN.md §6.
-  SimPushEngine engine(*graph, options);
+  // The serving shape: one immutable EngineCore shared by every request
+  // thread, and a bounded pool of per-query workspaces. This stream is
+  // single-threaded, so one pooled workspace serves every request; a
+  // real front end would size the pool at its worker count and let each
+  // request lease a workspace through a QueryRunner exactly like this.
+  EngineCore core(*graph, options);
+  WorkspacePool workspaces(1);
 
   // A stream of 20 "user" queries.
   Rng rng(7);
   std::vector<double> latencies_ms;
   for (int i = 0; i < 20; ++i) {
     const NodeId page = static_cast<NodeId>(rng.NextBounded(graph->num_nodes()));
-    auto result = engine.Query(page);
+    QueryRunner runner(core, workspaces);  // Leases a (warm) workspace.
+    auto result = runner.Query(page);
     if (!result.ok()) continue;
     latencies_ms.push_back(result->stats.total_seconds * 1e3);
     if (i < 3) {

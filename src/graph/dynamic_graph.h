@@ -14,6 +14,7 @@
 #define SIMPUSH_GRAPH_DYNAMIC_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -56,8 +57,17 @@ class DynamicGraph {
     return static_cast<uint32_t>(in_[v].size());
   }
 
-  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
-  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+  /// Out-neighbors O(v), as a span so templated walk/push code compiles
+  /// against Graph and DynamicGraph interchangeably (same return type as
+  /// Graph::OutNeighbors; no copies). Invalidated by any mutation of v's
+  /// adjacency.
+  std::span<const NodeId> OutNeighbors(NodeId v) const { return out_[v]; }
+  /// In-neighbors I(v); same contract as OutNeighbors.
+  std::span<const NodeId> InNeighbors(NodeId v) const { return in_[v]; }
+
+  /// k-th in-neighbor of v, 0 <= k < InDegree(v) — mirrors
+  /// Graph::InNeighborAt for walk code written against either type.
+  NodeId InNeighborAt(NodeId v, uint32_t k) const { return in_[v][k]; }
 
   /// Appends a node with no edges; returns its id.
   NodeId AddNode();

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/timer.h"
-#include "simpush/simpush.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace.h"
 
 namespace simpush {
 
@@ -35,13 +37,19 @@ StatusOr<AdaptiveTopKResult> AdaptiveTopK(const Graph& graph, NodeId u,
   Timer total;
   double epsilon = options.base.epsilon;
 
+  // One workspace serves every refinement round: each round only needs
+  // a fresh (cheap) EngineCore for its ε, while the O(n) scratch stays
+  // warm across rounds.
+  QueryWorkspace workspace;
+
   for (;;) {
     SimPushOptions round_options = options.base;
     round_options.epsilon = epsilon;
-    SimPushEngine engine(graph, round_options);
+    EngineCore core(graph, round_options);
+    QueryRunner runner(core, &workspace);
     // Ask for k+1 so the separation rule can inspect the score just
     // below the cut.
-    SIMPUSH_ASSIGN_OR_RETURN(TopKResult topk, QueryTopK(&engine, u, k + 1));
+    SIMPUSH_ASSIGN_OR_RETURN(TopKResult topk, QueryTopK(&runner, u, k + 1));
     ++result.rounds;
     result.final_epsilon = epsilon;
 

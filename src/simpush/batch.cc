@@ -29,13 +29,13 @@ std::vector<NodeId> SelectTopK(const std::vector<double>& scores, size_t k,
 }  // namespace
 
 BatchStats QueryBatch(
-    SimPushEngine* engine, const std::vector<NodeId>& queries,
+    QueryRunner* runner, const std::vector<NodeId>& queries,
     const std::function<bool(NodeId, const SimPushResult&)>& on_result) {
   BatchStats stats;
   Timer total;
   for (NodeId u : queries) {
     Timer per_query;
-    auto result = engine->Query(u);
+    auto result = runner->Query(u);
     const double seconds = per_query.ElapsedSeconds();
     if (!result.ok()) {
       ++stats.queries_failed;
@@ -50,12 +50,12 @@ BatchStats QueryBatch(
 }
 
 StatusOr<std::vector<BatchTopKResult>> QueryBatchTopK(
-    SimPushEngine* engine, const std::vector<NodeId>& queries, size_t k) {
+    QueryRunner* runner, const std::vector<NodeId>& queries, size_t k) {
   std::vector<BatchTopKResult> results;
   results.reserve(queries.size());
   Status first_error = Status::OK();
   for (NodeId u : queries) {
-    auto result = engine->Query(u);
+    auto result = runner->Query(u);
     if (!result.ok()) {
       if (first_error.ok()) first_error = result.status();
       continue;

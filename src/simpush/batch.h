@@ -27,8 +27,13 @@ struct BatchStats {
 /// Individual query failures (e.g. out-of-range nodes) are counted in
 /// stats.queries_failed and skipped, not fatal.
 BatchStats QueryBatch(
-    SimPushEngine* engine, const std::vector<NodeId>& queries,
+    QueryRunner* runner, const std::vector<NodeId>& queries,
     const std::function<bool(NodeId, const SimPushResult&)>& on_result);
+inline BatchStats QueryBatch(
+    SimPushEngine* engine, const std::vector<NodeId>& queries,
+    const std::function<bool(NodeId, const SimPushResult&)>& on_result) {
+  return QueryBatch(&engine->runner(), queries, on_result);
+}
 
 /// Convenience wrapper: top-k per query, materialized.
 struct BatchTopKResult {
@@ -36,7 +41,11 @@ struct BatchTopKResult {
   std::vector<std::pair<NodeId, double>> topk;
 };
 StatusOr<std::vector<BatchTopKResult>> QueryBatchTopK(
-    SimPushEngine* engine, const std::vector<NodeId>& queries, size_t k);
+    QueryRunner* runner, const std::vector<NodeId>& queries, size_t k);
+inline StatusOr<std::vector<BatchTopKResult>> QueryBatchTopK(
+    SimPushEngine* engine, const std::vector<NodeId>& queries, size_t k) {
+  return QueryBatchTopK(&engine->runner(), queries, k);
+}
 
 }  // namespace simpush
 

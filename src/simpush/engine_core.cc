@@ -1,0 +1,11 @@
+#include "simpush/engine_core.h"
+
+namespace simpush {
+
+EngineCore::EngineCore(const Graph& graph, const SimPushOptions& options)
+    : graph_(graph),
+      options_(options),
+      options_status_(options.Validate()),
+      derived_(ComputeDerivedParams(options)) {}
+
+}  // namespace simpush

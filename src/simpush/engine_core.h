@@ -1,0 +1,63 @@
+// EngineCore: the immutable, shareable half of the SimPush engine.
+//
+// A core holds everything about a query configuration that does NOT
+// change per query — the graph reference, the resolved options, and the
+// parameters derived from them (√c, ε_h, L*, walk-count formulas).
+// Computing these once and sharing the core between any number of
+// threads is what lets a server answer concurrent queries without one
+// full engine (and its O(n) scratch) per worker: per-query mutable
+// state lives in a QueryWorkspace checked out of a WorkspacePool, and a
+// QueryRunner binds one core + one workspace to execute a query.
+//
+// Thread-safety contract: EngineCore is deeply immutable after
+// construction; every method is const and safe to call concurrently
+// from any number of threads. The Graph must outlive the core and must
+// not be mutated while the core exists (Graph is itself immutable CSR,
+// so this holds by construction).
+
+#ifndef SIMPUSH_SIMPUSH_ENGINE_CORE_H_
+#define SIMPUSH_SIMPUSH_ENGINE_CORE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "simpush/options.h"
+
+namespace simpush {
+
+/// Immutable engine configuration shared by concurrent query runners.
+class EngineCore {
+ public:
+  /// The graph must outlive the core. Options are copied and validated
+  /// once here; an invalid configuration is reported by every query
+  /// through options_status() rather than by aborting construction (the
+  /// library is exception-free at its API boundary).
+  EngineCore(const Graph& graph, const SimPushOptions& options);
+
+  const Graph& graph() const { return graph_; }
+  const SimPushOptions& options() const { return options_; }
+  const DerivedParams& derived() const { return derived_; }
+
+  /// Result of validating the options at construction. Query runners
+  /// return this status verbatim when it is not OK.
+  const Status& options_status() const { return options_status_; }
+
+  /// The RNG seed for query node u. Depends only on (options.seed, u) —
+  /// never on which core instance, workspace, or thread runs the query —
+  /// which is what makes pooled execution bit-identical to serial runs.
+  uint64_t QuerySeed(NodeId u) const {
+    return DeriveStreamSeed(options_.seed, u);
+  }
+
+ private:
+  const Graph& graph_;
+  const SimPushOptions options_;
+  const Status options_status_;
+  const DerivedParams derived_;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_ENGINE_CORE_H_

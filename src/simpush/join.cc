@@ -5,9 +5,7 @@
 #include <functional>
 #include <mutex>
 
-#include "common/thread_pool.h"
 #include "simpush/parallel.h"
-#include "simpush/simpush.h"
 
 namespace simpush {
 
@@ -24,20 +22,21 @@ bool PairLess(const SimilarPair& a, const SimilarPair& b) {
 // otherwise all targets are kept (restricted join emits (source, v)
 // pairs canonicalized later).
 //
-// Sources are fanned across the pool via ForEachQueryChunked: one
-// long-lived engine per worker, per-source randomness pinned to
-// (options.query.seed, source) inside the engine, so results do not
-// depend on the chunking or thread count.
+// Sources are fanned across a QueryExecutor via ForEachQueryChunked:
+// every worker shares the one immutable EngineCore and leases one
+// pooled workspace per chunk; per-source randomness is pinned to
+// (options.query.seed, source) inside the runner, so results do not
+// depend on the chunking, thread count, or workspace assignment.
 Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
                    double floor, const JoinOptions& options,
                    const std::function<bool(NodeId, NodeId, double)>& emit) {
   std::atomic<bool> aborted{false};
   std::atomic<bool> invalid{false};
   std::mutex emit_mu;
-  ThreadPool pool(options.num_threads);
+  QueryExecutor executor(graph, options.query, options.num_threads);
   ForEachQueryChunked(
-      pool, graph, options.query, sources.size(),
-      [&](SimPushEngine& engine, size_t begin, size_t end) {
+      executor, sources.size(),
+      [&](QueryRunner& runner, size_t begin, size_t end) {
         SimPushResult result;  // Buffers reused across the whole chunk.
         for (size_t i = begin; i < end; ++i) {
           if (aborted.load(std::memory_order_relaxed)) return;
@@ -50,7 +49,7 @@ Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
           // the √c-walk from u can never move, so no meeting is
           // possible.
           if (graph.InDegree(u) == 0) continue;
-          if (!engine.QueryInto(u, &result).ok()) {
+          if (!runner.QueryInto(u, &result).ok()) {
             invalid.store(true);
             continue;
           }

@@ -2,42 +2,68 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 
-#include "common/rng.h"
-#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "simpush/topk.h"
 
 namespace simpush {
 
+QueryExecutor::QueryExecutor(const Graph& graph,
+                             const SimPushOptions& options,
+                             size_t num_threads, size_t pool_capacity)
+    : core_(graph, options),
+      thread_pool_(num_threads),
+      workspaces_(pool_capacity != 0 ? pool_capacity
+                                     : thread_pool_.num_threads()) {}
+
 void ForEachQueryChunked(
-    ThreadPool& pool, const Graph& graph, const SimPushOptions& options,
-    size_t num_items,
-    const std::function<void(SimPushEngine&, size_t begin, size_t end)>&
+    QueryExecutor& executor, size_t num_items,
+    const std::function<void(QueryRunner&, size_t begin, size_t end)>&
         run_chunk) {
-  const size_t workers = pool.num_threads();
+  const size_t workers = executor.num_threads();
   const size_t chunk = (num_items + workers - 1) / workers;
+
+  // Completion is tracked per call, not via ThreadPool::Wait (which
+  // drains the WHOLE pool): concurrent batches on one executor must
+  // only wait for their own chunks.
+  std::mutex done_mu;
+  std::condition_variable chunk_done;
+  size_t pending = 0;
+
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = w * chunk;
     const size_t end = std::min(num_items, begin + chunk);
     if (begin >= end) break;
-    pool.Submit([&graph, &options, &run_chunk, begin, end] {
-      SimPushEngine engine(graph, options);
-      run_chunk(engine, begin, end);
-    });
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++pending;
+    }
+    executor.thread_pool().Submit(
+        [&executor, &run_chunk, &done_mu, &chunk_done, &pending, begin,
+         end] {
+          // One leased workspace serves the whole chunk; the lease
+          // returns to the pool when the runner dies, so a later batch
+          // on the same executor reuses the (warm) workspace.
+          {
+            QueryRunner runner(executor.core(), executor.workspaces());
+            run_chunk(runner, begin, end);
+          }
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (--pending == 0) chunk_done.notify_all();
+        });
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(done_mu);
+  chunk_done.wait(lock, [&pending] { return pending == 0; });
 }
 
 ParallelBatchStats ParallelQueryBatch(
-    const Graph& graph, const SimPushOptions& options,
-    const std::vector<NodeId>& queries, size_t num_threads,
+    QueryExecutor& executor, const std::vector<NodeId>& queries,
     const std::function<void(NodeId, const SimPushResult&)>& on_result) {
   ParallelBatchStats stats;
   Timer wall;
-  ThreadPool pool(num_threads);
-  stats.num_threads = pool.num_threads();
+  stats.num_threads = executor.num_threads();
 
   std::mutex result_mu;
   std::atomic<size_t> ok{0};
@@ -45,12 +71,12 @@ ParallelBatchStats ParallelQueryBatch(
   std::atomic<uint64_t> cpu_nanos{0};
 
   ForEachQueryChunked(
-      pool, graph, options, queries.size(),
-      [&](SimPushEngine& engine, size_t begin, size_t end) {
+      executor, queries.size(),
+      [&](QueryRunner& runner, size_t begin, size_t end) {
         SimPushResult result;  // Buffers reused across the whole chunk.
         for (size_t i = begin; i < end; ++i) {
           const NodeId u = queries[i];
-          if (!engine.QueryInto(u, &result).ok()) {
+          if (!runner.QueryInto(u, &result).ok()) {
             failed.fetch_add(1);
             continue;
           }
@@ -69,26 +95,32 @@ ParallelBatchStats ParallelQueryBatch(
   return stats;
 }
 
-StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+ParallelBatchStats ParallelQueryBatch(
     const Graph& graph, const SimPushOptions& options,
-    const std::vector<NodeId>& queries, size_t k, size_t num_threads,
+    const std::vector<NodeId>& queries, size_t num_threads,
+    const std::function<void(NodeId, const SimPushResult&)>& on_result) {
+  QueryExecutor executor(graph, options, num_threads);
+  return ParallelQueryBatch(executor, queries, on_result);
+}
+
+StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+    QueryExecutor& executor, const std::vector<NodeId>& queries, size_t k,
     ParallelBatchStats* stats) {
   std::vector<BatchTopKResult> results(queries.size());
 
   ParallelBatchStats local_stats;
   Timer wall;
-  ThreadPool pool(num_threads);
-  local_stats.num_threads = pool.num_threads();
+  local_stats.num_threads = executor.num_threads();
   std::atomic<size_t> ok{0};
   std::atomic<size_t> failed{0};
   std::atomic<uint64_t> cpu_nanos{0};
 
   ForEachQueryChunked(
-      pool, graph, options, queries.size(),
-      [&](SimPushEngine& engine, size_t begin, size_t end) {
+      executor, queries.size(),
+      [&](QueryRunner& runner, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           const NodeId u = queries[i];
-          auto topk = QueryTopK(&engine, u, k);
+          auto topk = QueryTopK(&runner, u, k);
           if (!topk.ok()) {
             failed.fetch_add(1);
             continue;
@@ -114,6 +146,14 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
     return Status::InvalidArgument("batch contained invalid query nodes");
   }
   return results;
+}
+
+StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+    const Graph& graph, const SimPushOptions& options,
+    const std::vector<NodeId>& queries, size_t k, size_t num_threads,
+    ParallelBatchStats* stats) {
+  QueryExecutor executor(graph, options, num_threads);
+  return ParallelQueryBatchTopK(executor, queries, k, stats);
 }
 
 }  // namespace simpush

@@ -1,0 +1,87 @@
+#include "simpush/query_runner.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "simpush/hitting.h"
+#include "simpush/last_meeting.h"
+#include "simpush/reverse_push.h"
+#include "simpush/source_push.h"
+
+namespace simpush {
+
+QueryRunner::QueryRunner(const EngineCore& core, QueryWorkspace* workspace)
+    : core_(&core), workspace_(workspace) {}
+
+QueryRunner::QueryRunner(const EngineCore& core, WorkspacePool& pool)
+    : core_(&core), lease_(pool.Acquire()), workspace_(lease_.get()) {}
+
+Status QueryRunner::QueryInto(NodeId u, SimPushResult* result) {
+  SIMPUSH_RETURN_NOT_OK(core_->options_status());
+  const Graph& graph = core_->graph();
+  if (u >= graph.num_nodes()) {
+    return Status::InvalidArgument("query node " + std::to_string(u) +
+                                   " out of range");
+  }
+  const SimPushOptions& options = core_->options();
+  const DerivedParams& derived = core_->derived();
+  QueryWorkspace& workspace = *workspace_;
+
+  result->stats = SimPushQueryStats{};
+  Timer total_timer;
+  Timer stage_timer;
+
+  // The RNG stream is pinned to (seed, query node): reusing a
+  // workspace, re-running a query, or moving it to another thread (or
+  // another pooled workspace) cannot change the result.
+  Rng query_rng(core_->QuerySeed(u));
+
+  // Stage 1: Source-Push (Algorithm 2) — attention nodes + G_u.
+  SourcePushStats sp_stats;
+  SourceGraph& gu = workspace.source_graph;
+  SIMPUSH_RETURN_NOT_OK(SourcePushInto(graph, u, options, derived,
+                                       &query_rng, &workspace, &gu,
+                                       &sp_stats));
+  result->stats.max_level = sp_stats.detected_level;
+  result->stats.num_attention = sp_stats.num_attention;
+  result->stats.gu_node_occurrences = sp_stats.gu_node_occurrences;
+  result->stats.walks_sampled = sp_stats.walks_sampled;
+  result->stats.source_push_seconds = stage_timer.ElapsedSeconds();
+
+  // Stage 2: hitting probabilities within G_u (Algorithm 3) and
+  // last-meeting probabilities γ (Algorithm 4).
+  stage_timer.Restart();
+  std::vector<double>& gamma = workspace.gamma;
+  if (options.use_gamma_correction) {
+    ComputeHittingTable(graph, gu, derived.sqrt_c, &workspace,
+                        &workspace.hitting_table);
+    ComputeLastMeetingProbabilities(gu, workspace.hitting_table,
+                                    &workspace, &gamma);
+  } else {
+    gamma.assign(gu.num_attention(), 1.0);
+  }
+  result->stats.gamma_seconds = stage_timer.ElapsedSeconds();
+
+  // Stage 3: Reverse-Push (Algorithm 5).
+  stage_timer.Restart();
+  result->scores.assign(graph.num_nodes(), 0.0);
+  ReversePushStats rp_stats;
+  ReversePush(graph, gu, gamma, derived.sqrt_c, derived.eps_h,
+              &workspace, &result->scores, &rp_stats);
+  result->scores[u] = 1.0;  // Algorithm 5 line 10.
+  result->stats.reverse_pushes = rp_stats.pushes;
+  result->stats.reverse_edges = rp_stats.edges_traversed;
+  result->stats.reverse_push_seconds = stage_timer.ElapsedSeconds();
+
+  result->stats.total_seconds = total_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<SimPushResult> QueryRunner::Query(NodeId u) {
+  SimPushResult result;
+  SIMPUSH_RETURN_NOT_OK(QueryInto(u, &result));
+  return result;
+}
+
+}  // namespace simpush

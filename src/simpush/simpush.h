@@ -7,77 +7,69 @@
 //   auto result = engine.Query(u);
 //   if (result.ok()) { use result->scores[v] ... }
 //
-// A long-lived engine owns a QueryWorkspace holding every piece of
-// per-query scratch, so repeated queries perform zero steady-state heap
-// allocations when the caller also reuses the result via QueryInto.
-// Results depend only on (options.seed, query node) — not on engine
-// reuse, thread placement, or query order.
+// SimPushEngine is a thin single-threaded facade over the real engine
+// split (see docs/architecture.md):
+//   EngineCore     — immutable configuration + derived constants,
+//                    shareable across threads (engine_core.h);
+//   QueryWorkspace — all mutable per-query scratch (workspace.h),
+//                    poolable via WorkspacePool (workspace_pool.h);
+//   QueryRunner    — one core + one workspace, executes queries
+//                    (query_runner.h).
+// The facade owns one core, one workspace, and one runner, so repeated
+// queries perform zero steady-state heap allocations when the caller
+// also reuses the result via QueryInto. Concurrent callers should share
+// one EngineCore and a WorkspacePool instead of one engine per thread.
+// Results depend only on (options.seed, node) — not on engine reuse,
+// workspace identity, thread placement, or query order.
 
 #ifndef SIMPUSH_SIMPUSH_SIMPUSH_H_
 #define SIMPUSH_SIMPUSH_SIMPUSH_H_
 
-#include <cstdint>
-#include <vector>
-
-#include "common/rng.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "simpush/engine_core.h"
 #include "simpush/options.h"
-#include "simpush/reverse_push.h"
-#include "simpush/source_push.h"
+#include "simpush/query_runner.h"
 #include "simpush/workspace.h"
 
 namespace simpush {
 
-/// Per-query statistics exposed for the paper's §5.2 inline claims
-/// (avg L, attention-set size) and the Table 3 stage breakdown.
-struct SimPushQueryStats {
-  uint32_t max_level = 0;          ///< L.
-  size_t num_attention = 0;        ///< |A_u|.
-  size_t gu_node_occurrences = 0;  ///< |G_u| node occurrences (levels >= 1).
-  uint64_t walks_sampled = 0;      ///< Level-detection walks.
-  uint64_t reverse_pushes = 0;
-  uint64_t reverse_edges = 0;
-  double source_push_seconds = 0;  ///< Stage 1 (Algorithm 2).
-  double gamma_seconds = 0;        ///< Stage 2 (Algorithms 3-4).
-  double reverse_push_seconds = 0; ///< Stage 3 (Algorithm 5).
-  double total_seconds = 0;
-};
-
-/// Result of one single-source query.
-struct SimPushResult {
-  /// s̃(u, v) for every v; scores[u] == 1.
-  std::vector<double> scores;
-  SimPushQueryStats stats;
-};
-
-/// Index-free single-source SimRank engine. Holds only reusable query
-/// scratch space — no precomputation touches the graph, so graph updates
-/// simply mean constructing a new engine over the new Graph (O(1) cost
-/// beyond the CSR build).
+/// Index-free single-source SimRank engine: one EngineCore + one
+/// QueryWorkspace + one QueryRunner, for single-threaded callers. No
+/// precomputation touches the graph, so graph updates simply mean
+/// constructing a new engine over the new Graph (O(1) cost beyond the
+/// CSR build). Not thread-safe; see EngineCore/WorkspacePool for the
+/// concurrent serving shape.
 class SimPushEngine {
  public:
   /// The graph must outlive the engine.
-  SimPushEngine(const Graph& graph, const SimPushOptions& options);
+  SimPushEngine(const Graph& graph, const SimPushOptions& options)
+      : core_(graph, options), runner_(core_, &workspace_) {}
 
   /// Answers an approximate single-source SimRank query (Definition 1):
   /// |s̃(u,v) - s(u,v)| <= ε for all v w.p. >= 1-δ.
-  StatusOr<SimPushResult> Query(NodeId u);
+  StatusOr<SimPushResult> Query(NodeId u) { return runner_.Query(u); }
 
   /// Like Query, but writes into a caller-owned result whose buffers are
   /// reused — the steady-state hot path for a query loop. After warm-up
   /// (first query on this engine + result pair), performs zero heap
   /// allocations. Produces bit-identical scores to Query.
-  Status QueryInto(NodeId u, SimPushResult* result);
+  Status QueryInto(NodeId u, SimPushResult* result) {
+    return runner_.QueryInto(u, result);
+  }
 
-  const SimPushOptions& options() const { return options_; }
-  const DerivedParams& derived() const { return derived_; }
+  const SimPushOptions& options() const { return core_.options(); }
+  const DerivedParams& derived() const { return core_.derived(); }
+
+  /// The immutable core, shareable with concurrent runners.
+  const EngineCore& core() const { return core_; }
+  /// The engine's runner (for APIs that operate on runners).
+  QueryRunner& runner() { return runner_; }
 
  private:
-  const Graph& graph_;
-  SimPushOptions options_;
-  DerivedParams derived_;
+  EngineCore core_;
   QueryWorkspace workspace_;
+  QueryRunner runner_;
 };
 
 }  // namespace simpush

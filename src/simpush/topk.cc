@@ -4,8 +4,8 @@
 
 namespace simpush {
 
-StatusOr<TopKResult> QueryTopK(SimPushEngine* engine, NodeId u, size_t k) {
-  SIMPUSH_ASSIGN_OR_RETURN(SimPushResult full, engine->Query(u));
+StatusOr<TopKResult> QueryTopK(QueryRunner* runner, NodeId u, size_t k) {
+  SIMPUSH_ASSIGN_OR_RETURN(SimPushResult full, runner->Query(u));
   TopKResult result;
   result.stats = full.stats;
 

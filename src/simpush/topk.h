@@ -29,7 +29,13 @@ struct TopKResult {
 /// s = 1 trivially, is excluded). An entry's score carries the same
 /// ±ε guarantee as SimPushEngine::Query; ranking inversions are
 /// therefore possible only between nodes within 2ε of each other.
-StatusOr<TopKResult> QueryTopK(SimPushEngine* engine, NodeId u, size_t k);
+StatusOr<TopKResult> QueryTopK(QueryRunner* runner, NodeId u, size_t k);
+
+/// Facade convenience: runs on the engine's own runner.
+inline StatusOr<TopKResult> QueryTopK(SimPushEngine* engine, NodeId u,
+                                      size_t k) {
+  return QueryTopK(&engine->runner(), u, k);
+}
 
 }  // namespace simpush
 

@@ -1,0 +1,84 @@
+#include "simpush/workspace_pool.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace simpush {
+
+WorkspaceLease& WorkspaceLease::operator=(WorkspaceLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    workspace_ = std::exchange(other.workspace_, nullptr);
+  }
+  return *this;
+}
+
+void WorkspaceLease::Release() {
+  if (pool_ != nullptr && workspace_ != nullptr) {
+    pool_->Return(workspace_);
+  }
+  pool_ = nullptr;
+  workspace_ = nullptr;
+}
+
+WorkspacePool::WorkspacePool(size_t capacity)
+    : capacity_(capacity != 0
+                    ? capacity
+                    : std::max(1u, std::thread::hardware_concurrency())) {
+  all_.reserve(capacity_);
+  idle_.reserve(capacity_);
+}
+
+QueryWorkspace* WorkspacePool::TakeLocked() {
+  if (!idle_.empty()) {
+    QueryWorkspace* workspace = idle_.back();
+    idle_.pop_back();
+    ++outstanding_;
+    return workspace;
+  }
+  if (all_.size() < capacity_) {
+    all_.push_back(std::make_unique<QueryWorkspace>());
+    ++outstanding_;
+    return all_.back().get();
+  }
+  return nullptr;
+}
+
+WorkspaceLease WorkspacePool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  QueryWorkspace* workspace = TakeLocked();
+  while (workspace == nullptr) {
+    workspace_returned_.wait(lock);
+    workspace = TakeLocked();
+  }
+  return WorkspaceLease(this, workspace);
+}
+
+WorkspaceLease WorkspacePool::TryAcquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  QueryWorkspace* workspace = TakeLocked();
+  return workspace == nullptr ? WorkspaceLease()
+                              : WorkspaceLease(this, workspace);
+}
+
+void WorkspacePool::Return(QueryWorkspace* workspace) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.push_back(workspace);
+    --outstanding_;
+  }
+  workspace_returned_.notify_one();
+}
+
+size_t WorkspacePool::outstanding() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+size_t WorkspacePool::created() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return all_.size();
+}
+
+}  // namespace simpush

@@ -1,0 +1,104 @@
+// WorkspacePool: a bounded checkout/return pool of QueryWorkspaces.
+//
+// One QueryWorkspace holds all mutable per-query scratch (O(n) dense
+// arrays at their high-water marks), so the pool — not the worker or
+// request count — bounds peak query-scratch memory: at most `capacity`
+// workspaces ever exist, and a request stream of any width shares them.
+// Workspaces keep their grown buffers between leases, so a warm pool
+// serves queries with zero steady-state heap allocations no matter
+// which workspace a query lands on.
+//
+// Thread-safety contract: Acquire/TryAcquire/Return and the counters
+// are safe to call from any thread. The QueryWorkspace handed out by a
+// lease is exclusively owned by the holder until the lease is released
+// — the pool never touches a leased workspace. The pool must outlive
+// every lease drawn from it.
+
+#ifndef SIMPUSH_SIMPUSH_WORKSPACE_POOL_H_
+#define SIMPUSH_SIMPUSH_WORKSPACE_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "simpush/workspace.h"
+
+namespace simpush {
+
+class WorkspacePool;
+
+/// Move-only RAII handle to a checked-out QueryWorkspace. Returns the
+/// workspace to its pool on destruction (or explicit Release()).
+class WorkspaceLease {
+ public:
+  WorkspaceLease() = default;
+  WorkspaceLease(WorkspaceLease&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        workspace_(std::exchange(other.workspace_, nullptr)) {}
+  WorkspaceLease& operator=(WorkspaceLease&& other) noexcept;
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  ~WorkspaceLease() { Release(); }
+
+  /// The leased workspace; nullptr for an empty lease.
+  QueryWorkspace* get() const { return workspace_; }
+  QueryWorkspace* operator->() const { return workspace_; }
+  explicit operator bool() const { return workspace_ != nullptr; }
+
+  /// Returns the workspace to the pool early; the lease becomes empty.
+  void Release();
+
+ private:
+  friend class WorkspacePool;
+  WorkspaceLease(WorkspacePool* pool, QueryWorkspace* workspace)
+      : pool_(pool), workspace_(workspace) {}
+
+  WorkspacePool* pool_ = nullptr;
+  QueryWorkspace* workspace_ = nullptr;
+};
+
+/// Bounded pool of lazily-created QueryWorkspaces.
+class WorkspacePool {
+ public:
+  /// At most `capacity` workspaces will ever exist (0 = hardware
+  /// concurrency, min 1). Workspaces are created on first demand, so an
+  /// over-provisioned pool costs nothing until the concurrency is real.
+  explicit WorkspacePool(size_t capacity = 0);
+
+  /// Checks out a workspace, blocking while `capacity` leases are
+  /// already outstanding.
+  WorkspaceLease Acquire();
+
+  /// Non-blocking variant: an empty lease when the pool is exhausted.
+  WorkspaceLease TryAcquire();
+
+  /// Maximum number of simultaneously leased workspaces.
+  size_t capacity() const { return capacity_; }
+
+  /// Leases currently held (leak check: 0 when all work has drained).
+  size_t outstanding() const;
+
+  /// Workspaces materialized so far (<= capacity; peak-memory gauge).
+  size_t created() const;
+
+ private:
+  friend class WorkspaceLease;
+  void Return(QueryWorkspace* workspace);
+  // Pops an idle workspace or creates one under `lock`; nullptr when
+  // the pool is exhausted.
+  QueryWorkspace* TakeLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable workspace_returned_;
+  std::vector<std::unique_ptr<QueryWorkspace>> all_;  // Stable storage.
+  std::vector<QueryWorkspace*> idle_;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_SIMPUSH_WORKSPACE_POOL_H_

@@ -34,9 +34,12 @@
 #include "graph/graph_io.h"
 #include "baselines/reads.h"
 #include "simpush/adaptive.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
 #include "simpush/single_pair.h"
 #include "simpush/join.h"
 #include "simpush/topk.h"
+#include "simpush/workspace_pool.h"
 
 namespace {
 
@@ -116,9 +119,14 @@ int RunQuery(const Args& args) {
   options.epsilon = args.GetDouble("epsilon", 0.01);
   options.decay = args.GetDouble("decay", 0.6);
   options.walk_budget_cap = args.GetInt("walk-cap", 100000);
-  SimPushEngine engine(*graph, options);
+  // The serving shape: an immutable core plus a workspace pool. A CLI
+  // query needs exactly one workspace; a server would share the same
+  // core and a wider pool across its request threads.
+  EngineCore core(*graph, options);
+  WorkspacePool pool(1);
+  QueryRunner runner(core, pool);
   const NodeId u = static_cast<NodeId>(args.GetInt("node", 0));
-  auto result = engine.Query(u);
+  auto result = runner.Query(u);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -165,8 +173,10 @@ int RunTopK(const Args& args) {
     SimPushOptions options;
     options.epsilon = epsilon;
     options.walk_budget_cap = args.GetInt("walk-cap", 100000);
-    SimPushEngine engine(*graph, options);
-    auto result = QueryTopK(&engine, u, k);
+    EngineCore core(*graph, options);
+    WorkspacePool pool(1);
+    QueryRunner runner(core, pool);
+    auto result = QueryTopK(&runner, u, k);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
