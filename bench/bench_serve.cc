@@ -1,0 +1,200 @@
+// Closed-loop load generator for the simpush_serve front end.
+//
+// Boots the full serving stack in-process — graph, SimPushService,
+// HttpServer on an ephemeral port — then hammers it over real loopback
+// sockets with C concurrent clients, each issuing its next request the
+// moment the previous response lands (closed loop, zero think time).
+// This measures the end-to-end serving path the smoke test only
+// checks for correctness: HTTP parse, JSON decode, pooled query,
+// JSON-encode, write — as latency percentiles and sustained q/s.
+//
+// Flags (all optional):
+//   --nodes N       graph size                     (default 20000)
+//   --edges M       edge count                     (default 8N)
+//   --epsilon E     query accuracy                 (default 0.05)
+//   --clients C     concurrent closed-loop clients (default 8)
+//   --requests R    requests per client            (default 50)
+//   --threads T     service/HTTP worker threads    (default hw)
+//   --pool P        workspace pool cap             (default threads)
+//   --endpoint NAME query | topk | batch           (default query)
+//   --top-k K       top_k truncation for query, k for topk/batch
+//   --batch-size B  nodes per batch request        (default 16)
+//
+// Ends by fetching /v1/stats so the server-side view (pool occupancy,
+// ring-buffer percentiles, peak RSS) prints next to the client-side
+// measurements.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/service.h"
+
+namespace simpush {
+namespace {
+
+uint64_t FlagInt(int argc, char** argv, const char* name, uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  const size_t index = static_cast<size_t>(p * (sorted->size() - 1));
+  return (*sorted)[index];
+}
+
+}  // namespace
+}  // namespace simpush
+
+int main(int argc, char** argv) {
+  using namespace simpush;
+
+  const NodeId n = static_cast<NodeId>(FlagInt(argc, argv, "--nodes", 20000));
+  const EdgeId m = FlagInt(argc, argv, "--edges", uint64_t(n) * 8);
+  const size_t clients = FlagInt(argc, argv, "--clients", 8);
+  const size_t requests = FlagInt(argc, argv, "--requests", 50);
+  const size_t threads = FlagInt(argc, argv, "--threads", 0);
+  const size_t pool = FlagInt(argc, argv, "--pool", 0);
+  const size_t top_k = FlagInt(argc, argv, "--top-k", 10);
+  const size_t batch_size = FlagInt(argc, argv, "--batch-size", 16);
+  const double epsilon = FlagDouble(argc, argv, "--epsilon", 0.05);
+  const std::string endpoint = FlagString(argc, argv, "--endpoint", "query");
+
+  auto graph = GenerateChungLu(n, m, 2.2, /*seed=*/7);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.query.epsilon = epsilon;
+  service_options.query.walk_budget_cap = 100000;
+  service_options.num_threads = threads;
+  service_options.pool_capacity = pool;
+  serve::SimPushService service(*graph, service_options);
+
+  serve::HttpServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_workers = threads;
+  serve::HttpServer server(server_options);
+  service.RegisterRoutes(&server);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("bench_serve: n=%u m=%llu epsilon=%g endpoint=%s "
+              "clients=%zu requests/client=%zu threads=%zu pool=%zu\n",
+              graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()), epsilon,
+              endpoint.c_str(), clients, requests,
+              service.executor().num_threads(),
+              service.executor().workspaces().capacity());
+
+  // Closed loop: each client thread issues its next request as soon as
+  // the previous response arrives. Per-request latencies land in a
+  // preallocated slot per client, merged after the run.
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<size_t> errors{0};
+  Timer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    latencies[c].reserve(requests);
+    workers.emplace_back([&, c] {
+      serve::HttpClient client("127.0.0.1", server.port());
+      uint64_t state = 0x9E3779B97F4A7C15ull ^ (c * 0xBF58476D1CE4E5B9ull);
+      std::string body;
+      for (size_t r = 0; r < requests; ++r) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const NodeId u = static_cast<NodeId>((state >> 33) % n);
+        body.clear();
+        const char* target;
+        if (endpoint == "topk") {
+          target = "/v1/topk";
+          body = "{\"node\": " + std::to_string(u) +
+                 ", \"k\": " + std::to_string(top_k) + "}";
+        } else if (endpoint == "batch") {
+          target = "/v1/batch";
+          body = "{\"k\": " + std::to_string(top_k) + ", \"nodes\": [";
+          for (size_t b = 0; b < batch_size; ++b) {
+            if (b > 0) body.push_back(',');
+            body += std::to_string((u + b * 7919) % n);
+          }
+          body += "]}";
+        } else {
+          target = "/v1/query";
+          body = "{\"node\": " + std::to_string(u) +
+                 ", \"top_k\": " + std::to_string(top_k) + "}";
+        }
+        Timer request_timer;
+        auto response = client.Post(target, body);
+        if (!response.ok() || response->status != 200) {
+          errors.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(request_timer.ElapsedSeconds());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (const auto& client_latencies : latencies) {
+    merged.insert(merged.end(), client_latencies.begin(),
+                  client_latencies.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  const size_t total_ok = merged.size();
+  std::printf("\nclient side (closed loop, %zu ok / %zu errors, %.2fs):\n",
+              total_ok, errors.load(), elapsed);
+  std::printf("  throughput   %.1f req/s\n", total_ok / elapsed);
+  std::printf("  latency p50  %.2f ms\n", Percentile(&merged, 0.50) * 1e3);
+  std::printf("  latency p90  %.2f ms\n", Percentile(&merged, 0.90) * 1e3);
+  std::printf("  latency p99  %.2f ms\n", Percentile(&merged, 0.99) * 1e3);
+  std::printf("  latency max  %.2f ms\n",
+              merged.empty() ? 0.0 : merged.back() * 1e3);
+
+  serve::HttpClient stats_client("127.0.0.1", server.port());
+  auto stats = stats_client.Get("/v1/stats");
+  if (stats.ok() && stats->status == 200) {
+    std::printf("\nserver side (/v1/stats):\n%s", stats->body.c_str());
+  }
+
+  server.Shutdown();
+  return errors.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Minimal blocking HTTP/1.1 client, just enough to drive simpush_serve:
+// used by the serve smoke test and the bench_serve load generator. Not
+// a general client — no TLS, no redirects, no chunked encoding (the
+// server always frames with Content-Length).
+//
+// Thread-safety contract: an HttpClient is NOT thread-safe (it owns one
+// socket). Concurrency means one client per thread — exactly how the
+// closed-loop load generator uses it.
+
+#ifndef SIMPUSH_SERVE_HTTP_CLIENT_H_
+#define SIMPUSH_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/http_server.h"
+
+namespace simpush {
+namespace serve {
+
+/// One keep-alive connection to a server. Reconnects transparently if
+/// the server closed the connection between requests.
+class HttpClient {
+ public:
+  /// Connects lazily on the first request.
+  HttpClient(std::string host, uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Issues one request and reads the full response. `method` is "GET"
+  /// or "POST"; `body` is sent with Content-Length framing.
+  StatusOr<HttpResponse> Request(std::string_view method,
+                                 std::string_view target,
+                                 std::string_view body = {});
+
+  /// Convenience wrappers.
+  StatusOr<HttpResponse> Get(std::string_view target) {
+    return Request("GET", target);
+  }
+  StatusOr<HttpResponse> Post(std::string_view target,
+                              std::string_view body) {
+    return Request("POST", target, body);
+  }
+
+  /// Drops the current connection (next request reconnects).
+  void Disconnect();
+
+ private:
+  Status Connect();
+  StatusOr<HttpResponse> RequestOnce(std::string_view method,
+                                     std::string_view target,
+                                     std::string_view body,
+                                     bool* connection_closed);
+
+  const std::string host_;
+  const uint16_t port_;
+  int fd_ = -1;
+  std::string buffer_;  // Unconsumed bytes between responses.
+};
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_HTTP_CLIENT_H_

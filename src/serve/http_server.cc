@@ -1,0 +1,398 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/net_util.h"
+
+namespace simpush {
+namespace serve {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+constexpr size_t kMaxHeaderBytes = 64u << 10;
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+void HttpServer::Route(std::string method, std::string path,
+                       HttpHandler handler) {
+  routes_.emplace_back(std::move(method), std::move(path),
+                       std::move(handler));
+}
+
+Status HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::IOError("bind(): " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status status =
+        Status::IOError("listen(): " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_stopping_.store(false);
+  stopping_.store(false);
+  running_.store(true);
+  const size_t workers = options_.num_workers != 0
+                             ? options_.num_workers
+                             : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Shutdown() {
+  if (!running_.load()) return;
+  // Two-phase stop, in strict order: first join the accept thread so
+  // no connection can be enqueued after this point, THEN tell workers
+  // to exit once the queue is drained. Stopping both with one flag
+  // would race — workers could see an empty queue and exit just before
+  // the accept thread pushes one last connection, stranding it.
+  accept_stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  stopping_.store(true);
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+HttpServerCounters HttpServer::counters() const {
+  HttpServerCounters counters;
+  counters.accepted = accepted_.load();
+  counters.rejected_503 = rejected_.load();
+  counters.requests = requests_.load();
+  return counters;
+}
+
+size_t HttpServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return pending_.size();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!accept_stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check stopping_.
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+
+    // Bound how long a worker can block reading from this socket.
+    timeval timeout{};
+    timeout.tv_sec = options_.read_timeout_ms / 1000;
+    timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() < options_.max_queued_connections) {
+        pending_.push_back(fd);
+        accepted_.fetch_add(1);
+        queue_cv_.notify_one();
+        continue;
+      }
+    }
+    // Admission control: shed the connection at the door with a canned
+    // 503 rather than queueing unboundedly.
+    rejected_.fetch_add(1);
+    static constexpr char kOverloaded[] =
+        "HTTP/1.1 503 Service Unavailable\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: 23\r\n"
+        "Connection: close\r\n\r\n"
+        "{\"error\":\"overloaded\"}\n";
+    SendAll(fd, kOverloaded, sizeof(kOverloaded) - 1);
+    ::close(fd);
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load();
+      });
+      if (pending_.empty()) return;  // stopping_ && drained.
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;  // Carries pipelined leftovers between requests.
+  while (true) {
+    HttpRequest request;
+    const int got = ReadRequest(fd, &buffer, &request);
+    if (got <= 0) break;
+
+    HttpResponse response;
+    bool path_known = false;
+    const HttpHandler* handler = nullptr;
+    for (const auto& [method, path, route_handler] : routes_) {
+      if (path != request.target) continue;
+      path_known = true;
+      if (method == request.method) {
+        handler = &route_handler;
+        break;
+      }
+    }
+    if (handler != nullptr) {
+      response = (*handler)(request);
+    } else {
+      response.status = path_known ? 405 : 404;
+      response.body = path_known ? "{\"error\":\"method not allowed\"}\n"
+                                 : "{\"error\":\"not found\"}\n";
+    }
+
+    // Drain mode and explicit client requests both end the connection
+    // after this response.
+    bool close = stopping_.load();
+    if (const std::string* connection = request.FindHeader("connection")) {
+      if (AsciiLowerCase(*connection) == "close") close = true;
+    }
+    requests_.fetch_add(1);
+    WriteResponse(fd, response, close);
+    if (close) break;
+  }
+  ::close(fd);
+}
+
+int HttpServer::ReadRequest(int fd, std::string* buffer,
+                            HttpRequest* request) {
+  // Each recv timeout (read_timeout_ms) burns one tick of the relevant
+  // budget; receiving bytes refills it. An idle or trickling
+  // connection therefore holds a worker for at most idle_timeout_ms —
+  // the anti-slowloris bound — and once draining, for at most ~2s.
+  const int read_ms = std::max(1, options_.read_timeout_ms);
+  const int idle_budget_full =
+      std::max(1, options_.idle_timeout_ms / read_ms);
+  int idle_budget = idle_budget_full;
+  int drain_timeouts_left = std::max(1, 2000 / read_ms);
+
+  // Phase 1: accumulate bytes until the header terminator.
+  size_t header_end = std::string::npos;
+  while (true) {
+    header_end = buffer->find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer->size() > kMaxHeaderBytes) {
+      WriteResponse(fd, HttpResponse{400, "application/json",
+                                     "{\"error\":\"headers too large\"}\n"},
+                    /*close=*/true);
+      return -1;
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      idle_budget = idle_budget_full;
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. Clean only between requests.
+      return buffer->empty() ? 0 : -1;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stopping_.load()) {
+        if (buffer->empty() || --drain_timeouts_left <= 0) return -1;
+        continue;
+      }
+      if (--idle_budget > 0) continue;
+      // Idle between requests: close silently. Mid-request: 408.
+      if (!buffer->empty()) {
+        WriteResponse(fd, HttpResponse{408, "application/json",
+                                       "{\"error\":\"request timeout\"}\n"},
+                      /*close=*/true);
+      }
+      return -1;
+    }
+    return -1;
+  }
+
+  // Phase 2: parse request line + headers.
+  const std::string_view head(buffer->data(), header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    WriteResponse(fd, HttpResponse{400, "application/json",
+                                   "{\"error\":\"malformed request line\"}\n"},
+                  /*close=*/true);
+    return -1;
+  }
+  request->method = std::string(request_line.substr(0, sp1));
+  request->target =
+      std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  // Ignore query strings for routing purposes.
+  const size_t question = request->target.find('?');
+  if (question != std::string::npos) request->target.resize(question);
+
+  request->headers.clear();
+  size_t cursor = line_end == std::string_view::npos ? head.size()
+                                                     : line_end + 2;
+  while (cursor < head.size()) {
+    size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = AsciiLowerCase(std::string(line.substr(0, colon)));
+    size_t value_begin = colon + 1;
+    while (value_begin < line.size() && line[value_begin] == ' ') {
+      ++value_begin;
+    }
+    request->headers.emplace_back(std::move(name),
+                                  std::string(line.substr(value_begin)));
+  }
+
+  // Phase 3: read the Content-Length body.
+  size_t content_length = 0;
+  if (const std::string* header = request->FindHeader("content-length")) {
+    char* end = nullptr;
+    content_length = std::strtoull(header->c_str(), &end, 10);
+    // The whole value must be digits: accepting a "12abc" prefix would
+    // misframe the body and desync the keep-alive byte stream.
+    if (end == header->c_str() || *end != '\0') {
+      WriteResponse(fd,
+                    HttpResponse{400, "application/json",
+                                 "{\"error\":\"malformed content-length\"}\n"},
+                    /*close=*/true);
+      return -1;
+    }
+    if (content_length > options_.max_body_bytes) {
+      WriteResponse(fd, HttpResponse{413, "application/json",
+                                     "{\"error\":\"body too large\"}\n"},
+                    /*close=*/true);
+      return -1;
+    }
+  }
+  if (const std::string* expect = request->FindHeader("expect")) {
+    if (AsciiLowerCase(*expect) == "100-continue") {
+      static constexpr char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+      if (!SendAll(fd, kContinue, sizeof(kContinue) - 1)) return -1;
+    }
+  }
+  const size_t body_begin = header_end + 4;
+  while (buffer->size() < body_begin + content_length) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      idle_budget = idle_budget_full;
+      continue;
+    }
+    if (n == 0) return -1;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stopping_.load()) {
+        if (--drain_timeouts_left <= 0) return -1;
+        continue;
+      }
+      if (--idle_budget > 0) continue;
+      WriteResponse(fd, HttpResponse{408, "application/json",
+                                     "{\"error\":\"request timeout\"}\n"},
+                    /*close=*/true);
+      return -1;
+    }
+    return -1;
+  }
+  request->body.assign(*buffer, body_begin, content_length);
+  buffer->erase(0, body_begin + content_length);
+  return 1;
+}
+
+void HttpServer::WriteResponse(int fd, const HttpResponse& response,
+                               bool close) {
+  std::string head;
+  head.reserve(160);
+  head.append("HTTP/1.1 ");
+  head.append(std::to_string(response.status));
+  head.push_back(' ');
+  head.append(StatusText(response.status));
+  head.append("\r\nContent-Type: ");
+  head.append(response.content_type);
+  head.append("\r\nContent-Length: ");
+  head.append(std::to_string(response.body.size()));
+  head.append(close ? "\r\nConnection: close\r\n\r\n"
+                    : "\r\nConnection: keep-alive\r\n\r\n");
+  if (!SendAll(fd, head.data(), head.size())) return;
+  SendAll(fd, response.body.data(), response.body.size());
+}
+
+}  // namespace serve
+}  // namespace simpush

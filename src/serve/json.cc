@@ -1,0 +1,500 @@
+#include "serve/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace simpush {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+StatusOr<uint64_t> JsonValue::AsIndex() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("expected a number");
+  }
+  if (!std::isfinite(number_) || number_ < 0 ||
+      number_ != std::floor(number_) || number_ >= 9007199254740992.0) {
+    return Status::InvalidArgument("expected a non-negative integer");
+  }
+  return static_cast<uint64_t>(number_);
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent with an explicit depth cap.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    JsonValue value;
+    SIMPUSH_RETURN_NOT_OK(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        SIMPUSH_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("invalid literal");
+        *out = JsonValue::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("invalid literal");
+        *out = JsonValue::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("invalid literal");
+        *out = JsonValue();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    ++pos_;  // '{'
+    std::vector<JsonValue::Member> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      std::string key;
+      SIMPUSH_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      SIMPUSH_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}' in object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      SIMPUSH_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']' in array");
+    }
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::OK();
+  }
+
+  // Decodes \uXXXX (pos_ just past the 'u'); combines surrogate pairs.
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    SIMPUSH_RETURN_NOT_OK(ReadHex4(&code));
+    if (code >= 0xD800 && code <= 0xDBFF) {  // High surrogate.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return Fail("lone high surrogate");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      SIMPUSH_RETURN_NOT_OK(ReadHex4(&low));
+      if (low < 0xDC00 || low > 0xDFFF) return Fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return Fail("lone low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return Status::OK();
+  }
+
+  Status ReadHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c != '\\') {
+        // Includes bytes >= 0x80: UTF-8 passes through untouched.
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u':
+          SIMPUSH_RETURN_NOT_OK(ParseUnicodeEscape(out));
+          break;
+        default:
+          --pos_;
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // Sign consumed; digits must follow.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return Fail("leading zero in number");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    // The slice [start, pos_) is a validated JSON number: strtod cannot
+    // reject it, only overflow it. A NUL-terminated copy keeps strtod
+    // off the (non-terminated) string_view; numbers are short.
+    char buf[64];
+    const size_t len = pos_ - start;
+    if (len >= sizeof(buf)) {
+      // Absurdly long numeric literal; parse the leading prefix via
+      // heap copy instead of rejecting (digits beyond ~20 cannot
+      // change the double except via overflow, which we detect below).
+      std::string copy(text_.substr(start, len));
+      const double value = std::strtod(copy.c_str(), nullptr);
+      return FinishNumber(value, out);
+    }
+    std::memcpy(buf, text_.data() + start, len);
+    buf[len] = '\0';
+    const double value = std::strtod(buf, nullptr);
+    return FinishNumber(value, out);
+  }
+
+  Status FinishNumber(double value, JsonValue* out) {
+    if (!std::isfinite(value)) {
+      return Fail("number overflows double range");
+    }
+    *out = JsonValue::MakeNumber(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::Reset() {
+  out_.clear();
+  stack_.clear();
+  after_key_ = false;
+}
+
+std::string JsonWriter::Take() {
+  std::string result = std::move(out_);
+  Reset();
+  return result;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == 'n') {
+      out_.push_back(',');
+    } else {
+      stack_.back() = 'n';
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back('f');
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && !after_key_);
+  stack_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back('f');
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && !after_key_);
+  stack_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && !after_key_);
+  if (stack_.back() == 'n') {
+    out_.push_back(',');
+  } else {
+    stack_.back() = 'n';
+  }
+  AppendEscaped(key);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+}
+
+void JsonWriter::Bool(bool b) {
+  BeforeValue();
+  out_.append(b ? "true" : "false");
+}
+
+void JsonWriter::Double(double d) {
+  BeforeValue();
+  if (!std::isfinite(d)) {
+    out_.append("null");
+    return;
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), d);
+  out_.append(buf, result.ptr);
+}
+
+void JsonWriter::Uint(uint64_t v) {
+  BeforeValue();
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, result.ptr);
+}
+
+void JsonWriter::String(std::string_view s) {
+  BeforeValue();
+  AppendEscaped(s);
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\b': out_.append("\\b"); break;
+      case '\f': out_.append("\\f"); break;
+      case '\n': out_.append("\\n"); break;
+      case '\r': out_.append("\\r"); break;
+      case '\t': out_.append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(raw);  // UTF-8 bytes pass through.
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+}  // namespace serve
+}  // namespace simpush

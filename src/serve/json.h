@@ -1,0 +1,136 @@
+// Minimal JSON codec for the serving front end — no third-party
+// dependency, exactly the subset the wire protocol needs.
+//
+// Two halves:
+//   - JsonValue + ParseJson: a parsed document for reading request
+//     bodies (small: a node id, a k, a list of nodes).
+//   - JsonWriter: an append-only serializer for writing responses,
+//     including score arrays of n doubles, into a reusable buffer.
+//
+// Doubles are written with std::to_chars (shortest round-trip form) and
+// parsed with strtod, so a double survives serialize → parse
+// bit-identically — the property the serve smoke test relies on to
+// compare HTTP responses against direct QueryRunner results.
+//
+// Strings are treated as byte sequences: UTF-8 input passes through
+// unmodified (and unvalidated); only '"', '\\' and control characters
+// are escaped on output. \uXXXX escapes (including surrogate pairs) are
+// decoded to UTF-8 on input.
+
+#ifndef SIMPUSH_SERVE_JSON_H_
+#define SIMPUSH_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simpush {
+namespace serve {
+
+/// A parsed JSON document node. Tagged union over the six JSON kinds;
+/// the inactive members are empty. Numbers are always doubles (JSON has
+/// no integer type); AsIndex() narrows to a non-negative integer.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// Object members in document order (no deduplication; lookups take
+  /// the first match, linear scan — request bodies have a few keys).
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Constructs null.
+  JsonValue() = default;
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::vector<Member> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; precondition: matching kind().
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<Member>& object_members() const { return object_; }
+
+  /// First member named `key`, or nullptr when absent (or not an
+  /// object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Narrows a number to a non-negative integer index (node ids, k,
+  /// counts). Fails unless this is a number that is finite, integral,
+  /// and in [0, 2^53).
+  StatusOr<uint64_t> AsIndex() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error).
+/// Rejects: syntax errors, numbers that overflow double to ±inf,
+/// NaN/Infinity literals, lone UTF-16 surrogates, unescaped control
+/// characters in strings, and nesting deeper than 64 levels.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Append-only JSON serializer over an internal reusable buffer.
+///
+/// Call sequence mirrors the document structure; commas and colons are
+/// inserted automatically. The writer trusts its caller to produce a
+/// well-formed sequence (keys only inside objects, matched Begin/End) —
+/// assertions catch misuse in debug builds. Reusing one writer across
+/// responses (Reset + grown buffer) keeps serialization allocation-free
+/// once the buffer has reached its high-water size.
+class JsonWriter {
+ public:
+  /// Clears the buffer, keeping its capacity.
+  void Reset();
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+  /// Moves the buffer out (leaves the writer Reset).
+  std::string Take();
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Writes an object key; the next value call becomes its value.
+  void Key(std::string_view key);
+  void Null();
+  void Bool(bool b);
+  /// Shortest round-trip decimal form; non-finite values serialize as
+  /// null (JSON has no inf/nan).
+  void Double(double d);
+  void Uint(uint64_t v);
+  void String(std::string_view s);
+
+ private:
+  void BeforeValue();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  // One byte per open container: 'f' = first element pending, 'n' =
+  // needs a comma. Depth is bounded by the handlers, not the writer.
+  std::vector<char> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_JSON_H_

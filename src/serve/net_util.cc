@@ -1,0 +1,32 @@
+#include "serve/net_util.h"
+
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+
+namespace simpush {
+namespace serve {
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string AsciiLowerCase(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace serve
+}  // namespace simpush

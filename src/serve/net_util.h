@@ -1,0 +1,23 @@
+// Small socket/string helpers shared by the HTTP server and client.
+
+#ifndef SIMPUSH_SERVE_NET_UTIL_H_
+#define SIMPUSH_SERVE_NET_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace simpush {
+namespace serve {
+
+/// send()s the whole buffer; false on any error (peer gone). Uses
+/// MSG_NOSIGNAL so a dead peer reports EPIPE instead of raising
+/// SIGPIPE.
+bool SendAll(int fd, const char* data, size_t size);
+
+/// ASCII lower-casing (header names/values; never applied to bodies).
+std::string AsciiLowerCase(std::string s);
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_NET_UTIL_H_

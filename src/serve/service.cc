@@ -1,0 +1,502 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "common/memory.h"
+#include "eval/metrics.h"
+#include "serve/json.h"
+
+namespace simpush {
+namespace serve {
+
+namespace {
+
+// Builds {"error": message} with a trailing newline (curl-friendly).
+HttpResponse JsonError(int status, std::string_view message) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("error");
+  writer.String(message);
+  writer.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  return response;
+}
+
+// Reads a required non-negative integer field.
+StatusOr<uint64_t> RequireIndex(const JsonValue& doc, std::string_view key) {
+  const JsonValue* field = doc.Find(key);
+  if (field == nullptr) {
+    return Status::InvalidArgument("missing \"" + std::string(key) +
+                                   "\" field");
+  }
+  auto index = field->AsIndex();
+  if (!index.ok()) {
+    return Status::InvalidArgument("\"" + std::string(key) +
+                                   "\": " + index.status().message());
+  }
+  return index;
+}
+
+// Reads an optional non-negative integer field with a default.
+StatusOr<uint64_t> OptionalIndex(const JsonValue& doc, std::string_view key,
+                                 uint64_t fallback) {
+  const JsonValue* field = doc.Find(key);
+  if (field == nullptr) return fallback;
+  auto index = field->AsIndex();
+  if (!index.ok()) {
+    return Status::InvalidArgument("\"" + std::string(key) +
+                                   "\": " + index.status().message());
+  }
+  return index;
+}
+
+void WriteTopEntries(JsonWriter* writer, const std::vector<double>& scores,
+                     size_t k, NodeId exclude) {
+  writer->BeginArray();
+  // TopK sorts descending, so the first zero ends the useful prefix —
+  // matching QueryTopK, which never reports zero-score nodes.
+  for (NodeId v : TopK(scores, k, exclude)) {
+    if (scores[v] <= 0.0) break;
+    writer->BeginObject();
+    writer->Key("node");
+    writer->Uint(v);
+    writer->Key("score");
+    writer->Double(scores[v]);
+    writer->EndObject();
+  }
+  writer->EndArray();
+}
+
+void WriteQueryStats(JsonWriter* writer, const SimPushQueryStats& stats) {
+  writer->BeginObject();
+  writer->Key("max_level");
+  writer->Uint(stats.max_level);
+  writer->Key("num_attention");
+  writer->Uint(stats.num_attention);
+  writer->Key("walks_sampled");
+  writer->Uint(stats.walks_sampled);
+  writer->Key("reverse_pushes");
+  writer->Uint(stats.reverse_pushes);
+  writer->Key("total_ms");
+  writer->Double(stats.total_seconds * 1e3);
+  writer->EndObject();
+}
+
+}  // namespace
+
+SimPushService::SimPushService(const Graph& graph,
+                               const ServiceOptions& options)
+    : graph_(graph),
+      options_(options),
+      executor_(graph, options.query, options.num_threads,
+                options.pool_capacity),
+      latency_ring_(std::max<size_t>(1, options.latency_ring_size), 0.0) {}
+
+void SimPushService::RegisterRoutes(HttpServer* server) {
+  server_ = server;
+  server->Route("POST", "/v1/query",
+                [this](const HttpRequest& r) { return HandleQuery(r); });
+  server->Route("POST", "/v1/topk",
+                [this](const HttpRequest& r) { return HandleTopK(r); });
+  server->Route("POST", "/v1/batch",
+                [this](const HttpRequest& r) { return HandleBatch(r); });
+  server->Route("GET", "/v1/stats",
+                [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Route("GET", "/healthz",
+                [this](const HttpRequest& r) { return HandleHealth(r); });
+}
+
+Status SimPushService::RunQuery(NodeId u, SimPushResult* result) {
+  // Lease one pooled workspace for this query; construction blocks
+  // while all `pool_capacity` workspaces are in flight, which is the
+  // backpressure that bounds query-scratch memory under load.
+  QueryRunner runner(executor_.core(), executor_.workspaces());
+  const Status status = runner.QueryInto(u, result);
+  AccumulateEngineTotals(runner.totals());
+  return status;
+}
+
+void SimPushService::AccumulateEngineTotals(const QueryRunnerTotals& totals) {
+  engine_query_nanos_.fetch_add(
+      static_cast<uint64_t>(totals.query_seconds * 1e9));
+  engine_walks_.fetch_add(totals.walks_sampled);
+}
+
+HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
+  Timer wall;
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, doc.status().message());
+  }
+  if (!doc->is_object()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "request body must be a JSON object");
+  }
+  auto node = RequireIndex(*doc, "node");
+  auto top_k = OptionalIndex(*doc, "top_k", 0);  // 0 = full score vector.
+  if (!node.ok() || !top_k.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(
+        400, (!node.ok() ? node.status() : top_k.status()).message());
+  }
+  // Range-check before narrowing to NodeId — a 64-bit id must not wrap
+  // into a valid node and silently answer for the wrong vertex.
+  if (*node >= graph_.num_nodes()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "node " + std::to_string(*node) +
+                              " out of range [0, " +
+                              std::to_string(graph_.num_nodes()) + ")");
+  }
+  bool with_stats = false;
+  if (const JsonValue* field = doc->Find("with_stats")) {
+    with_stats = field->is_bool() && field->bool_value();
+  }
+
+  // Reused per HTTP worker thread: after warm-up the query path below
+  // performs zero heap allocations (see serve_test's alloc-hook check).
+  static thread_local SimPushResult result;
+  const Status status = RunQuery(static_cast<NodeId>(*node), &result);
+  if (!status.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, status.ToString());
+  }
+  query_requests_.fetch_add(1);
+  nodes_scored_.fetch_add(1);
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("node");
+  writer.Uint(*node);
+  writer.Key("epsilon");
+  writer.Double(options_.query.epsilon);
+  if (*top_k > 0) {
+    writer.Key("top");
+    WriteTopEntries(&writer, result.scores, *top_k,
+                    static_cast<NodeId>(*node));
+  } else {
+    writer.Key("scores");
+    writer.BeginArray();
+    for (const double score : result.scores) writer.Double(score);
+    writer.EndArray();
+  }
+  if (with_stats) {
+    writer.Key("stats");
+    WriteQueryStats(&writer, result.stats);
+  }
+  writer.EndObject();
+
+  HttpResponse response;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  RecordLatency(wall.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
+  Timer wall;
+  auto doc = ParseJson(request.body);
+  if (!doc.ok() || !doc->is_object()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, doc.ok() ? "request body must be a JSON object"
+                                   : doc.status().message());
+  }
+  auto node = RequireIndex(*doc, "node");
+  auto k = OptionalIndex(*doc, "k", 10);
+  if (!node.ok() || !k.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, (!node.ok() ? node.status() : k.status()).message());
+  }
+  if (*node >= graph_.num_nodes()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "node " + std::to_string(*node) +
+                              " out of range [0, " +
+                              std::to_string(graph_.num_nodes()) + ")");
+  }
+
+  // Same reused-buffer hot path as /v1/query: QueryTopK would allocate
+  // a fresh O(n) score vector per request, and WriteTopEntries selects
+  // the identical entries (self and zero scores excluded, ties to the
+  // smaller id).
+  static thread_local SimPushResult result;
+  const Status status = RunQuery(static_cast<NodeId>(*node), &result);
+  if (!status.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, status.ToString());
+  }
+  topk_requests_.fetch_add(1);
+  nodes_scored_.fetch_add(1);
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("node");
+  writer.Uint(*node);
+  writer.Key("k");
+  writer.Uint(*k);
+  writer.Key("top");
+  WriteTopEntries(&writer, result.scores, *k, static_cast<NodeId>(*node));
+  writer.EndObject();
+
+  HttpResponse response;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  RecordLatency(wall.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
+  Timer wall;
+  auto doc = ParseJson(request.body);
+  if (!doc.ok() || !doc->is_object()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, doc.ok() ? "request body must be a JSON object"
+                                   : doc.status().message());
+  }
+  const JsonValue* nodes_field = doc->Find("nodes");
+  if (nodes_field == nullptr || !nodes_field->is_array()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "missing \"nodes\" array");
+  }
+  if (nodes_field->array_items().size() > options_.max_batch_nodes) {
+    bad_requests_.fetch_add(1);
+    return JsonError(413, "batch exceeds max_batch_nodes (" +
+                              std::to_string(options_.max_batch_nodes) + ")");
+  }
+  auto k = OptionalIndex(*doc, "k", 10);
+  if (!k.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, k.status().message());
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(nodes_field->array_items().size());
+  for (const JsonValue& item : nodes_field->array_items()) {
+    auto node = item.AsIndex();
+    if (!node.ok() || *node >= graph_.num_nodes()) {
+      bad_requests_.fetch_add(1);
+      return JsonError(400, "\"nodes\" entries must be node ids in [0, " +
+                                std::to_string(graph_.num_nodes()) + ")");
+    }
+    nodes.push_back(static_cast<NodeId>(*node));
+  }
+
+  // Fan out across the executor's thread pool; one pooled workspace
+  // per chunk (ForEachQueryChunked), results in input order.
+  ParallelBatchStats batch_stats;
+  auto results = ParallelQueryBatchTopK(executor_, nodes, *k, &batch_stats);
+  if (!results.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, results.status().ToString());
+  }
+  batch_requests_.fetch_add(1);
+  nodes_scored_.fetch_add(nodes.size());
+  engine_query_nanos_.fetch_add(
+      static_cast<uint64_t>(batch_stats.cpu_query_seconds * 1e9));
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("k");
+  writer.Uint(*k);
+  writer.Key("wall_ms");
+  writer.Double(batch_stats.wall_seconds * 1e3);
+  writer.Key("results");
+  writer.BeginArray();
+  for (const BatchTopKResult& result : *results) {
+    writer.BeginObject();
+    writer.Key("node");
+    writer.Uint(result.query);
+    writer.Key("top");
+    writer.BeginArray();
+    for (const auto& [v, score] : result.topk) {
+      writer.BeginObject();
+      writer.Key("node");
+      writer.Uint(v);
+      writer.Key("score");
+      writer.Double(score);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+
+  HttpResponse response;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  RecordLatency(wall.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse SimPushService::HandleStats(const HttpRequest&) {
+  const uint64_t query = query_requests_.load();
+  const uint64_t topk = topk_requests_.load();
+  const uint64_t batch = batch_requests_.load();
+  const double uptime = uptime_.ElapsedSeconds();
+  const LatencySnapshot latency = Latencies();
+  const WorkspacePool& pool = executor_.workspaces();
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("uptime_seconds");
+  writer.Double(uptime);
+  writer.Key("graph");
+  writer.BeginObject();
+  writer.Key("nodes");
+  writer.Uint(graph_.num_nodes());
+  writer.Key("edges");
+  writer.Uint(graph_.num_edges());
+  writer.EndObject();
+  writer.Key("options");
+  writer.BeginObject();
+  writer.Key("epsilon");
+  writer.Double(options_.query.epsilon);
+  writer.Key("decay");
+  writer.Double(options_.query.decay);
+  writer.Key("delta");
+  writer.Double(options_.query.delta);
+  writer.Key("seed");
+  writer.Uint(options_.query.seed);
+  writer.EndObject();
+  writer.Key("requests");
+  writer.BeginObject();
+  writer.Key("query");
+  writer.Uint(query);
+  writer.Key("topk");
+  writer.Uint(topk);
+  writer.Key("batch");
+  writer.Uint(batch);
+  writer.Key("bad");
+  writer.Uint(bad_requests_.load());
+  writer.Key("nodes_scored");
+  writer.Uint(nodes_scored_.load());
+  writer.EndObject();
+  writer.Key("qps");
+  writer.Double(uptime > 0 ? (query + topk + batch) / uptime : 0);
+  writer.Key("latency_ms");
+  writer.BeginObject();
+  writer.Key("samples");
+  writer.Uint(latency.samples);
+  writer.Key("p50");
+  writer.Double(latency.p50_ms);
+  writer.Key("p90");
+  writer.Double(latency.p90_ms);
+  writer.Key("p99");
+  writer.Double(latency.p99_ms);
+  writer.Key("max");
+  writer.Double(latency.max_ms);
+  writer.EndObject();
+  writer.Key("pool");
+  writer.BeginObject();
+  writer.Key("capacity");
+  writer.Uint(pool.capacity());
+  writer.Key("created");
+  writer.Uint(pool.created());
+  writer.Key("outstanding");
+  writer.Uint(pool.outstanding());
+  writer.EndObject();
+  writer.Key("engine");
+  writer.BeginObject();
+  writer.Key("cpu_query_seconds");
+  writer.Double(engine_query_nanos_.load() / 1e9);
+  writer.Key("walks_sampled");
+  writer.Uint(engine_walks_.load());
+  writer.EndObject();
+  writer.Key("threads");
+  writer.Uint(executor_.num_threads());
+  if (server_ != nullptr) {
+    const HttpServerCounters counters = server_->counters();
+    writer.Key("http");
+    writer.BeginObject();
+    writer.Key("accepted");
+    writer.Uint(counters.accepted);
+    writer.Key("rejected_503");
+    writer.Uint(counters.rejected_503);
+    writer.Key("requests");
+    writer.Uint(counters.requests);
+    writer.Key("queue_depth");
+    writer.Uint(server_->queue_depth());
+    writer.EndObject();
+  }
+  writer.Key("memory");
+  writer.BeginObject();
+  writer.Key("peak_rss_bytes");
+  writer.Uint(PeakRssBytes());
+  writer.Key("current_rss_bytes");
+  writer.Uint(CurrentRssBytes());
+  writer.EndObject();
+  writer.EndObject();
+
+  HttpResponse response;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse SimPushService::HandleHealth(const HttpRequest&) {
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\"}\n";
+  return response;
+}
+
+void SimPushService::RecordLatency(double seconds) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_ring_[latency_next_] = seconds;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_filled_ = std::min(latency_filled_ + 1, latency_ring_.size());
+}
+
+LatencySnapshot SimPushService::Latencies() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    sorted.assign(latency_ring_.begin(),
+                  latency_ring_.begin() + latency_filled_);
+  }
+  LatencySnapshot snapshot;
+  snapshot.samples = sorted.size();
+  if (sorted.empty()) return snapshot;
+  std::sort(sorted.begin(), sorted.end());
+  const auto percentile = [&sorted](double p) {
+    const size_t index = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[index] * 1e3;
+  };
+  snapshot.p50_ms = percentile(0.50);
+  snapshot.p90_ms = percentile(0.90);
+  snapshot.p99_ms = percentile(0.99);
+  snapshot.max_ms = sorted.back() * 1e3;
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown signal plumbing (used by tools/simpush_serve.cc).
+// ---------------------------------------------------------------------------
+
+namespace {
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+void OnShutdownSignal(int) { g_shutdown_requested = 1; }
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction action{};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void WaitForShutdownSignal() {
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,145 @@
+// SimPushService: the serving front end's request layer.
+//
+// Binds the engine substrate (one shared EngineCore + one ThreadPool +
+// one WorkspacePool, all inside a QueryExecutor) to HTTP routes:
+//
+//   POST /v1/query   single-source scores (optional top-k truncation)
+//   POST /v1/topk    top-k most similar nodes
+//   POST /v1/batch   many queries, fanned out over ForEachQueryChunked
+//   GET  /v1/stats   pool occupancy, q/s, latency percentiles, peak RSS
+//   GET  /healthz    liveness probe
+//
+// Request JSON schemas and examples live in docs/serving.md.
+//
+// Concurrency model: /v1/query and /v1/topk run directly on the HTTP
+// worker thread that parsed them — each leases one workspace from the
+// shared pool for the duration of the query (blocking briefly when the
+// pool is capped below the concurrency). /v1/batch fans its nodes out
+// across the executor's thread pool. The pool capacity therefore bounds
+// peak query-scratch memory across BOTH paths at O(capacity·n).
+//
+// Admission control lives in two places: the HttpServer sheds whole
+// connections with 503 when its accept queue is full, and this layer
+// rejects oversized batch requests with 413.
+//
+// Thread-safety contract: all Handle* methods (and RunQuery) are safe
+// to call concurrently from any number of threads after construction.
+
+#ifndef SIMPUSH_SERVE_SERVICE_H_
+#define SIMPUSH_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "serve/http_server.h"
+#include "simpush/parallel.h"
+#include "simpush/query_runner.h"
+
+namespace simpush {
+namespace serve {
+
+/// Configuration for a SimPushService.
+struct ServiceOptions {
+  /// Engine knobs (ε, c, δ, seed, walk cap) shared by every request.
+  SimPushOptions query;
+  /// Worker threads for /v1/batch fan-out (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Workspace pool cap (0 = match num_threads). See docs/serving.md
+  /// for tuning pool_capacity vs threads.
+  size_t pool_capacity = 0;
+  /// Maximum nodes accepted in one /v1/batch request (larger → 413).
+  size_t max_batch_nodes = 4096;
+  /// Latency ring-buffer size for the /v1/stats percentiles.
+  size_t latency_ring_size = 2048;
+};
+
+/// Point-in-time latency percentiles computed from the ring buffer.
+struct LatencySnapshot {
+  size_t samples = 0;   ///< Entries currently in the ring (<= ring size).
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// The SimPush query service. One instance per loaded graph; the graph
+/// must outlive the service.
+class SimPushService {
+ public:
+  SimPushService(const Graph& graph, const ServiceOptions& options);
+
+  /// Registers all endpoints on `server` (call before server.Start()).
+  /// The service keeps the pointer to surface the server's admission
+  /// counters in /v1/stats; the server must outlive the service's use.
+  void RegisterRoutes(HttpServer* server);
+
+  /// The serve hot path: runs one single-source query on a pooled
+  /// workspace into caller-owned, reused result buffers. Blocks while
+  /// the workspace pool is exhausted. Zero heap allocations in steady
+  /// state (warm workspace + warm result), verified by serve_test.
+  Status RunQuery(NodeId u, SimPushResult* result);
+
+  /// Endpoint handlers (exposed for tests and the load generator; the
+  /// HTTP router calls these). Each is concurrency-safe.
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleTopK(const HttpRequest& request);
+  HttpResponse HandleBatch(const HttpRequest& request);
+  HttpResponse HandleStats(const HttpRequest& request);
+  HttpResponse HandleHealth(const HttpRequest& request);
+
+  /// The shared execution substrate (core + thread pool + workspaces).
+  QueryExecutor& executor() { return executor_; }
+  /// Percentiles over the most recent latency_ring_size requests.
+  LatencySnapshot Latencies() const;
+
+ private:
+  void RecordLatency(double seconds);
+  /// Folds one runner's lifetime totals into the service-wide engine
+  /// counters surfaced by /v1/stats. Allocation-free.
+  void AccumulateEngineTotals(const QueryRunnerTotals& totals);
+
+  const Graph& graph_;
+  const ServiceOptions options_;
+  QueryExecutor executor_;
+  HttpServer* server_ = nullptr;  // For admission counters in /v1/stats.
+  Timer uptime_;
+
+  std::atomic<uint64_t> query_requests_{0};
+  std::atomic<uint64_t> topk_requests_{0};
+  std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> nodes_scored_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  // Engine-side totals aggregated from QueryRunnerTotals: CPU seconds
+  // spent inside queries (all endpoints) and level-detection walks
+  // (query/topk paths; the batch fan-out does not expose walk counts).
+  std::atomic<uint64_t> engine_query_nanos_{0};
+  std::atomic<uint64_t> engine_walks_{0};
+
+  // Fixed-size ring of the most recent request latencies (seconds).
+  // Preallocated; RecordLatency never allocates.
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  size_t latency_filled_ = 0;
+};
+
+/// Installs SIGTERM/SIGINT handlers that mark shutdown as requested
+/// (async-signal-safe flag only; no work happens in the handler).
+void InstallShutdownSignalHandlers();
+
+/// True once a shutdown signal has arrived.
+bool ShutdownRequested();
+
+/// Blocks the calling thread until a shutdown signal arrives. The
+/// caller then runs HttpServer::Shutdown() to drain gracefully.
+void WaitForShutdownSignal();
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_SERVICE_H_

@@ -36,8 +36,11 @@ class EngineCore {
   /// library is exception-free at its API boundary).
   EngineCore(const Graph& graph, const SimPushOptions& options);
 
+  /// The graph queries run against (immutable CSR; outlives the core).
   const Graph& graph() const { return graph_; }
+  /// The validated options copied at construction.
   const SimPushOptions& options() const { return options_; }
+  /// Parameters derived once from the options (√c, ε_h, L*, walk counts).
   const DerivedParams& derived() const { return derived_; }
 
   /// Result of validating the options at construction. Query runners

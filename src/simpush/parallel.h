@@ -54,9 +54,13 @@ class QueryExecutor {
   QueryExecutor(const Graph& graph, const SimPushOptions& options,
                 size_t num_threads = 0, size_t pool_capacity = 0);
 
+  /// The shared immutable core; safe from any thread.
   const EngineCore& core() const { return core_; }
+  /// The shared worker pool (internally synchronized).
   ThreadPool& thread_pool() { return thread_pool_; }
+  /// The bounded workspace pool (internally synchronized).
   WorkspacePool& workspaces() { return workspaces_; }
+  /// Number of worker threads in the pool.
   size_t num_threads() const { return thread_pool_.num_threads(); }
 
  private:
@@ -67,11 +71,11 @@ class QueryExecutor {
 
 /// Aggregate statistics from a parallel batch run.
 struct ParallelBatchStats {
-  size_t queries_ok = 0;
-  size_t queries_failed = 0;
+  size_t queries_ok = 0;        ///< Queries that returned scores.
+  size_t queries_failed = 0;    ///< Queries skipped (e.g. bad node id).
   double wall_seconds = 0;      ///< End-to-end elapsed time.
   double cpu_query_seconds = 0; ///< Sum of per-query times across workers.
-  size_t num_threads = 0;
+  size_t num_threads = 0;       ///< Worker threads the batch ran on.
 };
 
 /// Runs every query in `queries` on a shared executor. `on_result` is

@@ -18,6 +18,18 @@ QueryRunner::QueryRunner(const EngineCore& core, WorkspacePool& pool)
     : core_(&core), lease_(pool.Acquire()), workspace_(lease_.get()) {}
 
 Status QueryRunner::QueryInto(NodeId u, SimPushResult* result) {
+  Status status = QueryIntoImpl(u, result);
+  if (status.ok()) {
+    ++totals_.queries_ok;
+    totals_.query_seconds += result->stats.total_seconds;
+    totals_.walks_sampled += result->stats.walks_sampled;
+  } else {
+    ++totals_.queries_failed;
+  }
+  return status;
+}
+
+Status QueryRunner::QueryIntoImpl(NodeId u, SimPushResult* result) {
   SIMPUSH_RETURN_NOT_OK(core_->options_status());
   const Graph& graph = core_->graph();
   if (u >= graph.num_nodes()) {

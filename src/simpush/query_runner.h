@@ -50,6 +50,18 @@ struct SimPushResult {
   SimPushQueryStats stats;
 };
 
+/// Cumulative totals over every query a runner has executed — the
+/// lifetime view a serving or chunked-batch layer aggregates from,
+/// where per-query SimPushQueryStats are too fine-grained to keep.
+struct QueryRunnerTotals {
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  /// Sum of per-query total_seconds across successful queries.
+  double query_seconds = 0;
+  /// Sum of walks_sampled across successful queries.
+  uint64_t walks_sampled = 0;
+};
+
 /// Executes queries against a shared EngineCore using one workspace.
 class QueryRunner {
  public:
@@ -79,12 +91,20 @@ class QueryRunner {
   /// allocations. Produces bit-identical scores to Query.
   Status QueryInto(NodeId u, SimPushResult* result);
 
+  /// The shared immutable core this runner executes against.
   const EngineCore& core() const { return *core_; }
 
+  /// Lifetime totals across every Query/QueryInto call on this runner.
+  const QueryRunnerTotals& totals() const { return totals_; }
+
  private:
+  // Query pipeline body; QueryInto wraps it to maintain totals_.
+  Status QueryIntoImpl(NodeId u, SimPushResult* result);
+
   const EngineCore* core_;
   WorkspaceLease lease_;  // Empty when bound to a caller-owned workspace.
   QueryWorkspace* workspace_;
+  QueryRunnerTotals totals_;
 };
 
 }  // namespace simpush

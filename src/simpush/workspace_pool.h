@@ -34,18 +34,24 @@ class WorkspacePool;
 /// workspace to its pool on destruction (or explicit Release()).
 class WorkspaceLease {
  public:
+  /// An empty lease (no workspace); usable as a "not holding" state.
   WorkspaceLease() = default;
+  /// Transfers ownership; `other` becomes empty.
   WorkspaceLease(WorkspaceLease&& other) noexcept
       : pool_(std::exchange(other.pool_, nullptr)),
         workspace_(std::exchange(other.workspace_, nullptr)) {}
+  /// Releases any held workspace, then takes over `other`'s.
   WorkspaceLease& operator=(WorkspaceLease&& other) noexcept;
   WorkspaceLease(const WorkspaceLease&) = delete;
   WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  /// Returns the workspace to its pool.
   ~WorkspaceLease() { Release(); }
 
   /// The leased workspace; nullptr for an empty lease.
   QueryWorkspace* get() const { return workspace_; }
+  /// Member access on the leased workspace; precondition: non-empty.
   QueryWorkspace* operator->() const { return workspace_; }
+  /// True when the lease holds a workspace.
   explicit operator bool() const { return workspace_ != nullptr; }
 
   /// Returns the workspace to the pool early; the lease becomes empty.

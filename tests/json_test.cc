@@ -1,0 +1,231 @@
+// JSON codec tests: parsing (including malformed bodies, overflow
+// numbers, UTF-8 passthrough), serialization, and the double
+// round-trip guarantee the serve bit-identity check depends on.
+
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace simpush {
+namespace serve {
+namespace {
+
+TEST(JsonParse, Atoms) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.25e2")->number_value(), -325.0);
+  EXPECT_DOUBLE_EQ(ParseJson("0")->number_value(), 0.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+  EXPECT_TRUE(ParseJson("  [ ]  ")->array_items().empty());
+  EXPECT_TRUE(ParseJson("{}")->object_members().empty());
+}
+
+TEST(JsonParse, NestedDocument) {
+  auto doc = ParseJson(
+      R"({"node": 42, "k": 10, "nested": {"xs": [1, 2.5, -3]}, "b": true})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->Find("node"), nullptr);
+  EXPECT_EQ(doc->Find("node")->AsIndex().value(), 42u);
+  const JsonValue* nested = doc->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  const JsonValue* xs = nested->Find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(xs->array_items()[1].number_value(), 2.5);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParse, MalformedBodies) {
+  const char* bad[] = {
+      "",                       // empty
+      "{",                      // truncated object
+      "[1, 2",                  // truncated array
+      "{\"a\" 1}",              // missing colon
+      "{\"a\": 1,}",            // trailing comma
+      "[1 2]",                  // missing comma
+      "{'a': 1}",               // single quotes
+      "{\"a\": 1} extra",       // trailing garbage
+      "tru",                    // truncated literal
+      "nul",                    // truncated literal
+      "\"unterminated",         // unterminated string
+      "\"bad \\q escape\"",     // invalid escape
+      "01",                     // leading zero
+      "1.",                     // digits required after point
+      "1e",                     // digits required in exponent
+      "+1",                     // leading plus
+      "NaN",                    // not JSON
+      "Infinity",               // not JSON
+      "{1: 2}",                 // non-string key
+      "\"\\u12\"",              // truncated \u escape
+      "\"\\uZZZZ\"",            // bad hex
+      "\"\\ud800\"",            // lone high surrogate
+      "\"\\udc00\"",            // lone low surrogate
+      "\"\\ud800\\u0041\"",     // high surrogate + non-low
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+  // Unescaped control characters are rejected.
+  EXPECT_FALSE(ParseJson(std::string("\"a\nb\"")).ok());
+}
+
+TEST(JsonParse, OverflowNumbersRejected) {
+  EXPECT_FALSE(ParseJson("1e999").ok());
+  EXPECT_FALSE(ParseJson("-1e999").ok());
+  EXPECT_FALSE(ParseJson(std::string(400, '9')).ok());
+  // Underflow to zero (not to inf) parses fine.
+  auto tiny = ParseJson("1e-999");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_DOUBLE_EQ(tiny->number_value(), 0.0);
+  // Values at the edge of double range survive.
+  auto big = ParseJson("1.7976931348623157e308");
+  ASSERT_TRUE(big.ok());
+  EXPECT_DOUBLE_EQ(big->number_value(),
+                   std::numeric_limits<double>::max());
+}
+
+TEST(JsonParse, DeepNestingRejected) {
+  std::string deep(100, '[');
+  deep.append(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string shallow(32, '[');
+  shallow.append(32, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonParse, Utf8Passthrough) {
+  // Raw UTF-8 bytes in strings pass through byte-for-byte.
+  const std::string snowman = "\"\xE2\x98\x83\"";
+  auto doc = ParseJson(snowman);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "\xE2\x98\x83");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(ParseJson("\"\\u0041\"")->string_value(), "A");
+  EXPECT_EQ(ParseJson("\"\\u00e9\"")->string_value(), "\xC3\xA9");  // é
+  EXPECT_EQ(ParseJson("\"\\u2603\"")->string_value(),
+            "\xE2\x98\x83");  // snowman
+  // Surrogate pair → 4-byte UTF-8 (U+1F600).
+  EXPECT_EQ(ParseJson("\"\\uD83D\\uDE00\"")->string_value(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_EQ(ParseJson("\"\\t\\n\\\\\\\"\\/\"")->string_value(),
+            "\t\n\\\"/");
+}
+
+TEST(JsonParse, AsIndex) {
+  EXPECT_EQ(ParseJson("7")->AsIndex().value(), 7u);
+  EXPECT_EQ(ParseJson("0")->AsIndex().value(), 0u);
+  EXPECT_FALSE(ParseJson("-1")->AsIndex().ok());
+  EXPECT_FALSE(ParseJson("1.5")->AsIndex().ok());
+  EXPECT_FALSE(ParseJson("\"7\"")->AsIndex().ok());
+  EXPECT_FALSE(ParseJson("1e300")->AsIndex().ok());
+  // 2^53 - 1 is the largest exactly-representable index.
+  EXPECT_EQ(ParseJson("9007199254740991")->AsIndex().value(),
+            9007199254740991ull);
+  EXPECT_FALSE(ParseJson("9007199254740992")->AsIndex().ok());
+}
+
+TEST(JsonWriter, Document) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("node");
+  writer.Uint(42);
+  writer.Key("ok");
+  writer.Bool(true);
+  writer.Key("none");
+  writer.Null();
+  writer.Key("xs");
+  writer.BeginArray();
+  writer.Double(0.5);
+  writer.Double(1.0);
+  writer.EndArray();
+  writer.Key("name");
+  writer.String("a\"b\\c\n\x01");
+  writer.EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\"node\":42,\"ok\":true,\"none\":null,\"xs\":[0.5,1],"
+            "\"name\":\"a\\\"b\\\\c\\n\\u0001\"}");
+}
+
+TEST(JsonWriter, ResetReusesBuffer) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Uint(1);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[1]");
+  writer.Reset();
+  writer.BeginArray();
+  writer.Uint(2);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[2]");
+  EXPECT_EQ(writer.Take(), "[2]");
+  EXPECT_EQ(writer.str(), "");
+}
+
+TEST(JsonWriter, NonFiniteSerializesAsNull) {
+  JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(std::numeric_limits<double>::infinity());
+  writer.Double(std::numeric_limits<double>::quiet_NaN());
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[null,null]");
+}
+
+// The property the serve smoke test's bit-identity check rests on:
+// every finite double survives Writer → Parser exactly.
+TEST(JsonRoundTrip, DoublesAreBitExact) {
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      0.1,
+      0.6,
+      1e-300,
+      -1e-300,
+      5e-324,                                    // min denormal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      1.2345678901234567e-8,
+      0.02 * 0.6,
+      9007199254740993.0,
+  };
+  for (const double value : cases) {
+    JsonWriter writer;
+    writer.BeginArray();
+    writer.Double(value);
+    writer.EndArray();
+    auto doc = ParseJson(writer.str());
+    ASSERT_TRUE(doc.ok()) << writer.str();
+    const double parsed = doc->array_items()[0].number_value();
+    EXPECT_EQ(std::signbit(parsed), std::signbit(value)) << writer.str();
+    EXPECT_EQ(parsed, value) << writer.str();
+  }
+  // A pseudorandom sweep over the unit interval (score-shaped values).
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  JsonWriter writer;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double value =
+        static_cast<double>(state >> 11) * 0x1.0p-53;  // [0, 1)
+    writer.Reset();
+    writer.BeginArray();
+    writer.Double(value);
+    writer.EndArray();
+    auto doc = ParseJson(writer.str());
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->array_items()[0].number_value(), value) << writer.str();
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,469 @@
+// End-to-end smoke test for the simpush_serve front end: boots the
+// HTTP server on an ephemeral port, issues query/topk/batch/stats
+// requests through real sockets, and checks
+//   - responses are bit-identical to direct QueryRunner calls,
+//   - >= 8 concurrent clients are served correctly,
+//   - admission control sheds load with 503,
+//   - Shutdown() drains in-flight requests before returning,
+//   - the query path performs zero steady-state heap allocations
+//     (this binary links simpush_alloc_hook).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/memory.h"
+#include "gtest/gtest.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/topk.h"
+#include "simpush/workspace.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace serve {
+namespace {
+
+SimPushOptions FastOptions() {
+  SimPushOptions options;
+  options.epsilon = 0.1;
+  options.walk_budget_cap = 20000;
+  options.seed = 42;
+  return options;
+}
+
+// A service + started server on an ephemeral port, with a direct
+// (in-process) engine sharing the same options for reference results.
+class ServeFixture {
+ public:
+  explicit ServeFixture(size_t http_workers = 4)
+      : graph_(testing_util::MakeFixtureGraph()),
+        core_(graph_, FastOptions()) {
+    ServiceOptions service_options;
+    service_options.query = FastOptions();
+    service_options.num_threads = 4;
+    service_ = std::make_unique<SimPushService>(graph_, service_options);
+
+    HttpServerOptions server_options;
+    server_options.port = 0;
+    server_options.num_workers = http_workers;
+    server_ = std::make_unique<HttpServer>(server_options);
+    service_->RegisterRoutes(server_.get());
+    const Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  const Graph& graph() { return graph_; }
+  HttpServer& server() { return *server_; }
+  SimPushService& service() { return *service_; }
+  uint16_t port() { return server_->port(); }
+
+  std::vector<double> DirectScores(NodeId u) {
+    QueryWorkspace workspace;
+    QueryRunner runner(core_, &workspace);
+    auto result = runner.Query(u);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result->scores;
+  }
+
+  TopKResult DirectTopK(NodeId u, size_t k) {
+    QueryWorkspace workspace;
+    QueryRunner runner(core_, &workspace);
+    auto result = QueryTopK(&runner, u, k);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+ private:
+  Graph graph_;
+  EngineCore core_;
+  std::unique_ptr<SimPushService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+// Sends raw bytes (possibly a deliberately malformed request) and
+// returns everything the server sends back until it closes the
+// connection. Used where HttpClient is too well-behaved to produce
+// the condition under test.
+std::string RawExchange(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::vector<double> ScoresFromBody(const std::string& body) {
+  auto doc = ParseJson(body);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " body: " << body;
+  std::vector<double> scores;
+  const JsonValue* array = doc->Find("scores");
+  EXPECT_NE(array, nullptr) << body;
+  if (array == nullptr) return scores;
+  for (const JsonValue& item : array->array_items()) {
+    scores.push_back(item.number_value());
+  }
+  return scores;
+}
+
+TEST(ServeSmoke, HealthAndStats) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "{\"status\":\"ok\"}\n");
+
+  auto stats = client.Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  auto doc = ParseJson(stats->body);
+  ASSERT_TRUE(doc.ok()) << stats->body;
+  EXPECT_EQ(doc->Find("graph")->Find("nodes")->AsIndex().value(), 10u);
+  EXPECT_NE(doc->Find("pool"), nullptr);
+  EXPECT_NE(doc->Find("latency_ms"), nullptr);
+  EXPECT_NE(doc->Find("http"), nullptr);
+  EXPECT_GT(doc->Find("memory")->Find("peak_rss_bytes")->number_value(), 0);
+}
+
+TEST(ServeSmoke, QueryBitIdenticalToDirectRunner) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  for (NodeId u = 0; u < fixture.graph().num_nodes(); ++u) {
+    auto response = client.Post("/v1/query",
+                                "{\"node\": " + std::to_string(u) + "}");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << response->body;
+    const std::vector<double> served = ScoresFromBody(response->body);
+    const std::vector<double> direct = fixture.DirectScores(u);
+    ASSERT_EQ(served.size(), direct.size());
+    for (size_t v = 0; v < direct.size(); ++v) {
+      EXPECT_EQ(served[v], direct[v]) << "u=" << u << " v=" << v;
+    }
+  }
+  // All requests rode one keep-alive connection.
+  EXPECT_EQ(fixture.server().counters().accepted, 1u);
+}
+
+TEST(ServeSmoke, QueryTopKTruncationAndStats) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  auto response = client.Post(
+      "/v1/query", "{\"node\": 3, \"top_k\": 4, \"with_stats\": true}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("scores"), nullptr);  // Truncated response.
+  const JsonValue* top = doc->Find("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_LE(top->array_items().size(), 4u);
+  ASSERT_NE(doc->Find("stats"), nullptr);
+  EXPECT_GE(doc->Find("stats")->Find("total_ms")->number_value(), 0.0);
+
+  // Entries match a direct top-k (same ε ⇒ same scores ⇒ same ranking).
+  const TopKResult direct = fixture.DirectTopK(3, 4);
+  ASSERT_EQ(top->array_items().size(), direct.entries.size());
+  for (size_t i = 0; i < direct.entries.size(); ++i) {
+    const JsonValue& entry = top->array_items()[i];
+    EXPECT_EQ(entry.Find("node")->AsIndex().value(), direct.entries[i].node);
+    EXPECT_EQ(entry.Find("score")->number_value(), direct.entries[i].score);
+  }
+}
+
+TEST(ServeSmoke, TopKEndpointBitIdentical) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  auto response = client.Post("/v1/topk", "{\"node\": 5, \"k\": 3}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok());
+  const TopKResult direct = fixture.DirectTopK(5, 3);
+  const JsonValue* top = doc->Find("top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->array_items().size(), direct.entries.size());
+  for (size_t i = 0; i < direct.entries.size(); ++i) {
+    const JsonValue& entry = top->array_items()[i];
+    EXPECT_EQ(entry.Find("node")->AsIndex().value(), direct.entries[i].node);
+    EXPECT_EQ(entry.Find("score")->number_value(), direct.entries[i].score);
+  }
+}
+
+TEST(ServeSmoke, BatchBitIdentical) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  auto response = client.Post("/v1/batch",
+                              "{\"nodes\": [0, 3, 5, 7, 9], \"k\": 3}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = ParseJson(response->body);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  const NodeId nodes[] = {0, 3, 5, 7, 9};
+  ASSERT_EQ(results->array_items().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    const JsonValue& result = results->array_items()[i];
+    EXPECT_EQ(result.Find("node")->AsIndex().value(), nodes[i]);
+    const TopKResult direct = fixture.DirectTopK(nodes[i], 3);
+    const JsonValue* top = result.Find("top");
+    ASSERT_NE(top, nullptr);
+    ASSERT_EQ(top->array_items().size(), direct.entries.size());
+    for (size_t j = 0; j < direct.entries.size(); ++j) {
+      EXPECT_EQ(top->array_items()[j].Find("score")->number_value(),
+                direct.entries[j].score)
+          << "query " << nodes[i] << " rank " << j;
+    }
+  }
+}
+
+TEST(ServeSmoke, ErrorResponses) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  EXPECT_EQ(client.Post("/v1/query", "{not json")->status, 400);
+  EXPECT_EQ(client.Post("/v1/query", "{}")->status, 400);        // no node
+  EXPECT_EQ(client.Post("/v1/query", "[1,2]")->status, 400);     // not object
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 10}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": -1}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 1e999}")->status, 400);
+  // 2^32 + 5 must not wrap to node 5 through the 32-bit NodeId.
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 4294967301}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/topk", "{\"node\": 4294967301}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/batch", "{\"nodes\": [0, 99]}")->status, 400);
+  EXPECT_EQ(client.Get("/nope")->status, 404);
+  EXPECT_EQ(client.Get("/v1/query")->status, 405);  // wrong method
+  EXPECT_EQ(client.Post("/healthz", "{}")->status, 405);
+
+  // Oversized batches are rejected up front with 413.
+  std::string big = "{\"nodes\": [";
+  for (int i = 0; i < 5000; ++i) {
+    big += (i ? ",0" : "0");
+  }
+  big += "]}";
+  EXPECT_EQ(client.Post("/v1/batch", big)->status, 413);
+
+  // The service is still healthy afterwards.
+  EXPECT_EQ(client.Get("/healthz")->status, 200);
+}
+
+TEST(ServeSmoke, EightConcurrentClientsBitIdentical) {
+  ServeFixture fixture(/*http_workers=*/8);
+  const NodeId n = fixture.graph().num_nodes();
+
+  // Reference scores computed once, in process.
+  std::vector<std::vector<double>> expected(n);
+  for (NodeId u = 0; u < n; ++u) expected[u] = fixture.DirectScores(u);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", fixture.port());
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const NodeId u = static_cast<NodeId>((c + r) % n);
+        auto response = client.Post(
+            "/v1/query", "{\"node\": " + std::to_string(u) + "}");
+        if (!response.ok() || response->status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const std::vector<double> served = ScoresFromBody(response->body);
+        if (served != expected[u]) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(fixture.server().counters().requests,
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  // All leases returned once the dust settles.
+  EXPECT_EQ(fixture.service().executor().workspaces().outstanding(), 0u);
+}
+
+TEST(ServeSmoke, AdmissionControlSheds503) {
+  // One worker, an admission queue of one: the third concurrent
+  // connection must be shed with 503 while the first is in flight.
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.max_queued_connections = 1;
+  HttpServer server(options);
+  server.Route("POST", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    return HttpResponse{200, "application/json", "{\"slow\":true}"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> ok_200{0};
+  std::thread first([&] {
+    HttpClient client("127.0.0.1", server.port());
+    auto response = client.Post("/slow", "{}");
+    if (response.ok() && response->status == 200) ok_200.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread second([&] {  // Waits in the admission queue, then serves.
+    HttpClient client("127.0.0.1", server.port());
+    auto response = client.Post("/slow", "{}");
+    if (response.ok() && response->status == 200) ok_200.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  HttpClient shed("127.0.0.1", server.port());
+  auto response = shed.Post("/slow", "{}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(response->body, "{\"error\":\"overloaded\"}\n");
+
+  first.join();
+  second.join();
+  EXPECT_EQ(ok_200.load(), 2);
+  EXPECT_EQ(server.counters().rejected_503, 1u);
+  server.Shutdown();
+}
+
+TEST(ServeSmoke, MalformedContentLengthIs400) {
+  ServeFixture fixture;
+  const std::string response = RawExchange(
+      fixture.port(),
+      "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: abc\r\n\r\n");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  EXPECT_NE(response.find("malformed content-length"), std::string::npos);
+  // A digits-then-garbage value must not frame the body off its prefix
+  // (that would desync the keep-alive stream).
+  const std::string garbage = RawExchange(
+      fixture.port(),
+      "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 12abc\r\n\r\n"
+      "{\"node\": 3}x");
+  EXPECT_NE(garbage.find("400 Bad Request"), std::string::npos) << garbage;
+}
+
+TEST(ServeSmoke, IdleConnectionsAreReclaimed) {
+  // One worker with a short idle timeout: a client that parks its
+  // keep-alive connection must not pin the worker — the server closes
+  // it and serves the next client.
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.read_timeout_ms = 50;
+  options.idle_timeout_ms = 150;
+  HttpServer server(options);
+  server.Route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json", "{}"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient parked("127.0.0.1", server.port());
+  ASSERT_EQ(parked.Get("/ping")->status, 200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // Without reclamation this would hang forever on the busy worker.
+  HttpClient fresh("127.0.0.1", server.port());
+  EXPECT_EQ(fresh.Get("/ping")->status, 200);
+  // The parked client transparently reconnects on its next request.
+  EXPECT_EQ(parked.Get("/ping")->status, 200);
+
+  // A mid-request stall (headers never completed) is answered with 408.
+  const std::string stalled =
+      RawExchange(server.port(), "POST /v1/query HTTP/1.1\r\n");
+  EXPECT_NE(stalled.find("408 Request Timeout"), std::string::npos)
+      << stalled;
+  server.Shutdown();
+}
+
+TEST(ServeSmoke, GracefulShutdownDrainsInFlight) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  HttpServer server(options);
+  std::atomic<int> slow_entered{0};
+  server.Route("POST", "/slow", [&](const HttpRequest&) {
+    slow_entered.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return HttpResponse{200, "application/json", "{\"slow\":true}"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> drained_ok{false};
+  std::thread in_flight([&] {
+    HttpClient client("127.0.0.1", port);
+    auto response = client.Post("/slow", "{}");
+    drained_ok.store(response.ok() && response->status == 200);
+  });
+  // Wait until the request is genuinely in flight, then drain.
+  while (slow_entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Shutdown();
+  // Shutdown must not have cut the in-flight request off.
+  in_flight.join();
+  EXPECT_TRUE(drained_ok.load());
+  EXPECT_FALSE(server.running());
+
+  // The listen socket is gone: new connections are refused.
+  HttpClient late("127.0.0.1", port);
+  EXPECT_FALSE(late.Get("/healthz").ok());
+}
+
+// The serve hot path — lease a pooled workspace, QueryInto reused
+// buffers, return the lease — performs zero heap allocations once
+// workspace and result are warm. Guarded by the counting operator
+// new/delete in simpush_alloc_hook, which this test binary links.
+TEST(ServeZeroAlloc, QueryPathSteadyState) {
+  Graph graph = testing_util::MakeFixtureGraph();
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.num_threads = 2;
+  SimPushService service(graph, options);
+
+  SimPushResult result;
+  for (int warm = 0; warm < 3; ++warm) {
+    ASSERT_TRUE(service.RunQuery(3, &result).ok());
+  }
+  const AllocationStats before = GetAllocationStats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.RunQuery(3, &result).ok());
+  }
+  const AllocationStats after = GetAllocationStats();
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "steady-state serve query path allocated";
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# tools/repro.sh — runs the README quickstart commands end to end
+# against a tiny synthetic graph: generate → CLI query/top-k → boot
+# simpush_serve → curl every endpoint → SIGTERM drain → closed-loop
+# load check. CI executes this on every push (.github/workflows/ci.yml,
+# `serve` job), so the documented commands cannot rot.
+#
+# Usage: tools/repro.sh            (configures+builds ./build if needed)
+#        BUILD_DIR=mybuild tools/repro.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [[ ! -x "$BUILD_DIR/simpush_cli" || ! -x "$BUILD_DIR/simpush_serve" ]]; then
+  echo "== building into $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j
+fi
+CLI="$BUILD_DIR/simpush_cli"
+SERVE="$BUILD_DIR/simpush_serve"
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== generate a tiny synthetic web-like graph (Chung-Lu, power law)"
+"$CLI" generate --kind chunglu --nodes 2000 --edges 16000 --seed 1 \
+    --out "$WORK/web.txt"
+"$CLI" stats --graph "$WORK/web.txt"
+
+echo "== single-source SimRank query (CLI)"
+"$CLI" query --graph "$WORK/web.txt" --node 42 --epsilon 0.05 --limit 5
+
+echo "== top-k query (CLI)"
+"$CLI" topk --graph "$WORK/web.txt" --node 42 --k 5 --epsilon 0.05
+
+echo "== boot simpush_serve on an ephemeral port"
+"$SERVE" --graph "$WORK/web.txt" --port 0 --epsilon 0.05 \
+    --port-file "$WORK/port" &
+SERVE_PID=$!
+for _ in $(seq 100); do [[ -s "$WORK/port" ]] && break; sleep 0.05; done
+PORT="$(cat "$WORK/port")"
+for _ in $(seq 100); do
+  curl -sf "http://127.0.0.1:$PORT/healthz" > /dev/null && break
+  sleep 0.05
+done
+
+echo "== POST /v1/query (top-k truncated)"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "top_k": 5, "with_stats": true}'
+
+echo "== POST /v1/topk"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/topk" -d '{"node": 42, "k": 5}'
+
+echo "== POST /v1/batch"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/batch" \
+    -d '{"nodes": [1, 2, 3], "k": 3}'
+
+echo "== GET /v1/stats"
+curl -sf "http://127.0.0.1:$PORT/v1/stats"
+
+echo "== graceful drain (SIGTERM; exit 0 after in-flight work finishes)"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+if [[ -x "$BUILD_DIR/bench_serve" ]]; then
+  echo "== closed-loop load check (bench_serve)"
+  "$BUILD_DIR/bench_serve" --nodes 2000 --edges 16000 \
+      --clients 4 --requests 10
+fi
+
+echo "repro.sh: all documented commands ran green"

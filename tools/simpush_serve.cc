@@ -1,0 +1,170 @@
+// simpush_serve — realtime single-source SimRank over HTTP.
+//
+// Loads a graph once, builds one shared EngineCore + QueryExecutor, and
+// serves concurrent queries from pooled workspaces. The paper's whole
+// point is that queries are cheap enough to answer online; this binary
+// is the front end that makes that usable without writing C++.
+//
+// Usage:
+//   simpush_serve --graph web.txt [--port 8080] [--epsilon 0.01]
+//       [--decay 0.6] [--seed 42] [--walk-cap 100000] [--threads 0]
+//       [--pool 0] [--max-batch 4096] [--undirected 1]
+//       [--port-file /tmp/port]
+//
+//   --port 0 picks an ephemeral port (printed on stdout, and written to
+//   --port-file when given — that is how scripts/tests find it).
+//
+// Endpoints (full reference in docs/serving.md):
+//   POST /v1/query   {"node":42,"top_k":10,"with_stats":true}
+//   POST /v1/topk    {"node":42,"k":10}
+//   POST /v1/batch   {"nodes":[1,2,3],"k":10}
+//   GET  /v1/stats
+//   GET  /healthz
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
+// requests, then exit 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "graph/binary_io.h"
+#include "graph/graph_io.h"
+#include "serve/http_server.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace simpush;
+
+// Minimal --flag value parser, mirrors simpush_cli.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: simpush_serve --graph F [--port P] [--epsilon E] [--decay C]\n"
+      "    [--delta D] [--seed S] [--walk-cap W] [--threads T] [--pool P]\n"
+      "    [--max-batch B] [--undirected 1] [--port-file F]\n"
+      "  --port 0 (default 8080) binds an ephemeral port; the bound port\n"
+      "  is printed on stdout and written to --port-file when given.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::string graph_path = args.Get("graph", "");
+  if (graph_path.empty()) return Usage();
+
+  StatusOr<Graph> graph = Status::InvalidArgument("unreachable");
+  if (graph_path.size() > 4 &&
+      graph_path.substr(graph_path.size() - 4) == ".spg") {
+    graph = LoadBinaryGraph(graph_path);
+  } else {
+    EdgeListOptions load_options;
+    load_options.undirected = args.GetInt("undirected", 0) != 0;
+    graph = LoadEdgeList(graph_path, load_options);
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.query.epsilon = args.GetDouble("epsilon", 0.01);
+  service_options.query.decay = args.GetDouble("decay", 0.6);
+  service_options.query.delta = args.GetDouble("delta", 1e-4);
+  service_options.query.seed = args.GetInt("seed", 42);
+  service_options.query.walk_budget_cap = args.GetInt("walk-cap", 100000);
+  service_options.num_threads = args.GetInt("threads", 0);
+  service_options.pool_capacity = args.GetInt("pool", 0);
+  service_options.max_batch_nodes = args.GetInt("max-batch", 4096);
+
+  serve::HttpServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(args.GetInt("port", 8080));
+  server_options.num_workers = args.GetInt("http-workers", 0);
+  server_options.max_queued_connections = args.GetInt("max-queued", 64);
+
+  serve::SimPushService service(*graph, service_options);
+  // Surface invalid engine options now, not as a 400 on every query
+  // after /healthz already reported the server healthy.
+  const Status options_status = service.executor().core().options_status();
+  if (!options_status.ok()) {
+    std::fprintf(stderr, "invalid engine options: %s\n",
+                 options_status.ToString().c_str());
+    return 1;
+  }
+  serve::HttpServer server(server_options);
+  service.RegisterRoutes(&server);
+
+  serve::InstallShutdownSignalHandlers();
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("simpush_serve listening on port %u (n=%u, m=%llu, "
+              "epsilon=%g, threads=%zu, pool=%zu)\n",
+              server.port(), graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()),
+              service_options.query.epsilon,
+              service.executor().num_threads(),
+              service.executor().workspaces().capacity());
+  std::fflush(stdout);
+
+  const std::string port_file = args.Get("port-file", "");
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write --port-file %s\n",
+                   port_file.c_str());
+      server.Shutdown();
+      return 1;
+    }
+  }
+
+  serve::WaitForShutdownSignal();
+  std::printf("shutdown signal received, draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  const serve::HttpServerCounters counters = server.counters();
+  std::printf("drained cleanly: %llu requests served, %llu shed (503)\n",
+              static_cast<unsigned long long>(counters.requests),
+              static_cast<unsigned long long>(counters.rejected_503));
+  return 0;
+}
