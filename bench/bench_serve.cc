@@ -102,6 +102,12 @@ int main(int argc, char** argv) {
   service_options.num_threads = threads;
   service_options.pool_capacity = pool;
   serve::SimPushService service(*graph, service_options);
+  const auto default_stats = service.registry().Stats("default");
+  if (!default_stats.ok()) {  // e.g. invalid --epsilon rejected by AddGraph.
+    std::fprintf(stderr, "service rejected the graph/options: %s\n",
+                 default_stats.status().ToString().c_str());
+    return 1;
+  }
 
   serve::HttpServerOptions server_options;
   server_options.port = 0;
@@ -120,8 +126,8 @@ int main(int argc, char** argv) {
               graph->num_nodes(),
               static_cast<unsigned long long>(graph->num_edges()), epsilon,
               endpoint.c_str(), clients, requests,
-              service.executor().num_threads(),
-              service.executor().workspaces().capacity());
+              service.registry().num_threads(),
+              default_stats->pool_capacity);
 
   // Closed loop: each client thread issues its next request as soon as
   // the previous response arrives. Per-request latencies land in a

@@ -1,9 +1,9 @@
 #include "graph/dynamic_graph.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/rng.h"
-#include "graph/graph_builder.h"
 
 namespace simpush {
 
@@ -80,15 +80,26 @@ Status DynamicGraph::Apply(const std::vector<EdgeUpdate>& updates) {
 }
 
 StatusOr<Graph> DynamicGraph::Snapshot() const {
-  GraphBuilder builder(num_nodes());
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    for (NodeId w : out_[v]) {
-      builder.AddEdge(v, w);
-    }
-  }
-  // Keep parallel edges: the dynamic stream may legitimately contain
+  // Canonical snapshot: RemoveEdge's swap-with-back removal makes the
+  // live adjacency order a function of the whole update history, so the
+  // CSR is built with every per-node run sorted — two graphs holding the
+  // same edge multiset snapshot to byte-identical CSRs no matter which
+  // insert/delete sequence produced them. That is what makes registry
+  // hot swaps reproducible (and walk indices meaningful across swaps).
+  // Parallel edges are kept: the dynamic stream may legitimately contain
   // duplicates and deleting one copy must leave the other.
-  return std::move(builder).Build(/*dedupe=*/false);
+  const NodeId n = num_nodes();
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + out_[v].size();
+  }
+  std::vector<NodeId> targets(static_cast<size_t>(num_edges_));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto begin = targets.begin() + static_cast<ptrdiff_t>(offsets[v]);
+    std::copy(out_[v].begin(), out_[v].end(), begin);
+    std::sort(begin, targets.begin() + static_cast<ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph::FromSortedCsr(n, std::move(offsets), std::move(targets));
 }
 
 size_t DynamicGraph::MemoryBytes() const {

@@ -87,7 +87,13 @@ class DynamicGraph {
   /// practice, so partial application matches replay semantics).
   Status Apply(const std::vector<EdgeUpdate>& updates);
 
-  /// Materializes an immutable CSR snapshot for querying.
+  /// Materializes an immutable CSR snapshot for querying. Adjacency is
+  /// emitted canonically sorted (ascending per node, both directions):
+  /// two DynamicGraphs holding the same edge multiset produce
+  /// byte-identical snapshots regardless of the insert/delete history
+  /// that built them — RemoveEdge's swap-with-back reordering never
+  /// leaks into a snapshot. Registry hot swaps depend on this for
+  /// reproducibility.
   StatusOr<Graph> Snapshot() const;
 
   /// Approximate heap footprint in bytes.

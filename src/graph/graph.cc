@@ -41,6 +41,59 @@ Status Graph::Validate() const {
   return Status::OK();
 }
 
+StatusOr<Graph> Graph::FromSortedCsr(NodeId num_nodes,
+                                     std::vector<EdgeId> out_offsets,
+                                     std::vector<NodeId> out_targets,
+                                     bool symmetric) {
+  if (out_offsets.size() != static_cast<size_t>(num_nodes) + 1 ||
+      out_offsets.front() != 0 || out_offsets.back() != out_targets.size()) {
+    return Status::InvalidArgument("malformed out-CSR offsets");
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (out_offsets[v] > out_offsets[v + 1]) {
+      return Status::InvalidArgument("out-CSR offsets not monotone");
+    }
+    for (EdgeId e = out_offsets[v]; e < out_offsets[v + 1]; ++e) {
+      if (out_targets[e] >= num_nodes) {
+        return Status::InvalidArgument("out-CSR target out of range");
+      }
+      if (e > out_offsets[v] && out_targets[e - 1] > out_targets[e]) {
+        return Status::InvalidArgument("out-CSR adjacency not sorted");
+      }
+    }
+  }
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.is_symmetric_ = symmetric;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+
+  // In-CSR via counting sort on target. Scanning sources in ascending
+  // order keeps every in-adjacency run sorted — the canonical order the
+  // registry's reproducible snapshots rely on.
+  const size_t m = g.out_targets_.size();
+  g.in_offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  g.in_sources_.resize(m);
+  for (NodeId t : g.out_targets_) ++g.in_offsets_[t + 1];
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  {
+    std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      for (EdgeId e = g.out_offsets_[v]; e < g.out_offsets_[v + 1]; ++e) {
+        g.in_sources_[cursor[g.out_targets_[e]]++] = v;
+      }
+    }
+  }
+  // No Validate() call: the loop above already checked every out-side
+  // invariant, and the in-CSR is correct by construction (counting
+  // sort over in-range targets) — this runs on every hot-swap rebuild,
+  // so a second full pass over the edge arrays would be pure waste.
+  return g;
+}
+
 Graph::DegreeStats Graph::ComputeDegreeStats() const {
   DegreeStats stats;
   if (num_nodes_ == 0) return stats;

@@ -79,6 +79,17 @@ class Graph {
   };
   DegreeStats ComputeDegreeStats() const;
 
+  /// Builds a graph directly from an out-adjacency CSR whose per-node
+  /// target runs are already sorted ascending (parallel edges adjacent).
+  /// The in-CSR is derived by a counting sort that preserves source
+  /// order, so both adjacency directions come out canonically sorted.
+  /// Validates the CSR invariants and the per-node sortedness; this is
+  /// the fast path for snapshot rebuilds (no global edge sort).
+  static StatusOr<Graph> FromSortedCsr(NodeId num_nodes,
+                                       std::vector<EdgeId> out_offsets,
+                                       std::vector<NodeId> out_targets,
+                                       bool symmetric = false);
+
  private:
   friend class GraphBuilder;
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/binary_io.h"
 #include "graph/graph_builder.h"
 
 namespace simpush {
@@ -88,6 +89,14 @@ StatusOr<Graph> ParseEdgeList(const std::string& text,
   RawEdges raw;
   SIMPUSH_RETURN_NOT_OK(ParseInto(in, options, &raw));
   return BuildFromRaw(raw, options);
+}
+
+StatusOr<Graph> LoadGraphAnyFormat(const std::string& path,
+                                   const EdgeListOptions& options) {
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".spg") == 0) {
+    return LoadBinaryGraph(path);
+  }
+  return LoadEdgeList(path, options);
 }
 
 Status SaveEdgeList(const Graph& graph, const std::string& path) {

@@ -34,6 +34,13 @@ StatusOr<Graph> LoadEdgeList(const std::string& path,
 StatusOr<Graph> ParseEdgeList(const std::string& text,
                               const EdgeListOptions& options = {});
 
+/// Loads a graph dispatching on the file name: ".spg" files go through
+/// LoadBinaryGraph, anything else through LoadEdgeList with `options`.
+/// The single format-detection point shared by the CLI tools and the
+/// serving layer's graph-create endpoint.
+StatusOr<Graph> LoadGraphAnyFormat(const std::string& path,
+                                   const EdgeListOptions& options = {});
+
 /// Writes the graph as a directed edge list ("src dst" per line).
 Status SaveEdgeList(const Graph& graph, const std::string& path);
 

@@ -22,10 +22,13 @@ namespace {
 const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
+    case 201: return "Created";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -53,6 +56,12 @@ void HttpServer::Route(std::string method, std::string path,
                        HttpHandler handler) {
   routes_.emplace_back(std::move(method), std::move(path),
                        std::move(handler));
+}
+
+void HttpServer::RoutePrefix(std::string method, std::string prefix,
+                             HttpHandler handler) {
+  prefix_routes_.emplace_back(std::move(method), std::move(prefix),
+                              std::move(handler));
 }
 
 Status HttpServer::Start() {
@@ -208,6 +217,18 @@ void HttpServer::ServeConnection(int fd) {
         break;
       }
     }
+    if (handler == nullptr) {
+      // No exact route: longest matching prefix route wins (405 when a
+      // prefix covers the path but not the method).
+      size_t best_len = 0;
+      for (const auto& [method, prefix, route_handler] : prefix_routes_) {
+        if (request.target.compare(0, prefix.size(), prefix) != 0) continue;
+        path_known = true;
+        if (method != request.method || prefix.size() < best_len) continue;
+        best_len = prefix.size();
+        handler = &route_handler;
+      }
+    }
     if (handler != nullptr) {
       response = (*handler)(request);
     } else {
@@ -313,7 +334,10 @@ int HttpServer::ReadRequest(int fd, std::string* buffer,
     if (colon == std::string_view::npos) continue;
     std::string name = AsciiLowerCase(std::string(line.substr(0, colon)));
     size_t value_begin = colon + 1;
-    while (value_begin < line.size() && line[value_begin] == ' ') {
+    // Strip optional whitespace after the colon — RFC 9110 OWS is
+    // space OR horizontal tab.
+    while (value_begin < line.size() &&
+           (line[value_begin] == ' ' || line[value_begin] == '\t')) {
       ++value_begin;
     }
     request->headers.emplace_back(std::move(name),
@@ -323,18 +347,24 @@ int HttpServer::ReadRequest(int fd, std::string* buffer,
   // Phase 3: read the Content-Length body.
   size_t content_length = 0;
   if (const std::string* header = request->FindHeader("content-length")) {
-    char* end = nullptr;
-    content_length = std::strtoull(header->c_str(), &end, 10);
     // The whole value must be digits: accepting a "12abc" prefix would
-    // misframe the body and desync the keep-alive byte stream.
-    if (end == header->c_str() || *end != '\0') {
+    // misframe the body and desync the keep-alive byte stream, and
+    // strtoull would silently wrap a "-5" into a huge positive.
+    const bool all_digits =
+        !header->empty() &&
+        header->find_first_not_of("0123456789") == std::string::npos;
+    if (!all_digits) {
       WriteResponse(fd,
                     HttpResponse{400, "application/json",
                                  "{\"error\":\"malformed content-length\"}\n"},
                     /*close=*/true);
       return -1;
     }
-    if (content_length > options_.max_body_bytes) {
+    errno = 0;
+    content_length = std::strtoull(header->c_str(), nullptr, 10);
+    // A value that overflows uint64 reads back as ULLONG_MAX, which the
+    // size cap below rejects with 413 like any other oversized body.
+    if (errno == ERANGE || content_length > options_.max_body_bytes) {
       WriteResponse(fd, HttpResponse{413, "application/json",
                                      "{\"error\":\"body too large\"}\n"},
                     /*close=*/true);

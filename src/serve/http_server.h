@@ -104,6 +104,14 @@ class HttpServer {
   /// different method get 405.
   void Route(std::string method, std::string path, HttpHandler handler);
 
+  /// Registers `handler` for every target that starts with `prefix`
+  /// (e.g. "/v1/graphs/" serves "/v1/graphs/web/swap"). Exact routes
+  /// win over prefixes; among prefixes the longest match wins. The
+  /// handler parses the remainder of request.target itself. Must be
+  /// called before Start().
+  void RoutePrefix(std::string method, std::string prefix,
+                   HttpHandler handler);
+
   /// Binds, listens, and spawns the accept + worker threads. Fails with
   /// IOError when the port cannot be bound.
   Status Start();
@@ -133,6 +141,9 @@ class HttpServer {
 
   const HttpServerOptions options_;
   std::vector<std::tuple<std::string, std::string, HttpHandler>> routes_;
+  // (method, prefix, handler); consulted when no exact path matches.
+  std::vector<std::tuple<std::string, std::string, HttpHandler>>
+      prefix_routes_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -1,0 +1,229 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+namespace simpush {
+namespace serve {
+
+GraphGeneration::GraphGeneration(
+    uint64_t id, Graph graph, const SimPushOptions& options,
+    size_t pool_capacity, std::shared_ptr<std::atomic<int64_t>> live_counter)
+    : id_(id),
+      graph_(std::move(graph)),
+      core_(graph_, options),
+      workspaces_(pool_capacity),
+      live_(std::move(live_counter)) {
+  if (live_ != nullptr) live_->fetch_add(1);
+}
+
+GraphGeneration::~GraphGeneration() {
+  if (live_ != nullptr) live_->fetch_sub(1);
+}
+
+bool IsValidGraphName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+GraphRegistry::GraphRegistry(const RegistryOptions& options)
+    : options_(options),
+      thread_pool_(options.num_threads),
+      live_generations_(std::make_shared<std::atomic<int64_t>>(0)) {}
+
+GenerationLease GraphRegistry::BuildGeneration(Graph graph) {
+  const size_t capacity = options_.pool_capacity != 0
+                              ? options_.pool_capacity
+                              : thread_pool_.num_threads();
+  return std::make_shared<const GraphGeneration>(
+      next_generation_id_.fetch_add(1), std::move(graph), options_.query,
+      capacity, live_generations_);
+}
+
+Status GraphRegistry::Add(const std::string& name, Graph graph) {
+  if (!IsValidGraphName(name)) {
+    return Status::InvalidArgument(
+        "graph name must be 1-64 chars of [A-Za-z0-9._-]");
+  }
+  // Build the full bundle before touching the map, so a validation
+  // failure (or a long CSR copy) never holds map_mu_.
+  GenerationLease generation = BuildGeneration(std::move(graph));
+  const Status& options_status = generation->core().options_status();
+  if (!options_status.ok()) return options_status;
+
+  auto tenant = std::make_shared<Tenant>();
+  tenant->master = DynamicGraph::FromGraph(generation->graph());
+  tenant->swap_count.store(1);
+  tenant->master_edges.store(tenant->master.num_edges());
+  tenant->current = std::move(generation);
+
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (tenants_.size() >= options_.max_graphs &&
+      tenants_.find(name) == tenants_.end()) {
+    return Status::OutOfRange("graph limit reached (" +
+                              std::to_string(options_.max_graphs) + ")");
+  }
+  const auto [it, inserted] = tenants_.emplace(name, std::move(tenant));
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition("graph \"" + name +
+                                      "\" already exists");
+  }
+  return Status::OK();
+}
+
+Status GraphRegistry::Remove(std::string_view name) {
+  std::shared_ptr<Tenant> tenant;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::NotFound("no graph named \"" + std::string(name) +
+                              "\"");
+    }
+    tenant = std::move(it->second);
+    tenants_.erase(it);
+  }
+  // Drop the published generation eagerly; in-flight leases keep it
+  // alive until they finish, after which it frees.
+  std::lock_guard<std::mutex> lock(tenant->current_mu);
+  tenant->current.reset();
+  return Status::OK();
+}
+
+std::shared_ptr<GraphRegistry::Tenant> GraphRegistry::FindTenant(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+StatusOr<GenerationLease> GraphRegistry::Lease(std::string_view name) const {
+  const std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  GenerationLease lease = tenant->Current();
+  if (lease == nullptr) {  // Raced with Remove().
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  return lease;
+}
+
+Status GraphRegistry::RebuildLocked(Tenant* tenant) {
+  StatusOr<Graph> snapshot = tenant->master.Snapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  GenerationLease next = BuildGeneration(*std::move(snapshot));
+  SIMPUSH_RETURN_NOT_OK(next->core().options_status());
+  tenant->pending.store(0);
+  tenant->swap_count.fetch_add(1);
+  std::lock_guard<std::mutex> lock(tenant->current_mu);
+  tenant->current = std::move(next);
+  return Status::OK();
+}
+
+StatusOr<UpdateOutcome> GraphRegistry::ApplyUpdates(
+    std::string_view name, const std::vector<EdgeUpdate>& updates,
+    bool force_swap) {
+  const std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  std::lock_guard<std::mutex> lock(tenant->update_mu);
+  UpdateOutcome outcome;
+  Status apply_status = Status::OK();
+  for (const EdgeUpdate& update : updates) {
+    apply_status = update.kind == EdgeUpdate::Kind::kInsert
+                       ? tenant->master.AddEdge(update.src, update.dst)
+                       : tenant->master.RemoveEdge(update.src, update.dst);
+    if (!apply_status.ok()) break;
+    ++outcome.applied;
+  }
+  tenant->pending.fetch_add(outcome.applied);
+  tenant->updates_applied.fetch_add(outcome.applied);
+  tenant->master_edges.store(tenant->master.num_edges());
+  // Earlier updates stay applied even when one fails (replay
+  // semantics, matching DynamicGraph::Apply) — so a failed batch still
+  // swaps if it crossed the threshold, keeping master and serving
+  // state from drifting apart silently.
+  const bool threshold_hit =
+      options_.swap_threshold != 0 &&
+      tenant->pending.load() >= options_.swap_threshold;
+  if ((force_swap || threshold_hit) && tenant->pending.load() > 0) {
+    SIMPUSH_RETURN_NOT_OK(RebuildLocked(tenant.get()));
+    outcome.swapped = true;
+  }
+  outcome.pending = tenant->pending.load();
+  {
+    const GenerationLease current = tenant->Current();
+    outcome.generation = current != nullptr ? current->id() : 0;
+  }
+  if (!apply_status.ok()) {
+    // Rewrap so an edge-level failure (e.g. removing an absent edge)
+    // cannot be confused with the tenant itself being missing.
+    return Status::InvalidArgument(
+        "update " + std::to_string(outcome.applied) + " rejected: " +
+        apply_status.message());
+  }
+  return outcome;
+}
+
+StatusOr<UpdateOutcome> GraphRegistry::Swap(std::string_view name) {
+  const std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  std::lock_guard<std::mutex> lock(tenant->update_mu);
+  SIMPUSH_RETURN_NOT_OK(RebuildLocked(tenant.get()));
+  UpdateOutcome outcome;
+  outcome.swapped = true;
+  outcome.pending = tenant->pending.load();
+  const GenerationLease current = tenant->Current();
+  outcome.generation = current != nullptr ? current->id() : 0;
+  return outcome;
+}
+
+StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
+  const std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  // Atomic gauges, not update_mu: a stats scrape must never wait out a
+  // rebuild holding the lock across its O(m) snapshot.
+  TenantStats stats;
+  stats.pending_updates = tenant->pending.load();
+  stats.updates_applied = tenant->updates_applied.load();
+  stats.swap_count = tenant->swap_count.load();
+  stats.master_edges = tenant->master_edges.load();
+  const GenerationLease current = tenant->Current();
+  if (current != nullptr) {
+    stats.generation = current->id();
+    stats.num_nodes = current->graph().num_nodes();
+    stats.num_edges = current->graph().num_edges();
+    stats.pool_capacity = current->workspaces().capacity();
+    stats.pool_created = current->workspaces().created();
+    stats.pool_outstanding = current->workspaces().outstanding();
+  }
+  return stats;
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(map_mu_);
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;  // std::map iterates sorted.
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return tenants_.size();
+}
+
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,236 @@
+// GraphRegistry: the multi-tenant catalog behind the serving front end,
+// with RCU-style hot swap.
+//
+// SimPush's headline property is that it is index-free: a query needs
+// nothing but the current graph, so the system can answer on a graph
+// that changed a moment ago. The registry turns that into a serving
+// capability. Each named tenant owns
+//
+//   - a DynamicGraph *master* copy that absorbs AddEdge/RemoveEdge
+//     updates, and
+//   - a published *generation*: an immutable bundle of
+//     Graph snapshot + EngineCore + WorkspacePool, held through
+//     std::shared_ptr<const GraphGeneration>.
+//
+// Queries take a lease (a shared_ptr copy) on the current generation
+// and run entirely against that bundle; a swap builds the next
+// generation from DynamicGraph::Snapshot() in the background and then
+// publishes it with one pointer store. In-flight queries keep serving
+// from the generation they leased — they never block on a swap, never
+// observe a half-updated graph, and the old generation is freed
+// automatically when the last lease drops (classic RCU via shared_ptr
+// reference counts).
+//
+// One ThreadPool is shared across every tenant (batch fan-outs from all
+// graphs multiplex onto it), so the thread count is a process-level
+// knob independent of how many tenants exist or how often they swap.
+// Workspace pools are per-generation: workspaces size themselves to the
+// graph they serve, and tying their lifetime to the generation means a
+// swap also retires scratch sized for the old graph.
+//
+// Thread-safety contract: every public method is safe from any thread.
+// Lease() is the hot path — a map lookup plus a shared_ptr copy under
+// short mutexes, no allocation. ApplyUpdates/Swap serialize per tenant
+// (updates to different tenants proceed in parallel); the O(m) snapshot
+// and rebuild happen outside any lock a query path takes.
+
+#ifndef SIMPUSH_SERVE_REGISTRY_H_
+#define SIMPUSH_SERVE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "simpush/engine_core.h"
+#include "simpush/options.h"
+#include "simpush/workspace_pool.h"
+
+namespace simpush {
+namespace serve {
+
+/// Configuration for a GraphRegistry.
+struct RegistryOptions {
+  /// Engine knobs (ε, c, δ, seed, walk cap) shared by every tenant.
+  SimPushOptions query;
+  /// Worker threads in the shared batch fan-out pool (0 = hardware).
+  size_t num_threads = 0;
+  /// Workspace pool cap per generation (0 = match num_threads).
+  size_t pool_capacity = 0;
+  /// Pending updates that trigger an automatic swap from ApplyUpdates
+  /// (0 = swaps only happen through an explicit Swap() call).
+  size_t swap_threshold = 0;
+  /// Maximum number of tenants (Add beyond this fails).
+  size_t max_graphs = 64;
+};
+
+/// One immutable, published graph generation: snapshot + core + scratch
+/// pool. Deeply const except the workspace pool, which is internally
+/// synchronized. Generations are shared via shared_ptr and never
+/// mutated after publication; they die when the registry has swapped
+/// past them AND the last in-flight lease has dropped.
+class GraphGeneration {
+ public:
+  /// `live_counter` (may be null) is decremented on destruction — the
+  /// registry's generation-leak gauge.
+  GraphGeneration(uint64_t id, Graph graph, const SimPushOptions& options,
+                  size_t pool_capacity,
+                  std::shared_ptr<std::atomic<int64_t>> live_counter);
+  ~GraphGeneration();
+
+  GraphGeneration(const GraphGeneration&) = delete;
+  GraphGeneration& operator=(const GraphGeneration&) = delete;
+
+  /// Monotonically increasing across the whole registry; a response
+  /// tagged with this id is reproducible from the generation's graph.
+  uint64_t id() const { return id_; }
+  /// The immutable snapshot this generation serves.
+  const Graph& graph() const { return graph_; }
+  /// The shared engine core bound to graph().
+  const EngineCore& core() const { return core_; }
+  /// Per-generation scratch pool (internally synchronized; const
+  /// because leasing scratch does not mutate the published graph).
+  WorkspacePool& workspaces() const { return workspaces_; }
+
+ private:
+  const uint64_t id_;
+  const Graph graph_;
+  const EngineCore core_;          // References graph_.
+  mutable WorkspacePool workspaces_;
+  std::shared_ptr<std::atomic<int64_t>> live_;
+};
+
+/// A query's hold on one generation: shared ownership, so the bundle
+/// outlives any swap that happens mid-query.
+using GenerationLease = std::shared_ptr<const GraphGeneration>;
+
+/// Point-in-time view of one tenant for /v1/stats.
+struct TenantStats {
+  uint64_t generation = 0;        ///< Current generation id.
+  uint64_t pending_updates = 0;   ///< Master edits not yet snapshotted.
+  uint64_t updates_applied = 0;   ///< Lifetime accepted edge updates.
+  uint64_t swap_count = 0;        ///< Generations published (incl. first).
+  NodeId num_nodes = 0;           ///< Nodes in the current generation.
+  EdgeId num_edges = 0;           ///< Edges in the current generation.
+  EdgeId master_edges = 0;        ///< Edges in the master (incl. pending).
+  size_t pool_capacity = 0;       ///< Generation workspace pool cap.
+  size_t pool_created = 0;
+  size_t pool_outstanding = 0;
+};
+
+/// Result of an ApplyUpdates/Swap call.
+struct UpdateOutcome {
+  size_t applied = 0;        ///< Updates accepted by the master.
+  uint64_t pending = 0;      ///< Updates awaiting a swap afterwards.
+  bool swapped = false;      ///< A new generation was published.
+  uint64_t generation = 0;   ///< Current generation id afterwards.
+};
+
+/// Tenant names are path segments in the admin API; restrict them to
+/// 1-64 chars of [A-Za-z0-9._-] so they never need escaping.
+bool IsValidGraphName(std::string_view name);
+
+/// The multi-tenant graph catalog. See file comment for the model.
+class GraphRegistry {
+ public:
+  explicit GraphRegistry(const RegistryOptions& options);
+
+  /// Registers `name` serving `graph` (generation 1 for that tenant).
+  /// Fails with FailedPrecondition when the name is taken, Invalid-
+  /// Argument for a bad name or invalid engine options, OutOfRange at
+  /// the max_graphs cap.
+  Status Add(const std::string& name, Graph graph);
+
+  /// Unregisters `name`. The current generation dies once its last
+  /// in-flight lease drops; leases already handed out stay valid.
+  Status Remove(std::string_view name);
+
+  /// The hot path: the tenant's current generation. No allocation, no
+  /// contention with rebuilds — swaps publish with one pointer store.
+  StatusOr<GenerationLease> Lease(std::string_view name) const;
+
+  /// Applies `updates` to the tenant's master in order, stopping at the
+  /// first invalid update (earlier ones stay applied, as in
+  /// DynamicGraph::Apply). Triggers a swap when the pending count
+  /// reaches options.swap_threshold (if nonzero) or `force_swap` is
+  /// set. Serialized per tenant; never blocks queries.
+  StatusOr<UpdateOutcome> ApplyUpdates(std::string_view name,
+                                       const std::vector<EdgeUpdate>& updates,
+                                       bool force_swap = false);
+
+  /// Rebuilds and publishes a new generation from the master now.
+  StatusOr<UpdateOutcome> Swap(std::string_view name);
+
+  /// Stats snapshot for one tenant.
+  StatusOr<TenantStats> Stats(std::string_view name) const;
+
+  /// Registered tenant names, sorted.
+  std::vector<std::string> Names() const;
+  /// Number of registered tenants.
+  size_t size() const;
+
+  /// The fan-out pool shared by every tenant's batch requests.
+  ThreadPool& thread_pool() { return thread_pool_; }
+  size_t num_threads() const { return thread_pool_.num_threads(); }
+
+  /// GraphGenerations currently alive anywhere (published or held by a
+  /// lease). With no queries in flight this equals size() — the
+  /// registry_test leak check.
+  int64_t live_generations() const { return live_generations_->load(); }
+
+  const RegistryOptions& options() const { return options_; }
+
+ private:
+  struct Tenant {
+    // Serializes master mutation + snapshot + rebuild for this tenant.
+    // Never held while executing queries; Lease() does not take it.
+    std::mutex update_mu;
+    DynamicGraph master;
+    // Gauges mirrored as atomics (written under update_mu, read
+    // anywhere) so Stats() never waits out a rebuild, which holds
+    // update_mu across the whole O(m) snapshot.
+    std::atomic<uint64_t> pending{0};
+    std::atomic<uint64_t> updates_applied{0};
+    std::atomic<uint64_t> swap_count{0};
+    std::atomic<uint64_t> master_edges{0};
+
+    // Guards only the `current` pointer; held for a load or store.
+    mutable std::mutex current_mu;
+    GenerationLease current;
+
+    GenerationLease Current() const {
+      std::lock_guard<std::mutex> lock(current_mu);
+      return current;
+    }
+  };
+
+  // Builds a generation bundle around `graph` (outside any lock).
+  GenerationLease BuildGeneration(Graph graph);
+  // Snapshots tenant->master and publishes the result. Caller holds
+  // tenant->update_mu.
+  Status RebuildLocked(Tenant* tenant);
+  std::shared_ptr<Tenant> FindTenant(std::string_view name) const;
+
+  const RegistryOptions options_;
+  ThreadPool thread_pool_;
+  std::shared_ptr<std::atomic<int64_t>> live_generations_;
+  std::atomic<uint64_t> next_generation_id_{1};
+
+  mutable std::mutex map_mu_;
+  // Heterogeneous lookup (std::less<>) keeps Lease(string_view)
+  // allocation-free.
+  std::map<std::string, std::shared_ptr<Tenant>, std::less<>> tenants_;
+};
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_REGISTRY_H_

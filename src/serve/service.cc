@@ -4,10 +4,14 @@
 #include <chrono>
 #include <csignal>
 #include <thread>
+#include <utility>
 
 #include "common/memory.h"
 #include "eval/metrics.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
 #include "serve/json.h"
+#include "simpush/parallel.h"
 
 namespace simpush {
 namespace serve {
@@ -26,6 +30,20 @@ HttpResponse JsonError(int status, std::string_view message) {
   response.body = writer.Take();
   response.body.push_back('\n');
   return response;
+}
+
+// Maps a registry Status onto the admin API's HTTP vocabulary.
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kFailedPrecondition: return 409;  // name taken
+    case StatusCode::kOutOfRange: return 409;          // graph limit
+    default: return 400;
+  }
+}
+
+HttpResponse JsonError(const Status& status) {
+  return JsonError(StatusToHttp(status), status.message());
 }
 
 // Reads a required non-negative integer field.
@@ -88,15 +106,112 @@ void WriteQueryStats(JsonWriter* writer, const SimPushQueryStats& stats) {
   writer->EndObject();
 }
 
+void WriteLatency(JsonWriter* writer, const LatencySnapshot& latency) {
+  writer->BeginObject();
+  writer->Key("samples");
+  writer->Uint(latency.samples);
+  writer->Key("p50");
+  writer->Double(latency.p50_ms);
+  writer->Key("p90");
+  writer->Double(latency.p90_ms);
+  writer->Key("p99");
+  writer->Double(latency.p99_ms);
+  writer->Key("max");
+  writer->Double(latency.max_ms);
+  writer->EndObject();
+}
+
+// Writes the "pool": {capacity, created, outstanding} gauges — shared
+// by the per-tenant sections and the single-graph compatibility block.
+void WritePoolGauges(JsonWriter* writer, const TenantStats& stats) {
+  writer->Key("pool");
+  writer->BeginObject();
+  writer->Key("capacity");
+  writer->Uint(stats.pool_capacity);
+  writer->Key("created");
+  writer->Uint(stats.pool_created);
+  writer->Key("outstanding");
+  writer->Uint(stats.pool_outstanding);
+  writer->EndObject();
+}
+
+// Reads [[src,dst],...] into `updates` as `kind` entries. Pair entries
+// must be two-element arrays of valid node indices (range-checked
+// against the registry master later, where n is known).
+Status ReadEdgePairs(const JsonValue& field, EdgeUpdate::Kind kind,
+                     std::vector<EdgeUpdate>* updates) {
+  if (!field.is_array()) {
+    return Status::InvalidArgument("edge list must be an array of [src,dst]");
+  }
+  for (const JsonValue& pair : field.array_items()) {
+    if (!pair.is_array() || pair.array_items().size() != 2) {
+      return Status::InvalidArgument(
+          "edge list entries must be [src,dst] pairs");
+    }
+    auto src = pair.array_items()[0].AsIndex();
+    auto dst = pair.array_items()[1].AsIndex();
+    if (!src.ok() || !dst.ok() || *src > kInvalidNode || *dst > kInvalidNode) {
+      return Status::InvalidArgument("edge endpoints must be node ids");
+    }
+    updates->push_back({kind, static_cast<NodeId>(*src),
+                        static_cast<NodeId>(*dst)});
+  }
+  return Status::OK();
+}
+
+RegistryOptions ToRegistryOptions(const ServiceOptions& options) {
+  RegistryOptions registry_options;
+  registry_options.query = options.query;
+  registry_options.num_threads = options.num_threads;
+  registry_options.pool_capacity = options.pool_capacity;
+  registry_options.swap_threshold = options.swap_threshold;
+  registry_options.max_graphs = options.max_graphs;
+  return registry_options;
+}
+
 }  // namespace
+
+SimPushService::SimPushService(const ServiceOptions& options)
+    : options_(options),
+      registry_(ToRegistryOptions(options)),
+      latency_(options.latency_ring_size) {}
 
 SimPushService::SimPushService(const Graph& graph,
                                const ServiceOptions& options)
-    : graph_(graph),
-      options_(options),
-      executor_(graph, options.query, options.num_threads,
-                options.pool_capacity),
-      latency_ring_(std::max<size_t>(1, options.latency_ring_size), 0.0) {}
+    : SimPushService(options) {
+  // Compatibility shape: one tenant under the default name. A copy is
+  // taken so the registry owns its master/generation lifecycle. A
+  // rejection (bad options / bad default name) surfaces as NotFound on
+  // every query; tools validate AddGraph status up front instead.
+  (void)AddGraph(options_.default_graph, graph);
+}
+
+// The metrics map must track the registry under concurrent add/remove
+// of one name WITHOUT metrics_mu_ ever covering the registry's O(n+m)
+// build (that would stall every handler's FindMetrics for the whole
+// build). AddGraph installs a FRESH metrics object only after the
+// registry accepted the name; RemoveGraph erases only the exact object
+// it observed before removing, so a racing re-add's fresh metrics can
+// never be deleted out from under the new graph, and a re-added graph
+// can never inherit the old graph's counters.
+Status SimPushService::AddGraph(const std::string& name, Graph graph) {
+  SIMPUSH_RETURN_NOT_OK(registry_.Add(name, std::move(graph)));
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  tenant_metrics_.insert_or_assign(
+      name, std::make_shared<TenantMetrics>(options_.latency_ring_size));
+  return Status::OK();
+}
+
+Status SimPushService::RemoveGraph(std::string_view name) {
+  const std::shared_ptr<TenantMetrics> observed = FindMetrics(name);
+  SIMPUSH_RETURN_NOT_OK(registry_.Remove(name));
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  const auto it = tenant_metrics_.find(name);
+  if (it != tenant_metrics_.end() && it->second == observed) {
+    tenant_metrics_.erase(it);
+  }
+  return Status::OK();
+}
 
 void SimPushService::RegisterRoutes(HttpServer* server) {
   server_ = server;
@@ -110,22 +225,64 @@ void SimPushService::RegisterRoutes(HttpServer* server) {
                 [this](const HttpRequest& r) { return HandleStats(r); });
   server->Route("GET", "/healthz",
                 [this](const HttpRequest& r) { return HandleHealth(r); });
+  server->Route("GET", "/v1/graphs",
+                [this](const HttpRequest& r) { return HandleGraphList(r); });
+  server->Route("POST", "/v1/graphs",
+                [this](const HttpRequest& r) { return HandleGraphCreate(r); });
+  for (const char* method : {"GET", "POST", "DELETE"}) {
+    server->RoutePrefix(method, "/v1/graphs/", [this](const HttpRequest& r) {
+      return HandleGraphOp(r);
+    });
+  }
 }
 
-Status SimPushService::RunQuery(NodeId u, SimPushResult* result) {
+std::shared_ptr<SimPushService::TenantMetrics> SimPushService::FindMetrics(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  const auto it = tenant_metrics_.find(name);
+  return it == tenant_metrics_.end() ? nullptr : it->second;
+}
+
+Status SimPushService::RunOnGeneration(const GraphGeneration& generation,
+                                       NodeId u, SimPushResult* result) {
   // Lease one pooled workspace for this query; construction blocks
   // while all `pool_capacity` workspaces are in flight, which is the
-  // backpressure that bounds query-scratch memory under load.
-  QueryRunner runner(executor_.core(), executor_.workspaces());
+  // backpressure that bounds query-scratch memory under load. The
+  // caller's generation lease is what a hot swap can never invalidate.
+  QueryRunner runner(generation.core(), generation.workspaces());
   const Status status = runner.QueryInto(u, result);
   AccumulateEngineTotals(runner.totals());
   return status;
+}
+
+Status SimPushService::RunQuery(std::string_view graph_name, NodeId u,
+                                SimPushResult* result) {
+  auto lease = registry_.Lease(graph_name);
+  if (!lease.ok()) return lease.status();
+  return RunOnGeneration(**lease, u, result);
+}
+
+Status SimPushService::RunQuery(NodeId u, SimPushResult* result) {
+  return RunQuery(options_.default_graph, u, result);
 }
 
 void SimPushService::AccumulateEngineTotals(const QueryRunnerTotals& totals) {
   engine_query_nanos_.fetch_add(
       static_cast<uint64_t>(totals.query_seconds * 1e9));
   engine_walks_.fetch_add(totals.walks_sampled);
+}
+
+StatusOr<GenerationLease> SimPushService::LeaseFor(const JsonValue& doc,
+                                                   std::string* name_out) {
+  std::string_view name = options_.default_graph;
+  if (const JsonValue* field = doc.Find("graph")) {
+    if (!field->is_string()) {
+      return Status::InvalidArgument("\"graph\" must be a string");
+    }
+    name = field->string_value();
+  }
+  if (name_out != nullptr) *name_out = name;
+  return registry_.Lease(name);
 }
 
 HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
@@ -146,13 +303,20 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
     return JsonError(
         400, (!node.ok() ? node.status() : top_k.status()).message());
   }
+  std::string graph_name;
+  auto lease = LeaseFor(*doc, &graph_name);
+  if (!lease.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(lease.status());
+  }
+  const Graph& graph = (*lease)->graph();
   // Range-check before narrowing to NodeId — a 64-bit id must not wrap
   // into a valid node and silently answer for the wrong vertex.
-  if (*node >= graph_.num_nodes()) {
+  if (*node >= graph.num_nodes()) {
     bad_requests_.fetch_add(1);
     return JsonError(400, "node " + std::to_string(*node) +
                               " out of range [0, " +
-                              std::to_string(graph_.num_nodes()) + ")");
+                              std::to_string(graph.num_nodes()) + ")");
   }
   bool with_stats = false;
   if (const JsonValue* field = doc->Find("with_stats")) {
@@ -162,18 +326,28 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   // Reused per HTTP worker thread: after warm-up the query path below
   // performs zero heap allocations (see serve_test's alloc-hook check).
   static thread_local SimPushResult result;
-  const Status status = RunQuery(static_cast<NodeId>(*node), &result);
+  const Status status =
+      RunOnGeneration(**lease, static_cast<NodeId>(*node), &result);
   if (!status.ok()) {
     bad_requests_.fetch_add(1);
     return JsonError(400, status.ToString());
   }
   query_requests_.fetch_add(1);
   nodes_scored_.fetch_add(1);
+  const auto metrics = FindMetrics(graph_name);
+  if (metrics != nullptr) {
+    metrics->requests.fetch_add(1);
+    metrics->nodes_scored.fetch_add(1);
+  }
 
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("node");
   writer.Uint(*node);
+  writer.Key("graph");
+  writer.String(graph_name);
+  writer.Key("generation");
+  writer.Uint((*lease)->id());
   writer.Key("epsilon");
   writer.Double(options_.query.epsilon);
   if (*top_k > 0) {
@@ -195,7 +369,7 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   HttpResponse response;
   response.body = writer.Take();
   response.body.push_back('\n');
-  RecordLatency(wall.ElapsedSeconds());
+  RecordLatency(metrics, wall.ElapsedSeconds());
   return response;
 }
 
@@ -213,11 +387,18 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
     bad_requests_.fetch_add(1);
     return JsonError(400, (!node.ok() ? node.status() : k.status()).message());
   }
-  if (*node >= graph_.num_nodes()) {
+  std::string graph_name;
+  auto lease = LeaseFor(*doc, &graph_name);
+  if (!lease.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(lease.status());
+  }
+  const Graph& graph = (*lease)->graph();
+  if (*node >= graph.num_nodes()) {
     bad_requests_.fetch_add(1);
     return JsonError(400, "node " + std::to_string(*node) +
                               " out of range [0, " +
-                              std::to_string(graph_.num_nodes()) + ")");
+                              std::to_string(graph.num_nodes()) + ")");
   }
 
   // Same reused-buffer hot path as /v1/query: QueryTopK would allocate
@@ -225,18 +406,28 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
   // the identical entries (self and zero scores excluded, ties to the
   // smaller id).
   static thread_local SimPushResult result;
-  const Status status = RunQuery(static_cast<NodeId>(*node), &result);
+  const Status status =
+      RunOnGeneration(**lease, static_cast<NodeId>(*node), &result);
   if (!status.ok()) {
     bad_requests_.fetch_add(1);
     return JsonError(400, status.ToString());
   }
   topk_requests_.fetch_add(1);
   nodes_scored_.fetch_add(1);
+  const auto metrics = FindMetrics(graph_name);
+  if (metrics != nullptr) {
+    metrics->requests.fetch_add(1);
+    metrics->nodes_scored.fetch_add(1);
+  }
 
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("node");
   writer.Uint(*node);
+  writer.Key("graph");
+  writer.String(graph_name);
+  writer.Key("generation");
+  writer.Uint((*lease)->id());
   writer.Key("k");
   writer.Uint(*k);
   writer.Key("top");
@@ -246,7 +437,7 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
   HttpResponse response;
   response.body = writer.Take();
   response.body.push_back('\n');
-  RecordLatency(wall.ElapsedSeconds());
+  RecordLatency(metrics, wall.ElapsedSeconds());
   return response;
 }
 
@@ -273,33 +464,54 @@ HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
     bad_requests_.fetch_add(1);
     return JsonError(400, k.status().message());
   }
+  std::string graph_name;
+  auto lease = LeaseFor(*doc, &graph_name);
+  if (!lease.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(lease.status());
+  }
+  const Graph& graph = (*lease)->graph();
   std::vector<NodeId> nodes;
   nodes.reserve(nodes_field->array_items().size());
   for (const JsonValue& item : nodes_field->array_items()) {
     auto node = item.AsIndex();
-    if (!node.ok() || *node >= graph_.num_nodes()) {
+    if (!node.ok() || *node >= graph.num_nodes()) {
       bad_requests_.fetch_add(1);
       return JsonError(400, "\"nodes\" entries must be node ids in [0, " +
-                                std::to_string(graph_.num_nodes()) + ")");
+                                std::to_string(graph.num_nodes()) + ")");
     }
     nodes.push_back(static_cast<NodeId>(*node));
   }
 
-  // Fan out across the executor's thread pool; one pooled workspace
-  // per chunk (ForEachQueryChunked), results in input order.
+  // Fan out across the registry's shared thread pool; one workspace
+  // from this generation's pool per chunk (ForEachQueryChunked),
+  // results in input order. The lease pins the generation for the
+  // whole fan-out, so every chunk scores the same graph even if a swap
+  // lands mid-batch.
   ParallelBatchStats batch_stats;
-  auto results = ParallelQueryBatchTopK(executor_, nodes, *k, &batch_stats);
+  auto results =
+      ParallelQueryBatchTopK((*lease)->core(), registry_.thread_pool(),
+                             (*lease)->workspaces(), nodes, *k, &batch_stats);
   if (!results.ok()) {
     bad_requests_.fetch_add(1);
     return JsonError(400, results.status().ToString());
   }
   batch_requests_.fetch_add(1);
   nodes_scored_.fetch_add(nodes.size());
+  const auto metrics = FindMetrics(graph_name);
+  if (metrics != nullptr) {
+    metrics->requests.fetch_add(1);
+    metrics->nodes_scored.fetch_add(nodes.size());
+  }
   engine_query_nanos_.fetch_add(
       static_cast<uint64_t>(batch_stats.cpu_query_seconds * 1e9));
 
   JsonWriter writer;
   writer.BeginObject();
+  writer.Key("graph");
+  writer.String(graph_name);
+  writer.Key("generation");
+  writer.Uint((*lease)->id());
   writer.Key("k");
   writer.Uint(*k);
   writer.Key("wall_ms");
@@ -329,8 +541,40 @@ HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
   HttpResponse response;
   response.body = writer.Take();
   response.body.push_back('\n');
-  RecordLatency(wall.ElapsedSeconds());
+  RecordLatency(metrics, wall.ElapsedSeconds());
   return response;
+}
+
+void SimPushService::WriteTenantSection(JsonWriter* writer,
+                                        const std::string& name) {
+  auto stats = registry_.Stats(name);
+  writer->BeginObject();
+  if (stats.ok()) {
+    writer->Key("generation");
+    writer->Uint(stats->generation);
+    writer->Key("swap_count");
+    writer->Uint(stats->swap_count);
+    writer->Key("pending_updates");
+    writer->Uint(stats->pending_updates);
+    writer->Key("updates_applied");
+    writer->Uint(stats->updates_applied);
+    writer->Key("nodes");
+    writer->Uint(stats->num_nodes);
+    writer->Key("edges");
+    writer->Uint(stats->num_edges);
+    writer->Key("master_edges");
+    writer->Uint(stats->master_edges);
+    WritePoolGauges(writer, *stats);
+  }
+  if (const auto metrics = FindMetrics(name)) {
+    writer->Key("requests");
+    writer->Uint(metrics->requests.load());
+    writer->Key("nodes_scored");
+    writer->Uint(metrics->nodes_scored.load());
+    writer->Key("latency_ms");
+    WriteLatency(writer, metrics->latency.Snapshot());
+  }
+  writer->EndObject();
 }
 
 HttpResponse SimPushService::HandleStats(const HttpRequest&) {
@@ -339,19 +583,23 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
   const uint64_t batch = batch_requests_.load();
   const double uptime = uptime_.ElapsedSeconds();
   const LatencySnapshot latency = Latencies();
-  const WorkspacePool& pool = executor_.workspaces();
 
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("uptime_seconds");
   writer.Double(uptime);
-  writer.Key("graph");
-  writer.BeginObject();
-  writer.Key("nodes");
-  writer.Uint(graph_.num_nodes());
-  writer.Key("edges");
-  writer.Uint(graph_.num_edges());
-  writer.EndObject();
+  // Compatibility sections for the single-graph shape: the default
+  // tenant's graph and pool, when it exists.
+  if (auto stats = registry_.Stats(options_.default_graph); stats.ok()) {
+    writer.Key("graph");
+    writer.BeginObject();
+    writer.Key("nodes");
+    writer.Uint(stats->num_nodes);
+    writer.Key("edges");
+    writer.Uint(stats->num_edges);
+    writer.EndObject();
+    WritePoolGauges(&writer, *stats);
+  }
   writer.Key("options");
   writer.BeginObject();
   writer.Key("epsilon");
@@ -362,6 +610,10 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
   writer.Double(options_.query.delta);
   writer.Key("seed");
   writer.Uint(options_.query.seed);
+  writer.Key("swap_threshold");
+  writer.Uint(options_.swap_threshold);
+  writer.Key("default_graph");
+  writer.String(options_.default_graph);
   writer.EndObject();
   writer.Key("requests");
   writer.BeginObject();
@@ -371,6 +623,8 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
   writer.Uint(topk);
   writer.Key("batch");
   writer.Uint(batch);
+  writer.Key("admin");
+  writer.Uint(admin_requests_.load());
   writer.Key("bad");
   writer.Uint(bad_requests_.load());
   writer.Key("nodes_scored");
@@ -379,27 +633,19 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
   writer.Key("qps");
   writer.Double(uptime > 0 ? (query + topk + batch) / uptime : 0);
   writer.Key("latency_ms");
+  WriteLatency(&writer, latency);
+  // Per-tenant sections: generation id, pending updates, swap counts,
+  // per-tenant latency rings.
+  writer.Key("graphs");
   writer.BeginObject();
-  writer.Key("samples");
-  writer.Uint(latency.samples);
-  writer.Key("p50");
-  writer.Double(latency.p50_ms);
-  writer.Key("p90");
-  writer.Double(latency.p90_ms);
-  writer.Key("p99");
-  writer.Double(latency.p99_ms);
-  writer.Key("max");
-  writer.Double(latency.max_ms);
+  for (const std::string& name : registry_.Names()) {
+    writer.Key(name);
+    WriteTenantSection(&writer, name);
+  }
   writer.EndObject();
-  writer.Key("pool");
-  writer.BeginObject();
-  writer.Key("capacity");
-  writer.Uint(pool.capacity());
-  writer.Key("created");
-  writer.Uint(pool.created());
-  writer.Key("outstanding");
-  writer.Uint(pool.outstanding());
-  writer.EndObject();
+  writer.Key("live_generations");
+  writer.Uint(static_cast<uint64_t>(
+      std::max<int64_t>(0, registry_.live_generations())));
   writer.Key("engine");
   writer.BeginObject();
   writer.Key("cpu_query_seconds");
@@ -408,7 +654,7 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
   writer.Uint(engine_walks_.load());
   writer.EndObject();
   writer.Key("threads");
-  writer.Uint(executor_.num_threads());
+  writer.Uint(registry_.num_threads());
   if (server_ != nullptr) {
     const HttpServerCounters counters = server_->counters();
     writer.Key("http");
@@ -444,19 +690,278 @@ HttpResponse SimPushService::HandleHealth(const HttpRequest&) {
   return response;
 }
 
-void SimPushService::RecordLatency(double seconds) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  latency_ring_[latency_next_] = seconds;
-  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-  latency_filled_ = std::min(latency_filled_ + 1, latency_ring_.size());
+HttpResponse SimPushService::HandleGraphList(const HttpRequest&) {
+  admin_requests_.fetch_add(1);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("graphs");
+  writer.BeginArray();
+  for (const std::string& name : registry_.Names()) {
+    auto stats = registry_.Stats(name);
+    if (!stats.ok()) continue;  // Raced with a DELETE.
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(name);
+    writer.Key("generation");
+    writer.Uint(stats->generation);
+    writer.Key("nodes");
+    writer.Uint(stats->num_nodes);
+    writer.Key("edges");
+    writer.Uint(stats->num_edges);
+    writer.Key("pending_updates");
+    writer.Uint(stats->pending_updates);
+    writer.Key("swap_count");
+    writer.Uint(stats->swap_count);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("default_graph");
+  writer.String(options_.default_graph);
+  writer.EndObject();
+
+  HttpResponse response;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  return response;
 }
 
-LatencySnapshot SimPushService::Latencies() const {
+HttpResponse SimPushService::HandleGraphCreate(const HttpRequest& request) {
+  admin_requests_.fetch_add(1);
+  auto doc = ParseJson(request.body);
+  if (!doc.ok() || !doc->is_object()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, doc.ok() ? "request body must be a JSON object"
+                                   : doc.status().message());
+  }
+  const JsonValue* name_field = doc->Find("name");
+  if (name_field == nullptr || !name_field->is_string()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "missing \"name\" string field");
+  }
+  const std::string& name = name_field->string_value();
+  if (!IsValidGraphName(name)) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "graph name must be 1-64 chars of [A-Za-z0-9._-]");
+  }
+
+  const JsonValue* path_field = doc->Find("path");
+  const JsonValue* edges_field = doc->Find("edges");
+  StatusOr<Graph> graph = Status::InvalidArgument(
+      "provide either \"path\" (edge list or .spg) or \"nodes\"+\"edges\"");
+  if (path_field != nullptr && path_field->is_string()) {
+    if (!options_.allow_path_create) {
+      bad_requests_.fetch_add(1);
+      return JsonError(403,
+                       "path-based graph creation is disabled (start with "
+                       "--allow-path-create 1, or send inline edges)");
+    }
+    EdgeListOptions load_options;
+    if (const JsonValue* undirected = doc->Find("undirected")) {
+      load_options.undirected =
+          undirected->is_bool() && undirected->bool_value();
+    }
+    graph = LoadGraphAnyFormat(path_field->string_value(), load_options);
+  } else if (edges_field != nullptr) {
+    auto nodes = RequireIndex(*doc, "nodes");
+    if (!nodes.ok() || *nodes >= kInvalidNode) {
+      bad_requests_.fetch_add(1);
+      return JsonError(400, "inline graphs need a \"nodes\" count");
+    }
+    if (*nodes > options_.max_inline_nodes) {
+      bad_requests_.fetch_add(1);
+      return JsonError(413, "inline graph exceeds max_inline_nodes (" +
+                                std::to_string(options_.max_inline_nodes) +
+                                "); load large graphs via \"path\"");
+    }
+    std::vector<EdgeUpdate> edges;
+    const Status parsed =
+        ReadEdgePairs(*edges_field, EdgeUpdate::Kind::kInsert, &edges);
+    if (!parsed.ok()) {
+      bad_requests_.fetch_add(1);
+      return JsonError(400, parsed.message());
+    }
+    GraphBuilder builder(static_cast<NodeId>(*nodes));
+    for (const EdgeUpdate& edge : edges) builder.AddEdge(edge.src, edge.dst);
+    graph = std::move(builder).Build(/*dedupe=*/false);
+  }
+  if (!graph.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, graph.status().ToString());
+  }
+
+  const Status added = AddGraph(name, *std::move(graph));
+  if (!added.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(added);
+  }
+  auto stats = registry_.Stats(name);
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("graph");
+  writer.String(name);
+  if (stats.ok()) {
+    writer.Key("generation");
+    writer.Uint(stats->generation);
+    writer.Key("nodes");
+    writer.Uint(stats->num_nodes);
+    writer.Key("edges");
+    writer.Uint(stats->num_edges);
+  }
+  writer.EndObject();
+
+  HttpResponse response;
+  response.status = 201;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse SimPushService::HandleGraphOp(const HttpRequest& request) {
+  admin_requests_.fetch_add(1);
+  // Target shape: /v1/graphs/{name}[/edges|/swap].
+  constexpr std::string_view kPrefix = "/v1/graphs/";
+  std::string_view rest(request.target);
+  rest.remove_prefix(kPrefix.size());
+  const size_t slash = rest.find('/');
+  const std::string_view name = rest.substr(0, slash);
+  const std::string_view op =
+      slash == std::string_view::npos ? std::string_view() : rest.substr(slash + 1);
+  if (!IsValidGraphName(name)) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, "graph name must be 1-64 chars of [A-Za-z0-9._-]");
+  }
+
+  if (op.empty()) {
+    if (request.method == "GET") {
+      if (auto stats = registry_.Stats(name); !stats.ok()) {
+        bad_requests_.fetch_add(1);
+        return JsonError(stats.status());
+      }
+      JsonWriter writer;
+      writer.BeginObject();
+      writer.Key("graph");
+      writer.String(name);
+      writer.Key("stats");
+      WriteTenantSection(&writer, std::string(name));
+      writer.EndObject();
+      HttpResponse response;
+      response.body = writer.Take();
+      response.body.push_back('\n');
+      return response;
+    }
+    if (request.method == "DELETE") {
+      const Status removed = RemoveGraph(name);
+      if (!removed.ok()) {
+        bad_requests_.fetch_add(1);
+        return JsonError(removed);
+      }
+      JsonWriter writer;
+      writer.BeginObject();
+      writer.Key("graph");
+      writer.String(name);
+      writer.Key("deleted");
+      writer.Bool(true);
+      writer.EndObject();
+      HttpResponse response;
+      response.body = writer.Take();
+      response.body.push_back('\n');
+      return response;
+    }
+    bad_requests_.fetch_add(1);
+    return JsonError(405, "method not allowed");
+  }
+
+  if (op == "swap" || op == "edges") {
+    if (request.method != "POST") {
+      bad_requests_.fetch_add(1);
+      return JsonError(405, "method not allowed");
+    }
+    StatusOr<UpdateOutcome> outcome =
+        Status::InvalidArgument("unreachable");
+    if (op == "swap") {
+      outcome = registry_.Swap(name);
+    } else {
+      auto doc = ParseJson(request.body);
+      if (!doc.ok() || !doc->is_object()) {
+        bad_requests_.fetch_add(1);
+        return JsonError(400, doc.ok() ? "request body must be a JSON object"
+                                       : doc.status().message());
+      }
+      std::vector<EdgeUpdate> updates;
+      if (const JsonValue* add = doc->Find("add")) {
+        const Status parsed =
+            ReadEdgePairs(*add, EdgeUpdate::Kind::kInsert, &updates);
+        if (!parsed.ok()) {
+          bad_requests_.fetch_add(1);
+          return JsonError(400, parsed.message());
+        }
+      }
+      if (const JsonValue* remove = doc->Find("remove")) {
+        const Status parsed =
+            ReadEdgePairs(*remove, EdgeUpdate::Kind::kDelete, &updates);
+        if (!parsed.ok()) {
+          bad_requests_.fetch_add(1);
+          return JsonError(400, parsed.message());
+        }
+      }
+      if (updates.empty()) {
+        bad_requests_.fetch_add(1);
+        return JsonError(400,
+                         "provide \"add\" and/or \"remove\" [src,dst] lists");
+      }
+      if (updates.size() > options_.max_update_edges) {
+        bad_requests_.fetch_add(1);
+        return JsonError(413, "update exceeds max_update_edges (" +
+                                  std::to_string(options_.max_update_edges) +
+                                  ")");
+      }
+      bool force_swap = false;
+      if (const JsonValue* swap = doc->Find("swap")) {
+        force_swap = swap->is_bool() && swap->bool_value();
+      }
+      outcome = registry_.ApplyUpdates(name, updates, force_swap);
+    }
+    if (!outcome.ok()) {
+      bad_requests_.fetch_add(1);
+      return JsonError(outcome.status());
+    }
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("graph");
+    writer.String(name);
+    writer.Key("applied");
+    writer.Uint(outcome->applied);
+    writer.Key("pending");
+    writer.Uint(outcome->pending);
+    writer.Key("swapped");
+    writer.Bool(outcome->swapped);
+    writer.Key("generation");
+    writer.Uint(outcome->generation);
+    writer.EndObject();
+    HttpResponse response;
+    response.body = writer.Take();
+    response.body.push_back('\n');
+    return response;
+  }
+
+  bad_requests_.fetch_add(1);
+  return JsonError(404, "unknown graph operation \"" + std::string(op) +
+                            "\" (expected edges|swap)");
+}
+
+void SimPushService::LatencyRing::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mu);
+  ring[next] = seconds;
+  next = (next + 1) % ring.size();
+  filled = std::min(filled + 1, ring.size());
+}
+
+LatencySnapshot SimPushService::LatencyRing::Snapshot() const {
   std::vector<double> sorted;
   {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    sorted.assign(latency_ring_.begin(),
-                  latency_ring_.begin() + latency_filled_);
+    std::lock_guard<std::mutex> lock(mu);
+    sorted.assign(ring.begin(), ring.begin() + filled);
   }
   LatencySnapshot snapshot;
   snapshot.samples = sorted.size();
@@ -471,6 +976,16 @@ LatencySnapshot SimPushService::Latencies() const {
   snapshot.p99_ms = percentile(0.99);
   snapshot.max_ms = sorted.back() * 1e3;
   return snapshot;
+}
+
+void SimPushService::RecordLatency(
+    const std::shared_ptr<TenantMetrics>& metrics, double seconds) {
+  latency_.Record(seconds);
+  if (metrics != nullptr) metrics->latency.Record(seconds);
+}
+
+LatencySnapshot SimPushService::Latencies() const {
+  return latency_.Snapshot();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,26 +1,38 @@
 // SimPushService: the serving front end's request layer.
 //
-// Binds the engine substrate (one shared EngineCore + one ThreadPool +
-// one WorkspacePool, all inside a QueryExecutor) to HTTP routes:
+// Binds the multi-tenant GraphRegistry (shared ThreadPool + per-tenant
+// generations of Graph/EngineCore/WorkspacePool) to HTTP routes:
 //
-//   POST /v1/query   single-source scores (optional top-k truncation)
-//   POST /v1/topk    top-k most similar nodes
-//   POST /v1/batch   many queries, fanned out over ForEachQueryChunked
-//   GET  /v1/stats   pool occupancy, q/s, latency percentiles, peak RSS
-//   GET  /healthz    liveness probe
+//   POST /v1/query           single-source scores (optional top-k)
+//   POST /v1/topk            top-k most similar nodes
+//   POST /v1/batch           many queries, fanned out on the shared pool
+//   GET  /v1/stats           service counters + per-graph sections
+//   GET  /healthz            liveness probe
+//   GET  /v1/graphs          list registered graphs
+//   POST /v1/graphs          load/create a graph (path or inline edges)
+//   GET    /v1/graphs/{name}        one graph's stats section
+//   DELETE /v1/graphs/{name}        unregister a graph
+//   POST   /v1/graphs/{name}/edges  batched add/remove edge updates
+//   POST   /v1/graphs/{name}/swap   publish a new generation now
+//
+// The query endpoints take an optional "graph" field naming the tenant
+// (default: options.default_graph, preserved for single-graph
+// compatibility) and stamp responses with the generation id that served
+// them, so every response is reproducible offline.
 //
 // Request JSON schemas and examples live in docs/serving.md.
 //
 // Concurrency model: /v1/query and /v1/topk run directly on the HTTP
-// worker thread that parsed them — each leases one workspace from the
-// shared pool for the duration of the query (blocking briefly when the
-// pool is capped below the concurrency). /v1/batch fans its nodes out
-// across the executor's thread pool. The pool capacity therefore bounds
-// peak query-scratch memory across BOTH paths at O(capacity·n).
+// worker thread that parsed them — each leases the tenant's current
+// generation (a shared_ptr copy; queries never block on a hot swap and
+// keep the generation alive until they finish) and one workspace from
+// that generation's pool. /v1/batch fans its nodes out across the
+// registry's shared thread pool. Admin endpoints mutate only the
+// registry, whose rebuilds happen outside every query-path lock.
 //
 // Admission control lives in two places: the HttpServer sheds whole
 // connections with 503 when its accept queue is full, and this layer
-// rejects oversized batch requests with 413.
+// rejects oversized batch/update requests with 413.
 //
 // Thread-safety contract: all Handle* methods (and RunQuery) are safe
 // to call concurrently from any number of threads after construction.
@@ -30,14 +42,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "common/timer.h"
 #include "graph/graph.h"
 #include "serve/http_server.h"
-#include "simpush/parallel.h"
+#include "serve/json.h"
+#include "serve/registry.h"
 #include "simpush/query_runner.h"
 
 namespace simpush {
@@ -47,18 +64,39 @@ namespace serve {
 struct ServiceOptions {
   /// Engine knobs (ε, c, δ, seed, walk cap) shared by every request.
   SimPushOptions query;
-  /// Worker threads for /v1/batch fan-out (0 = hardware concurrency).
+  /// Worker threads for /v1/batch fan-out (0 = hardware concurrency),
+  /// shared across all graphs.
   size_t num_threads = 0;
-  /// Workspace pool cap (0 = match num_threads). See docs/serving.md
-  /// for tuning pool_capacity vs threads.
+  /// Workspace pool cap per graph generation (0 = match num_threads).
+  /// See docs/serving.md for tuning pool_capacity vs threads.
   size_t pool_capacity = 0;
   /// Maximum nodes accepted in one /v1/batch request (larger → 413).
   size_t max_batch_nodes = 4096;
-  /// Latency ring-buffer size for the /v1/stats percentiles.
+  /// Maximum edge updates in one /v1/graphs/{name}/edges request.
+  size_t max_update_edges = 65536;
+  /// Maximum node count accepted for an inline POST /v1/graphs create —
+  /// without it a 60-byte request naming 2^32 nodes would allocate tens
+  /// of GB of CSR offsets.
+  size_t max_inline_nodes = 1u << 20;
+  /// Allow POST /v1/graphs to load from a server-local "path". Off by
+  /// default: the path arrives from the network, so enabling it lets
+  /// any client make the server read (and probe for) arbitrary local
+  /// files. Turn on (simpush_serve --allow-path-create 1) only when
+  /// every client is trusted; inline edge creates are always allowed.
+  bool allow_path_create = false;
+  /// Pending updates that trigger an automatic generation swap
+  /// (0 = only explicit POST /v1/graphs/{name}/swap).
+  size_t swap_threshold = 0;
+  /// Maximum number of registered graphs.
+  size_t max_graphs = 64;
+  /// Tenant served when a request has no "graph" field.
+  std::string default_graph = "default";
+  /// Latency ring-buffer size for the /v1/stats percentiles (global
+  /// and per tenant).
   size_t latency_ring_size = 2048;
 };
 
-/// Point-in-time latency percentiles computed from the ring buffer.
+/// Point-in-time latency percentiles computed from a ring buffer.
 struct LatencySnapshot {
   size_t samples = 0;   ///< Entries currently in the ring (<= ring size).
   double p50_ms = 0;
@@ -67,21 +105,37 @@ struct LatencySnapshot {
   double max_ms = 0;
 };
 
-/// The SimPush query service. One instance per loaded graph; the graph
-/// must outlive the service.
+/// The SimPush query service over a GraphRegistry.
 class SimPushService {
  public:
+  /// An empty service: add graphs with AddGraph (or over HTTP).
+  explicit SimPushService(const ServiceOptions& options);
+
+  /// Single-graph compatibility shape: registers a copy of `graph` as
+  /// options.default_graph.
   SimPushService(const Graph& graph, const ServiceOptions& options);
+
+  /// Registers `graph` under `name`. Same error contract as
+  /// GraphRegistry::Add; validates engine options up front.
+  Status AddGraph(const std::string& name, Graph graph);
+
+  /// Unregisters `name`; in-flight queries on it finish unharmed.
+  Status RemoveGraph(std::string_view name);
 
   /// Registers all endpoints on `server` (call before server.Start()).
   /// The service keeps the pointer to surface the server's admission
   /// counters in /v1/stats; the server must outlive the service's use.
   void RegisterRoutes(HttpServer* server);
 
-  /// The serve hot path: runs one single-source query on a pooled
-  /// workspace into caller-owned, reused result buffers. Blocks while
-  /// the workspace pool is exhausted. Zero heap allocations in steady
-  /// state (warm workspace + warm result), verified by serve_test.
+  /// The serve hot path: runs one single-source query against the
+  /// named graph's current generation, into caller-owned reused result
+  /// buffers. Blocks only while that generation's workspace pool is
+  /// exhausted — never on a hot swap. Zero heap allocations in steady
+  /// state (warm workspace + warm result), verified by serve_test and
+  /// registry_test.
+  Status RunQuery(std::string_view graph_name, NodeId u,
+                  SimPushResult* result);
+  /// Default-graph convenience overload.
   Status RunQuery(NodeId u, SimPushResult* result);
 
   /// Endpoint handlers (exposed for tests and the load generator; the
@@ -91,27 +145,64 @@ class SimPushService {
   HttpResponse HandleBatch(const HttpRequest& request);
   HttpResponse HandleStats(const HttpRequest& request);
   HttpResponse HandleHealth(const HttpRequest& request);
+  HttpResponse HandleGraphList(const HttpRequest& request);
+  HttpResponse HandleGraphCreate(const HttpRequest& request);
+  /// Dispatcher for /v1/graphs/{name}[/edges|/swap] (prefix route).
+  HttpResponse HandleGraphOp(const HttpRequest& request);
 
-  /// The shared execution substrate (core + thread pool + workspaces).
-  QueryExecutor& executor() { return executor_; }
-  /// Percentiles over the most recent latency_ring_size requests.
+  /// The registry backing this service.
+  GraphRegistry& registry() { return registry_; }
+  /// Percentiles over the most recent latency_ring_size requests,
+  /// across all graphs.
   LatencySnapshot Latencies() const;
 
  private:
-  void RecordLatency(double seconds);
+  // Fixed-size preallocated latency ring; Record never allocates.
+  struct LatencyRing {
+    explicit LatencyRing(size_t size) : ring(size > 0 ? size : 1, 0.0) {}
+    mutable std::mutex mu;
+    std::vector<double> ring;
+    size_t next = 0;
+    size_t filled = 0;
+    void Record(double seconds);
+    LatencySnapshot Snapshot() const;
+  };
+  // Per-tenant request-path counters + latency ring. Created when a
+  // graph is registered, torn down when it is removed.
+  struct TenantMetrics {
+    explicit TenantMetrics(size_t ring_size) : latency(ring_size) {}
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> nodes_scored{0};
+    LatencyRing latency;
+  };
+
+  /// Records into the global ring and, when `metrics` is non-null, the
+  /// tenant ring — the caller looked the tenant up once per request.
+  void RecordLatency(const std::shared_ptr<TenantMetrics>& metrics,
+                     double seconds);
   /// Folds one runner's lifetime totals into the service-wide engine
   /// counters surfaced by /v1/stats. Allocation-free.
   void AccumulateEngineTotals(const QueryRunnerTotals& totals);
+  /// One query on one generation bundle: the shared body of RunQuery
+  /// and the query/topk handlers (which already hold a lease).
+  Status RunOnGeneration(const GraphGeneration& generation, NodeId u,
+                         SimPushResult* result);
+  std::shared_ptr<TenantMetrics> FindMetrics(std::string_view name) const;
+  /// Resolves the tenant a request addresses ("graph" field or the
+  /// default) and leases its current generation.
+  StatusOr<GenerationLease> LeaseFor(const JsonValue& doc,
+                                     std::string* name_out);
+  void WriteTenantSection(JsonWriter* writer, const std::string& name);
 
-  const Graph& graph_;
   const ServiceOptions options_;
-  QueryExecutor executor_;
+  GraphRegistry registry_;
   HttpServer* server_ = nullptr;  // For admission counters in /v1/stats.
   Timer uptime_;
 
   std::atomic<uint64_t> query_requests_{0};
   std::atomic<uint64_t> topk_requests_{0};
   std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> admin_requests_{0};
   std::atomic<uint64_t> nodes_scored_{0};
   std::atomic<uint64_t> bad_requests_{0};
   // Engine-side totals aggregated from QueryRunnerTotals: CPU seconds
@@ -120,12 +211,10 @@ class SimPushService {
   std::atomic<uint64_t> engine_query_nanos_{0};
   std::atomic<uint64_t> engine_walks_{0};
 
-  // Fixed-size ring of the most recent request latencies (seconds).
-  // Preallocated; RecordLatency never allocates.
-  mutable std::mutex latency_mu_;
-  std::vector<double> latency_ring_;
-  size_t latency_next_ = 0;
-  size_t latency_filled_ = 0;
+  LatencyRing latency_;  // All requests, all graphs.
+  mutable std::mutex metrics_mu_;
+  std::map<std::string, std::shared_ptr<TenantMetrics>, std::less<>>
+      tenant_metrics_;
 };
 
 /// Installs SIGTERM/SIGINT handlers that mark shutdown as requested

@@ -19,10 +19,11 @@ QueryExecutor::QueryExecutor(const Graph& graph,
                                      : thread_pool_.num_threads()) {}
 
 void ForEachQueryChunked(
-    QueryExecutor& executor, size_t num_items,
+    const EngineCore& core, ThreadPool& thread_pool,
+    WorkspacePool& workspaces, size_t num_items,
     const std::function<void(QueryRunner&, size_t begin, size_t end)>&
         run_chunk) {
-  const size_t workers = executor.num_threads();
+  const size_t workers = std::max<size_t>(1, thread_pool.num_threads());
   const size_t chunk = (num_items + workers - 1) / workers;
 
   // Completion is tracked per call, not via ThreadPool::Wait (which
@@ -40,14 +41,14 @@ void ForEachQueryChunked(
       std::lock_guard<std::mutex> lock(done_mu);
       ++pending;
     }
-    executor.thread_pool().Submit(
-        [&executor, &run_chunk, &done_mu, &chunk_done, &pending, begin,
-         end] {
+    thread_pool.Submit(
+        [&core, &workspaces, &run_chunk, &done_mu, &chunk_done, &pending,
+         begin, end] {
           // One leased workspace serves the whole chunk; the lease
           // returns to the pool when the runner dies, so a later batch
           // on the same executor reuses the (warm) workspace.
           {
-            QueryRunner runner(executor.core(), executor.workspaces());
+            QueryRunner runner(core, workspaces);
             run_chunk(runner, begin, end);
           }
           std::lock_guard<std::mutex> lock(done_mu);
@@ -56,6 +57,14 @@ void ForEachQueryChunked(
   }
   std::unique_lock<std::mutex> lock(done_mu);
   chunk_done.wait(lock, [&pending] { return pending == 0; });
+}
+
+void ForEachQueryChunked(
+    QueryExecutor& executor, size_t num_items,
+    const std::function<void(QueryRunner&, size_t begin, size_t end)>&
+        run_chunk) {
+  ForEachQueryChunked(executor.core(), executor.thread_pool(),
+                      executor.workspaces(), num_items, run_chunk);
 }
 
 ParallelBatchStats ParallelQueryBatch(
@@ -104,19 +113,20 @@ ParallelBatchStats ParallelQueryBatch(
 }
 
 StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
-    QueryExecutor& executor, const std::vector<NodeId>& queries, size_t k,
+    const EngineCore& core, ThreadPool& thread_pool,
+    WorkspacePool& workspaces, const std::vector<NodeId>& queries, size_t k,
     ParallelBatchStats* stats) {
   std::vector<BatchTopKResult> results(queries.size());
 
   ParallelBatchStats local_stats;
   Timer wall;
-  local_stats.num_threads = executor.num_threads();
+  local_stats.num_threads = thread_pool.num_threads();
   std::atomic<size_t> ok{0};
   std::atomic<size_t> failed{0};
   std::atomic<uint64_t> cpu_nanos{0};
 
   ForEachQueryChunked(
-      executor, queries.size(),
+      core, thread_pool, workspaces, queries.size(),
       [&](QueryRunner& runner, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           const NodeId u = queries[i];
@@ -146,6 +156,13 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
     return Status::InvalidArgument("batch contained invalid query nodes");
   }
   return results;
+}
+
+StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+    QueryExecutor& executor, const std::vector<NodeId>& queries, size_t k,
+    ParallelBatchStats* stats) {
+  return ParallelQueryBatchTopK(executor.core(), executor.thread_pool(),
+                                executor.workspaces(), queries, k, stats);
 }
 
 StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(

@@ -120,6 +120,26 @@ void ForEachQueryChunked(
     const std::function<void(QueryRunner&, size_t begin, size_t end)>&
         run_chunk);
 
+/// Unbundled form of the fan-out for callers that compose the substrate
+/// themselves instead of owning a QueryExecutor — the multi-tenant
+/// GraphRegistry shares ONE ThreadPool across every tenant while each
+/// graph generation owns its core + workspace pool, so (core, threads,
+/// workspaces) arrive from different owners. Contracts are unchanged:
+/// core immutable, both pools internally synchronized, one leased
+/// workspace per chunk.
+void ForEachQueryChunked(
+    const EngineCore& core, ThreadPool& thread_pool,
+    WorkspacePool& workspaces, size_t num_items,
+    const std::function<void(QueryRunner&, size_t begin, size_t end)>&
+        run_chunk);
+
+/// Unbundled top-k batch, same composition story as the unbundled
+/// ForEachQueryChunked (used by the registry's per-tenant /v1/batch).
+StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
+    const EngineCore& core, ThreadPool& thread_pool,
+    WorkspacePool& workspaces, const std::vector<NodeId>& queries, size_t k,
+    ParallelBatchStats* stats = nullptr);
+
 }  // namespace simpush
 
 #endif  // SIMPUSH_SIMPUSH_PARALLEL_H_

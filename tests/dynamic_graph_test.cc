@@ -114,6 +114,80 @@ TEST(DynamicGraphTest, SnapshotAfterUpdatesReflectsMutations) {
   EXPECT_EQ(snapshot->InDegree(3), 1u);
 }
 
+// RemoveEdge uses swap-with-back removal, so the LIVE adjacency order
+// depends on the whole update history — but Snapshot() must not: it
+// emits canonically sorted adjacency, making snapshots a pure function
+// of the edge multiset. Two different histories converging on the same
+// edges must produce byte-identical CSRs (what makes registry hot
+// swaps reproducible).
+TEST(DynamicGraphTest, SnapshotIsCanonicalAcrossUpdateHistories) {
+  // History A: plain inserts in ascending order.
+  DynamicGraph a(5);
+  for (const auto& [s, d] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {0, 2}, {0, 3}, {2, 0}, {2, 4}, {4, 1}}) {
+    ASSERT_TRUE(a.AddEdge(s, d).ok());
+  }
+  // History B: same final edges via inserts+deletes that scramble the
+  // live order (swap-with-back moves the last element forward).
+  DynamicGraph b(5);
+  for (const auto& [s, d] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 3}, {0, 4}, {0, 1}, {2, 4}, {0, 2}, {4, 1}, {2, 1},
+           {2, 0}}) {
+    ASSERT_TRUE(b.AddEdge(s, d).ok());
+  }
+  ASSERT_TRUE(b.RemoveEdge(0, 4).ok());  // Back-swaps into 0's list.
+  ASSERT_TRUE(b.RemoveEdge(2, 1).ok());
+  // Live order genuinely differs between the histories...
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  auto live_a = a.OutNeighbors(0);
+  auto live_b = b.OutNeighbors(0);
+  EXPECT_FALSE(std::equal(live_a.begin(), live_a.end(), live_b.begin(),
+                          live_b.end()))
+      << "histories should scramble the live adjacency order";
+
+  // ...but the snapshots are byte-identical in both directions.
+  auto snap_a = a.Snapshot();
+  auto snap_b = b.Snapshot();
+  ASSERT_TRUE(snap_a.ok());
+  ASSERT_TRUE(snap_b.ok());
+  ASSERT_EQ(snap_a->num_edges(), snap_b->num_edges());
+  for (NodeId v = 0; v < 5; ++v) {
+    auto out_a = snap_a->OutNeighbors(v);
+    auto out_b = snap_b->OutNeighbors(v);
+    EXPECT_TRUE(std::equal(out_a.begin(), out_a.end(), out_b.begin(),
+                           out_b.end()))
+        << "out-adjacency of node " << v;
+    auto in_a = snap_a->InNeighbors(v);
+    auto in_b = snap_b->InNeighbors(v);
+    EXPECT_TRUE(
+        std::equal(in_a.begin(), in_a.end(), in_b.begin(), in_b.end()))
+        << "in-adjacency of node " << v;
+  }
+}
+
+// Sortedness holds for arbitrary update streams, parallel edges
+// included, in both adjacency directions.
+TEST(DynamicGraphTest, SnapshotAdjacencySortedAfterRandomStream) {
+  auto base = GenerateErdosRenyi(60, 400, /*seed=*/5);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*base);
+  ASSERT_TRUE(
+      dynamic.Apply(GenerateUpdateStream(*base, 600, 0.4, /*seed=*/17)).ok());
+  ASSERT_TRUE(dynamic.AddEdge(3, 7).ok());
+  ASSERT_TRUE(dynamic.AddEdge(3, 7).ok());  // Parallel edge survives sort.
+
+  auto snapshot = dynamic.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(snapshot->Validate().ok());
+  EXPECT_EQ(snapshot->num_edges(), dynamic.num_edges());
+  for (NodeId v = 0; v < snapshot->num_nodes(); ++v) {
+    auto out = snapshot->OutNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end())) << "out of " << v;
+    auto in = snapshot->InNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end())) << "in of " << v;
+  }
+}
+
 TEST(DynamicGraphTest, ApplyStopsAtFirstInvalidUpdate) {
   DynamicGraph graph(3);
   std::vector<EdgeUpdate> updates = {

@@ -1,0 +1,243 @@
+// Seed-corpus fuzz-style coverage for the hand-rolled JSON codec
+// (mirroring graph_io_fuzz_test.cc for the edge-list parser): random
+// mutations of valid wire-protocol bodies — /v1/batch requests, graph
+// CRUD payloads, edge-update batches — must never crash ParseJson, and
+// every document that still parses must survive a parse → write →
+// parse round trip bit-identically. Parsers are the classic crash
+// surface of a server; this suite runs under the ASan+UBSan CI job.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "serve/json.h"
+
+namespace simpush {
+namespace serve {
+namespace {
+
+// The valid seed corpus: shapes the service actually receives, plus
+// documents stressing every token kind the parser knows.
+std::vector<std::string> SeedCorpus() {
+  return {
+      // Wire-protocol request bodies.
+      R"({"nodes": [1, 2, 3], "k": 10})",
+      R"({"nodes": [0], "k": 1, "graph": "web"})",
+      R"({"node": 42, "top_k": 3, "with_stats": true})",
+      R"({"node": 4294967301})",
+      R"({"name":"ring","nodes":6,"edges":[[0,1],[1,2],[2,3]]})",
+      R"({"add":[[2,0],[0,3]],"remove":[[5,0]],"swap":true})",
+      R"({"graph":"social","nodes":[9,8,7,6,5,4,3,2,1,0],"k":100})",
+      // Responses (the codec must round-trip its own output).
+      R"({"node":3,"generation":7,"epsilon":0.1,)"
+      R"("scores":[0.0,1.0,0.25,3.5e-2,1e-12]})",
+      R"({"k":3,"wall_ms":1.25,"results":[{"node":1,)"
+      R"("top":[{"node":2,"score":0.5}]}]})",
+      // Token-kind stress: literals, escapes, unicode, numbers.
+      R"(null)",
+      R"(true)",
+      R"(false)",
+      R"(-0.0)",
+      R"(1e308)",
+      R"(-2.2250738585072014e-308)",
+      R"("")",
+      R"("plain")",
+      R"("esc \" \\ \/ \b \f \n \r \t")",
+      R"("Aé中😀")",
+      R"([])",
+      R"({})",
+      R"([[[[[[[[1]]]]]]]])",
+      R"({"a":{"b":{"c":{"d":[null,true,false,0,""]}}}})",
+      R"([1,"two",3.0,{"four":4},[5],null,true])",
+  };
+}
+
+// Structural equality with bit-identical doubles (memcmp, so -0.0 and
+// 0.0 stay distinct — the determinism contract the serve layer gives).
+bool JsonEquals(const JsonValue& a, const JsonValue& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case JsonValue::Kind::kNull:
+      return true;
+    case JsonValue::Kind::kBool:
+      return a.bool_value() == b.bool_value();
+    case JsonValue::Kind::kNumber: {
+      const double da = a.number_value(), db = b.number_value();
+      return std::memcmp(&da, &db, sizeof(double)) == 0;
+    }
+    case JsonValue::Kind::kString:
+      return a.string_value() == b.string_value();
+    case JsonValue::Kind::kArray: {
+      if (a.array_items().size() != b.array_items().size()) return false;
+      for (size_t i = 0; i < a.array_items().size(); ++i) {
+        if (!JsonEquals(a.array_items()[i], b.array_items()[i])) return false;
+      }
+      return true;
+    }
+    case JsonValue::Kind::kObject: {
+      if (a.object_members().size() != b.object_members().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.object_members().size(); ++i) {
+        if (a.object_members()[i].first != b.object_members()[i].first ||
+            !JsonEquals(a.object_members()[i].second,
+                        b.object_members()[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Recursively serializes a parsed document with JsonWriter — the write
+// half of the round trip.
+void WriteValue(JsonWriter* writer, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      writer->Null();
+      return;
+    case JsonValue::Kind::kBool:
+      writer->Bool(value.bool_value());
+      return;
+    case JsonValue::Kind::kNumber:
+      writer->Double(value.number_value());
+      return;
+    case JsonValue::Kind::kString:
+      writer->String(value.string_value());
+      return;
+    case JsonValue::Kind::kArray:
+      writer->BeginArray();
+      for (const JsonValue& item : value.array_items()) {
+        WriteValue(writer, item);
+      }
+      writer->EndArray();
+      return;
+    case JsonValue::Kind::kObject:
+      writer->BeginObject();
+      for (const auto& [key, member] : value.object_members()) {
+        writer->Key(key);
+        WriteValue(writer, member);
+      }
+      writer->EndObject();
+      return;
+  }
+}
+
+// Applies one random byte-level mutation in place.
+void Mutate(std::string* text, Rng* rng) {
+  if (text->empty()) {
+    text->push_back(static_cast<char>(rng->NextBounded(256)));
+    return;
+  }
+  const size_t pos = rng->NextBounded(text->size());
+  switch (rng->NextBounded(6)) {
+    case 0:  // Flip a byte to something arbitrary.
+      (*text)[pos] = static_cast<char>(rng->NextBounded(256));
+      break;
+    case 1:  // Insert a random byte.
+      text->insert(text->begin() + pos,
+                   static_cast<char>(rng->NextBounded(256)));
+      break;
+    case 2:  // Delete a byte.
+      text->erase(text->begin() + pos);
+      break;
+    case 3:  // Truncate.
+      text->resize(pos);
+      break;
+    case 4: {  // Duplicate a slice (grows nesting / repeats tokens).
+      const size_t len =
+          std::min<size_t>(text->size() - pos, 1 + rng->NextBounded(8));
+      text->insert(pos, text->substr(pos, len));
+      break;
+    }
+    case 5: {  // Swap in a structural character.
+      static constexpr char kStructural[] = "{}[],:\"\\0123456789.eE+-";
+      (*text)[pos] = kStructural[rng->NextBounded(sizeof(kStructural) - 1)];
+      break;
+    }
+  }
+}
+
+// Every corpus document parses and survives parse → write → parse with
+// structural + bit-identical-number equality.
+TEST(JsonFuzz, ValidCorpusRoundTrips) {
+  for (const std::string& text : SeedCorpus()) {
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    JsonWriter writer;
+    WriteValue(&writer, *parsed);
+    const std::string serialized = writer.Take();
+    auto reparsed = ParseJson(serialized);
+    ASSERT_TRUE(reparsed.ok())
+        << "rewrite of " << text << " unparseable: " << serialized;
+    EXPECT_TRUE(JsonEquals(*parsed, *reparsed))
+        << text << " -> " << serialized;
+  }
+}
+
+// The fuzz loop proper: mutated corpus documents must parse cleanly or
+// fail cleanly — never crash, hang, or return a document that breaks
+// the round trip. ~10k mutants, deterministic seed.
+TEST(JsonFuzz, MutatedCorpusNeverCrashes) {
+  Rng rng(/*seed=*/20260727);
+  const std::vector<std::string> corpus = SeedCorpus();
+  size_t still_valid = 0;
+  for (int round = 0; round < 400; ++round) {
+    for (const std::string& seed_text : corpus) {
+      std::string mutated = seed_text;
+      const size_t mutations = 1 + rng.NextBounded(4);
+      for (size_t i = 0; i < mutations; ++i) Mutate(&mutated, &rng);
+      auto parsed = ParseJson(mutated);
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.status().message().empty());
+        continue;
+      }
+      ++still_valid;
+      // Anything that parses must round-trip.
+      JsonWriter writer;
+      WriteValue(&writer, *parsed);
+      auto reparsed = ParseJson(writer.Take());
+      ASSERT_TRUE(reparsed.ok()) << "mutant: " << mutated;
+      EXPECT_TRUE(JsonEquals(*parsed, *reparsed)) << "mutant: " << mutated;
+    }
+  }
+  // Mutations keep some documents valid (sanity check that the fuzz
+  // actually exercises the success path too).
+  EXPECT_GT(still_valid, 0u);
+}
+
+// Pure random byte soup — no corpus structure at all.
+TEST(JsonFuzz, RandomBytesNeverCrash) {
+  Rng rng(/*seed=*/7);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text(rng.NextBounded(64), '\0');
+    for (char& c : text) c = static_cast<char>(rng.NextBounded(256));
+    auto parsed = ParseJson(text);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+// The nesting cap rejects bombs cleanly on both container kinds.
+TEST(JsonFuzz, DeepNestingRejectedCleanly) {
+  const std::string deep_array(std::string(100, '[') + std::string(100, ']'));
+  EXPECT_FALSE(ParseJson(deep_array).ok());
+  std::string deep_object;
+  for (int i = 0; i < 100; ++i) deep_object += "{\"k\":";
+  deep_object += "null";
+  for (int i = 0; i < 100; ++i) deep_object += "}";
+  EXPECT_FALSE(ParseJson(deep_object).ok());
+  // Within the cap still parses.
+  const std::string shallow(std::string(32, '[') + std::string(32, ']'));
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,347 @@
+// GraphRegistry tests: multi-tenant CRUD semantics, RCU generation
+// lifecycle, and the headline swap-under-load stress — queries racing
+// hot swaps must return results bit-identical to a fresh
+// single-threaded engine on whichever generation served them, with no
+// generation leaks (live-generation gauge + outstanding-lease
+// counters) and zero steady-state heap allocations (this binary links
+// simpush_alloc_hook). Runs under the `concurrency` ctest label so the
+// TSan CI job covers the lease/swap races.
+
+#include "serve/registry.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+#include "gtest/gtest.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace serve {
+namespace {
+
+SimPushOptions FastOptions() {
+  SimPushOptions options;
+  options.epsilon = 0.1;
+  options.walk_budget_cap = 20000;
+  options.seed = 42;
+  return options;
+}
+
+RegistryOptions FastRegistryOptions() {
+  RegistryOptions options;
+  options.query = FastOptions();
+  options.num_threads = 4;
+  return options;
+}
+
+// Serial reference: fresh single-threaded engine on `graph`.
+std::vector<double> SerialScores(const Graph& graph, NodeId u) {
+  EngineCore core(graph, FastOptions());
+  QueryWorkspace workspace;
+  QueryRunner runner(core, &workspace);
+  auto result = runner.Query(u);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->scores;
+}
+
+TEST(RegistryTest, AddRemoveLookup) {
+  GraphRegistry registry(FastRegistryOptions());
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.live_generations(), 0);
+  EXPECT_EQ(registry.Lease("web").status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(registry.Add("web", testing_util::MakeFixtureGraph()).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.live_generations(), 1);
+  auto lease = registry.Lease("web");
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ((*lease)->graph().num_nodes(), 10u);
+
+  // Names are validated; duplicates conflict.
+  EXPECT_EQ(registry.Add("web", testing_util::MakeFixtureGraph()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Add("", testing_util::MakeFixtureGraph()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Add("a/b", testing_util::MakeFixtureGraph()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Add(std::string(65, 'x'),
+                         testing_util::MakeFixtureGraph())
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(registry.Add("social", testing_util::MakeFixtureGraph()).ok());
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"social", "web"}));
+
+  // Remove: the name is gone immediately, but the held lease (the
+  // in-flight query shape) stays fully usable.
+  ASSERT_TRUE(registry.Remove("web").ok());
+  EXPECT_EQ(registry.Remove("web").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Lease("web").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.live_generations(), 2) << "lease keeps the gen alive";
+  EXPECT_FALSE(SerialScores((*lease)->graph(), 3).empty());
+  lease->reset();
+  EXPECT_EQ(registry.live_generations(), 1);
+}
+
+TEST(RegistryTest, MaxGraphsEnforced) {
+  RegistryOptions options = FastRegistryOptions();
+  options.max_graphs = 2;
+  GraphRegistry registry(options);
+  ASSERT_TRUE(registry.Add("a", testing_util::MakeFixtureGraph()).ok());
+  ASSERT_TRUE(registry.Add("b", testing_util::MakeFixtureGraph()).ok());
+  EXPECT_EQ(registry.Add("c", testing_util::MakeFixtureGraph()).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(registry.Remove("a").ok());
+  EXPECT_TRUE(registry.Add("c", testing_util::MakeFixtureGraph()).ok());
+}
+
+TEST(RegistryTest, SwapPublishesNewGenerationOldLeaseSurvives) {
+  GraphRegistry registry(FastRegistryOptions());
+  ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
+  auto old_lease = registry.Lease("g");
+  ASSERT_TRUE(old_lease.ok());
+  const uint64_t gen1 = (*old_lease)->id();
+  const std::vector<double> before = SerialScores((*old_lease)->graph(), 3);
+
+  // Stage updates; nothing changes for queries until the swap.
+  std::vector<EdgeUpdate> updates = {{EdgeUpdate::Kind::kInsert, 0, 5},
+                                     {EdgeUpdate::Kind::kInsert, 5, 3}};
+  auto outcome = registry.ApplyUpdates("g", updates);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->applied, 2u);
+  EXPECT_EQ(outcome->pending, 2u);
+  EXPECT_FALSE(outcome->swapped);
+  EXPECT_EQ((*registry.Lease("g"))->id(), gen1);
+
+  auto swap = registry.Swap("g");
+  ASSERT_TRUE(swap.ok());
+  EXPECT_TRUE(swap->swapped);
+  EXPECT_EQ(swap->pending, 0u);
+  auto new_lease = registry.Lease("g");
+  ASSERT_TRUE(new_lease.ok());
+  EXPECT_GT((*new_lease)->id(), gen1);
+  EXPECT_EQ((*new_lease)->graph().num_edges(),
+            (*old_lease)->graph().num_edges() + 2);
+
+  // Old lease: same graph, same bit-identical answers as before the
+  // swap — a hot swap can never invalidate an in-flight query.
+  EXPECT_EQ((*old_lease)->id(), gen1);
+  {
+    QueryRunner runner((*old_lease)->core(), (*old_lease)->workspaces());
+    auto result = runner.Query(3);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->scores, before);
+  }
+  EXPECT_EQ(registry.live_generations(), 2);
+  old_lease->reset();
+  EXPECT_EQ(registry.live_generations(), 1) << "old generation freed";
+
+  auto stats = registry.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->swap_count, 2u);
+  EXPECT_EQ(stats->updates_applied, 2u);
+  EXPECT_EQ(stats->pending_updates, 0u);
+}
+
+TEST(RegistryTest, AutoSwapAtThreshold) {
+  RegistryOptions options = FastRegistryOptions();
+  options.swap_threshold = 3;
+  GraphRegistry registry(options);
+  ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
+  const uint64_t gen1 = (*registry.Lease("g"))->id();
+
+  auto outcome = registry.ApplyUpdates(
+      "g", {{EdgeUpdate::Kind::kInsert, 0, 4},
+            {EdgeUpdate::Kind::kInsert, 0, 5}});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->swapped);
+  EXPECT_EQ(outcome->pending, 2u);
+
+  outcome = registry.ApplyUpdates("g", {{EdgeUpdate::Kind::kInsert, 0, 6}});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->swapped) << "third pending update crosses threshold";
+  EXPECT_EQ(outcome->pending, 0u);
+  EXPECT_GT(outcome->generation, gen1);
+}
+
+TEST(RegistryTest, InvalidUpdateKeepsEarlierOnesAndReports) {
+  GraphRegistry registry(FastRegistryOptions());
+  ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
+  auto outcome = registry.ApplyUpdates(
+      "g", {{EdgeUpdate::Kind::kInsert, 0, 4},
+            {EdgeUpdate::Kind::kDelete, 7, 9},  // Not present.
+            {EdgeUpdate::Kind::kInsert, 0, 5}});
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+  auto stats = registry.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->updates_applied, 1u) << "earlier updates stay applied";
+  EXPECT_EQ(stats->pending_updates, 1u);
+}
+
+// The headline stress: four threads hammer one tenant while the main
+// thread applies edge-update batches and hot swaps. Every observed
+// response must be bit-identical to a fresh single-threaded engine on
+// the generation that served it; afterwards nothing may have leaked.
+TEST(RegistryStress, SwapUnderLoadBitIdentity) {
+  GraphRegistry registry(FastRegistryOptions());
+  Graph base = testing_util::MakeFixtureGraph();
+  const NodeId n = base.num_nodes();
+  ASSERT_TRUE(registry.Add("hot", std::move(base)).ok());
+
+  // Deterministic batch schedule: batch i adds two edges and removes
+  // one edge added by batch i-1, so every update always applies.
+  constexpr int kSwaps = 8;
+  const auto batch_edges = [n](int i) {
+    return std::pair(
+        EdgeUpdate{EdgeUpdate::Kind::kInsert, static_cast<NodeId>((3 * i + 1) % n),
+                   static_cast<NodeId>((7 * i + 2) % n)},
+        EdgeUpdate{EdgeUpdate::Kind::kInsert, static_cast<NodeId>((5 * i + 4) % n),
+                   static_cast<NodeId>((2 * i + 3) % n)});
+  };
+
+  // Shadow replica: reference graph per generation id, built from the
+  // same canonical Snapshot() the registry uses.
+  DynamicGraph replica =
+      DynamicGraph::FromGraph((*registry.Lease("hot"))->graph());
+  std::map<uint64_t, Graph> reference;
+  reference.emplace((*registry.Lease("hot"))->id(),
+                    *replica.Snapshot());
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> queries_served{0};
+  // Per-thread observations: first scores seen per (generation, node),
+  // later hits on the same key must match exactly (checked inline).
+  std::vector<std::map<std::pair<uint64_t, NodeId>, std::vector<double>>>
+      observed(kThreads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      SimPushResult result;
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId u = static_cast<NodeId>((t + i++) % n);
+        auto lease = registry.Lease("hot");
+        if (!lease.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const uint64_t generation = (*lease)->id();
+        QueryRunner runner((*lease)->core(), (*lease)->workspaces());
+        if (!runner.QueryInto(u, &result).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        queries_served.fetch_add(1);
+        const auto key = std::make_pair(generation, u);
+        const auto it = observed[t].find(key);
+        if (it == observed[t].end()) {
+          observed[t].emplace(key, result.scores);
+        } else if (it->second != result.scores) {
+          failures.fetch_add(1);  // Same generation must answer identically.
+        }
+      }
+    });
+  }
+
+  // Interleave updates and swaps with the query storm.
+  for (int i = 0; i < kSwaps; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::vector<EdgeUpdate> batch;
+    const auto [add1, add2] = batch_edges(i);
+    batch.push_back(add1);
+    batch.push_back(add2);
+    if (i > 0) {
+      const auto [prev1, prev2] = batch_edges(i - 1);
+      batch.push_back({EdgeUpdate::Kind::kDelete, prev2.src, prev2.dst});
+      (void)prev1;
+    }
+    auto outcome = registry.ApplyUpdates("hot", batch, /*force_swap=*/true);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->swapped);
+    ASSERT_TRUE(replica.Apply(batch).ok());
+    reference.emplace(outcome->generation, *replica.Snapshot());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(queries_served.load(), static_cast<uint64_t>(kSwaps))
+      << "the storm must overlap the swaps";
+
+  // Bit-identity: every observed response equals a fresh
+  // single-threaded engine on the generation that served it.
+  size_t checked = 0;
+  std::map<uint64_t, std::map<NodeId, std::vector<double>>> serial_cache;
+  for (const auto& per_thread : observed) {
+    for (const auto& [key, scores] : per_thread) {
+      const auto& [generation, u] = key;
+      const auto ref_it = reference.find(generation);
+      ASSERT_NE(ref_it, reference.end())
+          << "response from unknown generation " << generation;
+      auto& cache = serial_cache[generation];
+      if (cache.find(u) == cache.end()) {
+        cache.emplace(u, SerialScores(ref_it->second, u));
+      }
+      EXPECT_EQ(scores, cache[u])
+          << "generation " << generation << " node " << u;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Multiple generations must actually have served queries, or the
+  // race this test exists for never happened.
+  EXPECT_GT(serial_cache.size(), 1u);
+
+  // No generation leaks: every superseded generation died with its
+  // last lease; only the current one remains, with no outstanding
+  // workspace leases.
+  EXPECT_EQ(registry.live_generations(), 1);
+  auto stats = registry.Stats("hot");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pool_outstanding, 0u);
+  EXPECT_EQ(stats->swap_count, static_cast<uint64_t>(kSwaps) + 1);
+}
+
+// The registry hot path (lease + pooled workspace + QueryInto into a
+// warm result) performs zero heap allocations in steady state —
+// verified with the counting operator new/delete in simpush_alloc_hook.
+TEST(RegistryZeroAlloc, LeaseAndQuerySteadyState) {
+  GraphRegistry registry(FastRegistryOptions());
+  ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
+
+  SimPushResult result;
+  for (int warm = 0; warm < 3; ++warm) {
+    auto lease = registry.Lease("g");
+    ASSERT_TRUE(lease.ok());
+    QueryRunner runner((*lease)->core(), (*lease)->workspaces());
+    ASSERT_TRUE(runner.QueryInto(3, &result).ok());
+  }
+  const AllocationStats before = GetAllocationStats();
+  for (int i = 0; i < 10; ++i) {
+    auto lease = registry.Lease("g");
+    ASSERT_TRUE(lease.ok());
+    QueryRunner runner((*lease)->core(), (*lease)->workspaces());
+    ASSERT_TRUE(runner.QueryInto(3, &result).ok());
+  }
+  const AllocationStats after = GetAllocationStats();
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "steady-state registry query path allocated";
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simpush

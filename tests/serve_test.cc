@@ -312,7 +312,8 @@ TEST(ServeSmoke, EightConcurrentClientsBitIdentical) {
   EXPECT_GE(fixture.server().counters().requests,
             static_cast<uint64_t>(kClients * kRequestsPerClient));
   // All leases returned once the dust settles.
-  EXPECT_EQ(fixture.service().executor().workspaces().outstanding(), 0u);
+  EXPECT_EQ(fixture.service().registry().Stats("default")->pool_outstanding,
+            0u);
 }
 
 TEST(ServeSmoke, AdmissionControlSheds503) {
@@ -438,6 +439,266 @@ TEST(ServeSmoke, GracefulShutdownDrainsInFlight) {
   // The listen socket is gone: new connections are refused.
   HttpClient late("127.0.0.1", port);
   EXPECT_FALSE(late.Get("/healthz").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant registry endpoints: /v1/graphs CRUD, edge updates, hot
+// swap — covered end to end over real sockets.
+// ---------------------------------------------------------------------------
+
+// The 6-node ring graph used as the second tenant, as raw edges (kept
+// sorted so the reference GraphBuilder output matches the registry's
+// canonical snapshots byte for byte).
+std::vector<std::pair<NodeId, NodeId>> RingEdges() {
+  return {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}};
+}
+
+std::vector<double> DirectScoresOn(const Graph& graph, NodeId u) {
+  EngineCore core(graph, FastOptions());
+  QueryWorkspace workspace;
+  QueryRunner runner(core, &workspace);
+  auto result = runner.Query(u);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->scores;
+}
+
+TEST(ServeMultiGraph, CreateQuerySwapDeleteEndToEnd) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  // Create a second tenant from inline edges.
+  auto created = client.Post(
+      "/v1/graphs",
+      "{\"name\":\"ring\",\"nodes\":6,"
+      "\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]}");
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status, 201) << created->body;
+  auto created_doc = ParseJson(created->body);
+  ASSERT_TRUE(created_doc.ok());
+  EXPECT_EQ(created_doc->Find("nodes")->AsIndex().value(), 6u);
+  EXPECT_EQ(created_doc->Find("edges")->AsIndex().value(), 6u);
+  const uint64_t generation1 =
+      created_doc->Find("generation")->AsIndex().value();
+
+  // Both tenants are listed.
+  auto list = client.Get("/v1/graphs");
+  ASSERT_TRUE(list.ok());
+  auto list_doc = ParseJson(list->body);
+  ASSERT_TRUE(list_doc.ok());
+  ASSERT_EQ(list_doc->Find("graphs")->array_items().size(), 2u);
+
+  // Queries route by the "graph" field and are bit-identical to a
+  // direct engine on the same graph.
+  Graph ring = testing_util::MakeGraph(6, RingEdges());
+  auto response =
+      client.Post("/v1/query", "{\"node\": 2, \"graph\": \"ring\"}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  EXPECT_EQ(ScoresFromBody(response->body), DirectScoresOn(ring, 2));
+  {
+    auto doc = ParseJson(response->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Find("graph")->string_value(), "ring");
+    EXPECT_EQ(doc->Find("generation")->AsIndex().value(), generation1);
+  }
+  // The default tenant still serves without a "graph" field.
+  EXPECT_EQ(ScoresFromBody(client.Post("/v1/query", "{\"node\": 1}")->body),
+            fixture.DirectScores(1));
+
+  // Stage updates: applied to the master but NOT served until a swap.
+  auto updated = client.Post("/v1/graphs/ring/edges",
+                             "{\"add\":[[2,0],[0,3]],\"remove\":[[5,0]]}");
+  ASSERT_TRUE(updated.ok());
+  ASSERT_EQ(updated->status, 200) << updated->body;
+  auto updated_doc = ParseJson(updated->body);
+  ASSERT_TRUE(updated_doc.ok());
+  EXPECT_EQ(updated_doc->Find("applied")->AsIndex().value(), 3u);
+  EXPECT_EQ(updated_doc->Find("pending")->AsIndex().value(), 3u);
+  EXPECT_FALSE(updated_doc->Find("swapped")->bool_value());
+  EXPECT_EQ(ScoresFromBody(
+                client.Post("/v1/query", "{\"node\":2,\"graph\":\"ring\"}")
+                    ->body),
+            DirectScoresOn(ring, 2))
+      << "pre-swap queries must still serve the old generation";
+
+  // Swap publishes the staged generation; queries now match a direct
+  // engine on the updated graph (canonical snapshot = sorted builder).
+  auto swapped = client.Post("/v1/graphs/ring/swap", "");
+  ASSERT_TRUE(swapped.ok());
+  ASSERT_EQ(swapped->status, 200) << swapped->body;
+  auto swapped_doc = ParseJson(swapped->body);
+  ASSERT_TRUE(swapped_doc.ok());
+  EXPECT_TRUE(swapped_doc->Find("swapped")->bool_value());
+  EXPECT_EQ(swapped_doc->Find("pending")->AsIndex().value(), 0u);
+  EXPECT_GT(swapped_doc->Find("generation")->AsIndex().value(), generation1);
+  Graph ring2 = testing_util::MakeGraph(
+      6, {{0, 1}, {0, 3}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_EQ(ScoresFromBody(
+                client.Post("/v1/query", "{\"node\":2,\"graph\":\"ring\"}")
+                    ->body),
+            DirectScoresOn(ring2, 2));
+
+  // Per-tenant stats section reflects the swap.
+  auto graph_stats = client.Get("/v1/graphs/ring");
+  ASSERT_TRUE(graph_stats.ok());
+  ASSERT_EQ(graph_stats->status, 200);
+  auto stats_doc = ParseJson(graph_stats->body);
+  ASSERT_TRUE(stats_doc.ok());
+  const JsonValue* section = stats_doc->Find("stats");
+  ASSERT_NE(section, nullptr);
+  EXPECT_EQ(section->Find("swap_count")->AsIndex().value(), 2u);
+  EXPECT_EQ(section->Find("edges")->AsIndex().value(), 7u);
+  EXPECT_EQ(section->Find("pending_updates")->AsIndex().value(), 0u);
+
+  // Delete: the tenant vanishes, the default tenant is untouched, and
+  // the name can be reused.
+  auto deleted = client.Request("DELETE", "/v1/graphs/ring");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->status, 200) << deleted->body;
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\":0,\"graph\":\"ring\"}")
+                ->status,
+            404);
+  EXPECT_EQ(client.Get("/v1/graphs/ring")->status, 404);
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 1}")->status, 200);
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"ring\",\"nodes\":2,\"edges\":[[0,1]]}")
+                ->status,
+            201);
+}
+
+TEST(ServeMultiGraph, AdminErrorResponses) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  // Creating over an existing name conflicts.
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"default\",\"nodes\":2,\"edges\":[[0,1]]}")
+                ->status,
+            409);
+  // Bad names, bad bodies.
+  EXPECT_EQ(client.Post("/v1/graphs", "{\"nodes\":2}")->status, 400);
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"a/b\",\"nodes\":2,\"edges\":[]}")
+                ->status,
+            400);
+  EXPECT_EQ(client.Post("/v1/graphs", "{\"name\":\"g\"}")->status, 400);
+  // Inline creates are size-capped: a tiny request must not be able to
+  // command a multi-GB CSR allocation (load big graphs via "path").
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"big\",\"nodes\":4294967295,\"edges\":[]}")
+                ->status,
+            400);  // kInvalidNode sentinel.
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"big\",\"nodes\":2000000,\"edges\":[]}")
+                ->status,
+            413);
+  // Path-based creation is an arbitrary-file-read surface; it is off
+  // unless the operator opted in with --allow-path-create.
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"f\",\"path\":\"/etc/passwd\"}")
+                ->status,
+            403);
+  EXPECT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"g\",\"nodes\":2,\"edges\":[[0]]}")
+                ->status,
+            400);
+  // Unknown tenants: queries and admin ops both 404.
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\":0,\"graph\":\"nope\"}")
+                ->status,
+            404);
+  EXPECT_EQ(client.Post("/v1/topk", "{\"node\":0,\"graph\":\"nope\"}")
+                ->status,
+            404);
+  EXPECT_EQ(
+      client.Post("/v1/batch", "{\"nodes\":[0],\"graph\":\"nope\"}")->status,
+      404);
+  EXPECT_EQ(client.Post("/v1/graphs/nope/swap", "")->status, 404);
+  EXPECT_EQ(client.Post("/v1/graphs/nope/edges", "{\"add\":[[0,1]]}")
+                ->status,
+            404);
+  EXPECT_EQ(client.Request("DELETE", "/v1/graphs/nope")->status, 404);
+  // Known tenant, bad update payloads.
+  EXPECT_EQ(client.Post("/v1/graphs/default/edges", "{}")->status, 400);
+  EXPECT_EQ(client.Post("/v1/graphs/default/edges",
+                        "{\"remove\":[[7,9]]}")  // Edge not present.
+                ->status,
+            400);
+  // Unknown sub-operation and wrong methods.
+  EXPECT_EQ(client.Post("/v1/graphs/default/nope", "{}")->status, 404);
+  EXPECT_EQ(client.Get("/v1/graphs/default/edges")->status, 405);
+  EXPECT_EQ(client.Request("DELETE", "/v1/graphs")->status, 405);
+  // The service survives all of it.
+  EXPECT_EQ(client.Get("/healthz")->status, 200);
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 1}")->status, 200);
+}
+
+// Auto-swap at the configured pending-update threshold, exercised
+// through the handlers directly (no sockets needed).
+TEST(ServeMultiGraph, AutoSwapAtThreshold) {
+  Graph graph = testing_util::MakeFixtureGraph();
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.num_threads = 2;
+  options.swap_threshold = 3;
+  SimPushService service(graph, options);
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/graphs/default/edges";
+  request.body = "{\"add\":[[0,5],[1,6]]}";
+  HttpResponse response = service.HandleGraphOp(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->Find("swapped")->bool_value());
+  EXPECT_EQ(doc->Find("pending")->AsIndex().value(), 2u);
+
+  request.body = "{\"add\":[[2,7]]}";  // Third pending update: swap.
+  response = service.HandleGraphOp(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->Find("swapped")->bool_value());
+  EXPECT_EQ(doc->Find("pending")->AsIndex().value(), 0u);
+
+  // The served graph now has the three extra edges.
+  auto stats = service.registry().Stats("default");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_edges, graph.num_edges() + 3);
+  EXPECT_EQ(stats->swap_count, 2u);
+
+  // An explicit "swap":true forces publication below the threshold.
+  request.body = "{\"add\":[[3,8]],\"swap\":true}";
+  response = service.HandleGraphOp(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->Find("swapped")->bool_value());
+}
+
+// Update-size admission control: oversized edge batches get 413.
+TEST(ServeMultiGraph, OversizedUpdateRejected413) {
+  Graph graph = testing_util::MakeFixtureGraph();
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.num_threads = 2;
+  options.max_update_edges = 4;
+  SimPushService service(graph, options);
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/graphs/default/edges";
+  request.body = "{\"add\":[[0,1],[0,2],[0,3],[0,4],[0,5]]}";
+  EXPECT_EQ(service.HandleGraphOp(request).status, 413);
+  request.body = "{\"add\":[[0,1],[0,2],[0,3],[0,4]]}";
+  EXPECT_EQ(service.HandleGraphOp(request).status, 200);
 }
 
 // The serve hot path — lease a pooled workspace, QueryInto reused

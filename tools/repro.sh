@@ -63,6 +63,21 @@ curl -sf -X POST "http://127.0.0.1:$PORT/v1/batch" \
 echo "== GET /v1/stats"
 curl -sf "http://127.0.0.1:$PORT/v1/stats"
 
+echo "== hot swap: stage edge updates on the live graph, then publish"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/graphs/default/edges" \
+    -d '{"add": [[1, 2], [2, 3]]}'
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/graphs/default/swap"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "top_k": 3}'
+
+echo "== multi-tenant: create a second graph, query it, delete it"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/graphs" \
+    -d '{"name": "toy", "nodes": 3, "edges": [[0, 1], [1, 2], [2, 0]]}'
+curl -sf "http://127.0.0.1:$PORT/v1/graphs"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 0, "graph": "toy", "top_k": 2}'
+curl -sf -X DELETE "http://127.0.0.1:$PORT/v1/graphs/toy"
+
 echo "== graceful drain (SIGTERM; exit 0 after in-flight work finishes)"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"

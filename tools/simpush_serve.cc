@@ -1,25 +1,34 @@
 // simpush_serve — realtime single-source SimRank over HTTP.
 //
-// Loads a graph once, builds one shared EngineCore + QueryExecutor, and
-// serves concurrent queries from pooled workspaces. The paper's whole
-// point is that queries are cheap enough to answer online; this binary
-// is the front end that makes that usable without writing C++.
+// Loads one or more graphs into a GraphRegistry (shared thread pool,
+// per-graph generations of snapshot+core+workspace pool) and serves
+// concurrent queries. Because SimPush is index-free, graphs can be
+// edited and hot-swapped while serving: POST edge updates, swap in a
+// new generation, and in-flight queries finish on the generation they
+// started on.
 //
 // Usage:
-//   simpush_serve --graph web.txt [--port 8080] [--epsilon 0.01]
-//       [--decay 0.6] [--seed 42] [--walk-cap 100000] [--threads 0]
-//       [--pool 0] [--max-batch 4096] [--undirected 1]
-//       [--port-file /tmp/port]
+//   simpush_serve --graph web.txt [--graph social=social.spg ...]
+//       [--port 8080] [--epsilon 0.01] [--decay 0.6] [--seed 42]
+//       [--walk-cap 100000] [--threads 0] [--pool 0] [--max-batch 4096]
+//       [--swap-threshold 0] [--max-graphs 64] [--undirected 1]
+//       [--allow-path-create 1] [--port-file /tmp/port]
+//
+//   --graph is repeatable and takes either a bare path (tenant name
+//   "default") or name=path. The first listed graph is the default
+//   tenant for requests without a "graph" field.
 //
 //   --port 0 picks an ephemeral port (printed on stdout, and written to
 //   --port-file when given — that is how scripts/tests find it).
 //
 // Endpoints (full reference in docs/serving.md):
-//   POST /v1/query   {"node":42,"top_k":10,"with_stats":true}
+//   POST /v1/query   {"node":42,"graph":"web","top_k":10}
 //   POST /v1/topk    {"node":42,"k":10}
 //   POST /v1/batch   {"nodes":[1,2,3],"k":10}
 //   GET  /v1/stats
 //   GET  /healthz
+//   GET/POST /v1/graphs, DELETE /v1/graphs/{name},
+//   POST /v1/graphs/{name}/edges, POST /v1/graphs/{name}/swap
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
 // requests, then exit 0.
@@ -29,8 +38,8 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
-#include "graph/binary_io.h"
 #include "graph/graph_io.h"
 #include "serve/http_server.h"
 #include "serve/service.h"
@@ -39,43 +48,57 @@ namespace {
 
 using namespace simpush;
 
-// Minimal --flag value parser, mirrors simpush_cli.
+// Minimal --flag value parser, mirrors simpush_cli; flags may repeat
+// (GetAll) — the last value wins for the scalar getters.
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; i += 2) {
       if (std::strncmp(argv[i], "--", 2) == 0) {
-        values_[argv[i] + 2] = argv[i + 1];
+        values_.emplace_back(argv[i] + 2, argv[i + 1]);
       }
     }
   }
   std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    std::string value = fallback;
+    for (const auto& [k, v] : values_) {
+      if (k == key) value = v;
+    }
+    return value;
+  }
+  std::vector<std::string> GetAll(const std::string& key) const {
+    std::vector<std::string> all;
+    for (const auto& [k, v] : values_) {
+      if (k == key) all.push_back(v);
+    }
+    return all;
   }
   double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    const std::string value = Get(key, "");
+    return value.empty() ? fallback : std::atof(value.c_str());
   }
   uint64_t GetInt(const std::string& key, uint64_t fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end()
-               ? fallback
-               : std::strtoull(it->second.c_str(), nullptr, 10);
+    const std::string value = Get(key, "");
+    return value.empty() ? fallback
+                         : std::strtoull(value.c_str(), nullptr, 10);
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> values_;
 };
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: simpush_serve --graph F [--port P] [--epsilon E] [--decay C]\n"
-      "    [--delta D] [--seed S] [--walk-cap W] [--threads T] [--pool P]\n"
-      "    [--max-batch B] [--undirected 1] [--port-file F]\n"
-      "  --port 0 (default 8080) binds an ephemeral port; the bound port\n"
-      "  is printed on stdout and written to --port-file when given.\n");
+      "usage: simpush_serve --graph [NAME=]F [--graph NAME=F ...] [--port P]\n"
+      "    [--epsilon E] [--decay C] [--delta D] [--seed S] [--walk-cap W]\n"
+      "    [--threads T] [--pool P] [--max-batch B] [--swap-threshold U]\n"
+      "    [--max-graphs G] [--undirected 1] [--allow-path-create 1]\n"
+      "    [--port-file F]\n"
+      "  --graph repeats; a bare path serves as tenant \"default\", and\n"
+      "  the first listed graph answers requests without a \"graph\"\n"
+      "  field. --port 0 binds an ephemeral port; the bound port is\n"
+      "  printed on stdout and written to --port-file when given.\n");
   return 2;
 }
 
@@ -83,22 +106,24 @@ int Usage() {
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const std::string graph_path = args.Get("graph", "");
-  if (graph_path.empty()) return Usage();
+  const std::vector<std::string> graph_flags = args.GetAll("graph");
+  if (graph_flags.empty()) return Usage();
 
-  StatusOr<Graph> graph = Status::InvalidArgument("unreachable");
-  if (graph_path.size() > 4 &&
-      graph_path.substr(graph_path.size() - 4) == ".spg") {
-    graph = LoadBinaryGraph(graph_path);
-  } else {
-    EdgeListOptions load_options;
-    load_options.undirected = args.GetInt("undirected", 0) != 0;
-    graph = LoadEdgeList(graph_path, load_options);
-  }
-  if (!graph.ok()) {
-    std::fprintf(stderr, "failed to load graph: %s\n",
-                 graph.status().ToString().c_str());
-    return 1;
+  // Parse NAME=PATH entries (a bare PATH is tenant "default"); the
+  // first entry names the default tenant.
+  std::vector<std::pair<std::string, std::string>> graph_specs;
+  for (const std::string& flag : graph_flags) {
+    const size_t eq = flag.find('=');
+    if (eq == std::string::npos) {
+      graph_specs.emplace_back("default", flag);
+    } else {
+      graph_specs.emplace_back(flag.substr(0, eq), flag.substr(eq + 1));
+    }
+    if (graph_specs.back().first.empty() ||
+        graph_specs.back().second.empty()) {
+      std::fprintf(stderr, "bad --graph spec \"%s\"\n", flag.c_str());
+      return Usage();
+    }
   }
 
   serve::ServiceOptions service_options;
@@ -110,21 +135,37 @@ int main(int argc, char** argv) {
   service_options.num_threads = args.GetInt("threads", 0);
   service_options.pool_capacity = args.GetInt("pool", 0);
   service_options.max_batch_nodes = args.GetInt("max-batch", 4096);
+  service_options.swap_threshold = args.GetInt("swap-threshold", 0);
+  service_options.max_graphs = args.GetInt("max-graphs", 64);
+  service_options.allow_path_create = args.GetInt("allow-path-create", 0) != 0;
+  service_options.default_graph = graph_specs.front().first;
 
   serve::HttpServerOptions server_options;
   server_options.port = static_cast<uint16_t>(args.GetInt("port", 8080));
   server_options.num_workers = args.GetInt("http-workers", 0);
   server_options.max_queued_connections = args.GetInt("max-queued", 64);
 
-  serve::SimPushService service(*graph, service_options);
-  // Surface invalid engine options now, not as a 400 on every query
-  // after /healthz already reported the server healthy.
-  const Status options_status = service.executor().core().options_status();
-  if (!options_status.ok()) {
-    std::fprintf(stderr, "invalid engine options: %s\n",
-                 options_status.ToString().c_str());
-    return 1;
+  serve::SimPushService service(service_options);
+  EdgeListOptions load_options;
+  load_options.undirected = args.GetInt("undirected", 0) != 0;
+  for (const auto& [name, path] : graph_specs) {
+    StatusOr<Graph> graph = LoadGraphAnyFormat(path, load_options);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "failed to load graph %s from %s: %s\n",
+                   name.c_str(), path.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    // Surfaces invalid engine options / duplicate names now, not as an
+    // error on every query after /healthz already reported healthy.
+    const Status added = service.AddGraph(name, *std::move(graph));
+    if (!added.ok()) {
+      std::fprintf(stderr, "failed to register graph %s: %s\n", name.c_str(),
+                   added.ToString().c_str());
+      return 1;
+    }
   }
+
   serve::HttpServer server(server_options);
   service.RegisterRoutes(&server);
 
@@ -136,13 +177,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("simpush_serve listening on port %u (n=%u, m=%llu, "
-              "epsilon=%g, threads=%zu, pool=%zu)\n",
-              server.port(), graph->num_nodes(),
-              static_cast<unsigned long long>(graph->num_edges()),
+  std::printf("simpush_serve listening on port %u (graphs=%zu, "
+              "default=%s, epsilon=%g, threads=%zu)\n",
+              server.port(), service.registry().size(),
+              service_options.default_graph.c_str(),
               service_options.query.epsilon,
-              service.executor().num_threads(),
-              service.executor().workspaces().capacity());
+              service.registry().num_threads());
+  for (const auto& [name, path] : graph_specs) {
+    const auto stats = service.registry().Stats(name);
+    if (stats.ok()) {
+      std::printf("  graph %s: n=%u m=%llu (generation %llu) from %s\n",
+                  name.c_str(), stats->num_nodes,
+                  static_cast<unsigned long long>(stats->num_edges),
+                  static_cast<unsigned long long>(stats->generation),
+                  path.c_str());
+    }
+  }
   std::fflush(stdout);
 
   const std::string port_file = args.Get("port-file", "");
