@@ -57,6 +57,16 @@ const JsonValue* JsonValue::Find(std::string_view key) const {
   return nullptr;
 }
 
+StatusOr<double> JsonValue::AsDouble() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("expected a number");
+  }
+  if (!std::isfinite(number_)) {
+    return Status::InvalidArgument("expected a finite number");
+  }
+  return number_;
+}
+
 StatusOr<uint64_t> JsonValue::AsIndex() const {
   if (kind_ != Kind::kNumber) {
     return Status::InvalidArgument("expected a number");

@@ -73,6 +73,13 @@ class JsonValue {
   /// and in [0, 2^53).
   StatusOr<uint64_t> AsIndex() const;
 
+  /// Returns the value as a finite double (ε/c/δ option fields). The
+  /// parser already refuses NaN/Infinity literals and overflowing
+  /// numbers, so the finiteness check is defense in depth — engine
+  /// options must never see a non-finite value no matter how a
+  /// document was constructed.
+  StatusOr<double> AsDouble() const;
+
  private:
   Kind kind_ = Kind::kNull;
   bool bool_ = false;

@@ -36,44 +36,58 @@ GraphRegistry::GraphRegistry(const RegistryOptions& options)
       thread_pool_(options.num_threads),
       live_generations_(std::make_shared<std::atomic<int64_t>>(0)) {}
 
-GenerationLease GraphRegistry::BuildGeneration(Graph graph) {
+GenerationLease GraphRegistry::BuildGeneration(
+    Graph graph, const SimPushOptions& options) {
   const size_t capacity = options_.pool_capacity != 0
                               ? options_.pool_capacity
                               : thread_pool_.num_threads();
   return std::make_shared<const GraphGeneration>(
-      next_generation_id_.fetch_add(1), std::move(graph), options_.query,
+      next_generation_id_.fetch_add(1), std::move(graph), options,
       capacity, live_generations_);
 }
 
 Status GraphRegistry::Add(const std::string& name, Graph graph) {
+  return Add(name, std::move(graph), options_.query);
+}
+
+Status GraphRegistry::Add(const std::string& name, Graph graph,
+                          const SimPushOptions& options) {
   if (!IsValidGraphName(name)) {
     return Status::InvalidArgument(
         "graph name must be 1-64 chars of [A-Za-z0-9._-]");
   }
+  // Reject bad options before the O(n+m) bundle build; the core
+  // repeats the check, but failing early keeps Add cheap on bad input.
+  SIMPUSH_RETURN_NOT_OK(options.Validate());
   // Build the full bundle before touching the map, so a validation
   // failure (or a long CSR copy) never holds map_mu_.
-  GenerationLease generation = BuildGeneration(std::move(graph));
+  GenerationLease generation = BuildGeneration(std::move(graph), options);
   const Status& options_status = generation->core().options_status();
   if (!options_status.ok()) return options_status;
 
   auto tenant = std::make_shared<Tenant>();
   tenant->master = DynamicGraph::FromGraph(generation->graph());
+  tenant->options = options;
+  tenant->options_generation = generation->id();
   tenant->swap_count.store(1);
   tenant->master_edges.store(tenant->master.num_edges());
   tenant->current = std::move(generation);
 
+  // Rejections return with `tenant` still owned locally: it was
+  // constructed before the lock_guard, so the guard unlocks first and
+  // the O(n+m) bundle (graph + core + pool) is freed OUTSIDE map_mu_ —
+  // a losing duplicate create must not stall every tenant's Lease()
+  // for the duration of a large deallocation.
   std::lock_guard<std::mutex> lock(map_mu_);
-  if (tenants_.size() >= options_.max_graphs &&
-      tenants_.find(name) == tenants_.end()) {
-    return Status::OutOfRange("graph limit reached (" +
-                              std::to_string(options_.max_graphs) + ")");
-  }
-  const auto [it, inserted] = tenants_.emplace(name, std::move(tenant));
-  (void)it;
-  if (!inserted) {
+  if (tenants_.find(name) != tenants_.end()) {
     return Status::FailedPrecondition("graph \"" + name +
                                       "\" already exists");
   }
+  if (tenants_.size() >= options_.max_graphs) {
+    return Status::OutOfRange("graph limit reached (" +
+                              std::to_string(options_.max_graphs) + ")");
+  }
+  tenants_.emplace(name, std::move(tenant));
   return Status::OK();
 }
 
@@ -118,7 +132,10 @@ StatusOr<GenerationLease> GraphRegistry::Lease(std::string_view name) const {
 Status GraphRegistry::RebuildLocked(Tenant* tenant) {
   StatusOr<Graph> snapshot = tenant->master.Snapshot();
   if (!snapshot.ok()) return snapshot.status();
-  GenerationLease next = BuildGeneration(*std::move(snapshot));
+  // The tenant's own options, not the registry default — a hot swap
+  // must never silently reset a tenant's ε/c/δ/seed.
+  GenerationLease next = BuildGeneration(*std::move(snapshot),
+                                         tenant->options);
   SIMPUSH_RETURN_NOT_OK(next->core().options_status());
   tenant->pending.store(0);
   tenant->swap_count.fetch_add(1);
@@ -196,6 +213,8 @@ StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
   // Atomic gauges, not update_mu: a stats scrape must never wait out a
   // rebuild holding the lock across its O(m) snapshot.
   TenantStats stats;
+  stats.options = tenant->options;
+  stats.options_generation = tenant->options_generation;
   stats.pending_updates = tenant->pending.load();
   stats.updates_applied = tenant->updates_applied.load();
   stats.swap_count = tenant->swap_count.load();

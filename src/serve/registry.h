@@ -59,7 +59,10 @@ namespace serve {
 
 /// Configuration for a GraphRegistry.
 struct RegistryOptions {
-  /// Engine knobs (ε, c, δ, seed, walk cap) shared by every tenant.
+  /// Default engine knobs (ε, c, δ, seed, walk cap) for tenants added
+  /// without per-tenant options. Each tenant may override them at Add
+  /// time; the tenant's options then apply to every generation it
+  /// publishes (hot swaps preserve them).
   SimPushOptions query;
   /// Worker threads in the shared batch fan-out pool (0 = hardware).
   size_t num_threads = 0;
@@ -115,6 +118,12 @@ using GenerationLease = std::shared_ptr<const GraphGeneration>;
 /// Point-in-time view of one tenant for /v1/stats.
 struct TenantStats {
   uint64_t generation = 0;        ///< Current generation id.
+  /// The engine options every generation of this tenant is built from
+  /// — the tenant's own ε/c/δ/seed, NOT the registry-wide default.
+  SimPushOptions options;
+  /// Generation id in which `options` took effect (the tenant's first
+  /// generation; options are fixed for a tenant's lifetime).
+  uint64_t options_generation = 0;
   uint64_t pending_updates = 0;   ///< Master edits not yet snapshotted.
   uint64_t updates_applied = 0;   ///< Lifetime accepted edge updates.
   uint64_t swap_count = 0;        ///< Generations published (incl. first).
@@ -143,11 +152,21 @@ class GraphRegistry {
  public:
   explicit GraphRegistry(const RegistryOptions& options);
 
-  /// Registers `name` serving `graph` (generation 1 for that tenant).
+  /// Registers `name` serving `graph` (generation 1 for that tenant)
+  /// with the registry-default engine options (options().query).
   /// Fails with FailedPrecondition when the name is taken, Invalid-
   /// Argument for a bad name or invalid engine options, OutOfRange at
   /// the max_graphs cap.
   Status Add(const std::string& name, Graph graph);
+
+  /// Same, but the tenant runs with its own engine options: every
+  /// generation it publishes — including hot swaps — builds its
+  /// EngineCore from `options`, so two tenants can serve the same
+  /// graph at different ε/c/δ/seed. Options are validated here
+  /// (InvalidArgument names the bad field) and are immutable for the
+  /// tenant's lifetime.
+  Status Add(const std::string& name, Graph graph,
+             const SimPushOptions& options);
 
   /// Unregisters `name`. The current generation dies once its last
   /// in-flight lease drops; leases already handed out stay valid.
@@ -194,6 +213,11 @@ class GraphRegistry {
     // Never held while executing queries; Lease() does not take it.
     std::mutex update_mu;
     DynamicGraph master;
+    // The tenant's engine options and the generation they first
+    // applied in. Written once in Add() before the tenant is published
+    // to the map (the map mutex orders the writes), immutable after.
+    SimPushOptions options;
+    uint64_t options_generation = 0;
     // Gauges mirrored as atomics (written under update_mu, read
     // anywhere) so Stats() never waits out a rebuild, which holds
     // update_mu across the whole O(m) snapshot.
@@ -212,8 +236,9 @@ class GraphRegistry {
     }
   };
 
-  // Builds a generation bundle around `graph` (outside any lock).
-  GenerationLease BuildGeneration(Graph graph);
+  // Builds a generation bundle around `graph` with the given engine
+  // options (outside any lock).
+  GenerationLease BuildGeneration(Graph graph, const SimPushOptions& options);
   // Snapshots tenant->master and publishes the result. Caller holds
   // tenant->update_mu.
   Status RebuildLocked(Tenant* tenant);

@@ -12,6 +12,7 @@
 #include "graph/graph_io.h"
 #include "serve/json.h"
 #include "simpush/parallel.h"
+#include "simpush/workspace.h"
 
 namespace simpush {
 namespace serve {
@@ -159,6 +160,181 @@ Status ReadEdgePairs(const JsonValue& field, EdgeUpdate::Kind kind,
   return Status::OK();
 }
 
+// The ε cost floor shared by the per-request override and the tenant
+// "options" of POST /v1/graphs. Written fail-closed — `!(value >=
+// floor)` — so an embedder that misconfigures min_request_epsilon as
+// NaN rejects every network-supplied ε instead of accepting all of
+// them (NaN makes `value < floor` false for every value).
+Status CheckEpsilonFloor(double value, double min_epsilon,
+                         std::string_view field) {
+  if (!(value >= min_epsilon)) {
+    JsonWriter number;  // Shortest round-trip form for the message.
+    number.Double(min_epsilon);
+    return Status::InvalidArgument(
+        "\"" + std::string(field) +
+        "\" below the server's floor (min_request_epsilon=" +
+        number.Take() + ")");
+  }
+  return Status::OK();
+}
+
+// Reads the optional per-request "epsilon" override for /v1/query and
+// /v1/topk. Absent → *has_override stays false. Present → must be a
+// finite number in (0,1) and at least `min_epsilon` (the override is
+// network-controlled, and query cost explodes as ε shrinks); any
+// violation is an error naming the field, so it surfaces as a 400 at
+// the HTTP boundary rather than a per-query engine error.
+Status ReadEpsilonOverride(const JsonValue& doc, double min_epsilon,
+                           bool* has_override, double* epsilon) {
+  *has_override = false;
+  const JsonValue* field = doc.Find("epsilon");
+  if (field == nullptr) return Status::OK();
+  auto value = field->AsDouble();
+  if (!value.ok()) {
+    return Status::InvalidArgument("\"epsilon\": " +
+                                   value.status().message());
+  }
+  if (!(*value > 0.0 && *value < 1.0)) {
+    return Status::InvalidArgument("\"epsilon\" must be in (0,1)");
+  }
+  SIMPUSH_RETURN_NOT_OK(CheckEpsilonFloor(*value, min_epsilon, "epsilon"));
+  *has_override = true;
+  *epsilon = *value;
+  return Status::OK();
+}
+
+// Parses the optional "options" object of POST /v1/graphs into
+// `options` (fields not named keep their process-default values).
+// Unknown keys are rejected — an engine knob typo must not silently
+// fall back to the defaults — and the merged result runs through
+// SimPushOptions::Validate so a bad or non-finite ε/c/δ is a 400
+// naming the field here, not an engine error on every later query.
+// These options arrive FROM THE NETWORK, so every knob that can buy
+// CPU is bounded against the operator configuration: ε is floored at
+// `min_epsilon`; a client-supplied walk_budget_cap may only LOWER the
+// walk budget relative to the operator default — 0 (= the paper's
+// uncapped worst-case formula, billions of walks at small ε) and cap
+// raises are refused; decay may not be RAISED above the operator
+// default, because walk length (~1/(1-√c)) and L* both diverge as
+// c → 1 and the walk cap bounds neither; and delta may not be LOWERED
+// below the operator default, because num_walks grows with log(1/δ)
+// and is unbounded when the operator runs uncapped. Moving any of
+// these in the expensive direction is operator-only (CLI / AddGraph).
+// Tenants that omit a field inherit whatever the operator configured.
+Status ReadTenantOptions(const JsonValue& doc, double min_epsilon,
+                         SimPushOptions* options) {
+  const JsonValue* field = doc.Find("options");
+  if (field == nullptr) return Status::OK();
+  if (!field->is_object()) {
+    return Status::InvalidArgument("\"options\" must be an object");
+  }
+  const uint64_t default_walk_cap = options->walk_budget_cap;
+  const double default_decay = options->decay;
+  const double default_delta = options->delta;
+  bool epsilon_given = false;
+  bool decay_given = false;
+  bool delta_given = false;
+  bool walk_cap_given = false;
+  for (const auto& [key, value] : field->object_members()) {
+    if (key == "epsilon" || key == "decay" || key == "delta") {
+      auto number = value.AsDouble();
+      if (!number.ok()) {
+        return Status::InvalidArgument("\"options." + key +
+                                       "\": " + number.status().message());
+      }
+      if (key == "epsilon") {
+        options->epsilon = *number;
+        epsilon_given = true;
+      } else if (key == "decay") {
+        options->decay = *number;
+        decay_given = true;
+      } else {
+        options->delta = *number;
+        delta_given = true;
+      }
+    } else if (key == "seed" || key == "walk_budget_cap") {
+      auto number = value.AsIndex();
+      if (!number.ok()) {
+        return Status::InvalidArgument("\"options." + key +
+                                       "\": " + number.status().message());
+      }
+      if (key == "seed") {
+        options->seed = *number;
+      } else {
+        options->walk_budget_cap = *number;
+        walk_cap_given = true;
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown option \"" + key +
+          "\" (expected epsilon|decay|delta|seed|walk_budget_cap)");
+    }
+  }
+  const Status valid = options->Validate();
+  if (!valid.ok()) {
+    return Status::InvalidArgument("\"options\": " + valid.message());
+  }
+  if (epsilon_given) {
+    SIMPUSH_RETURN_NOT_OK(
+        CheckEpsilonFloor(options->epsilon, min_epsilon, "options.epsilon"));
+  }
+  if (decay_given && options->decay > default_decay) {
+    JsonWriter number;
+    number.Double(default_decay);
+    return Status::InvalidArgument(
+        "\"options.decay\" above the server default (" + number.Take() +
+        "); raising the decay is operator-only");
+  }
+  if (delta_given && options->delta < default_delta) {
+    JsonWriter number;
+    number.Double(default_delta);
+    return Status::InvalidArgument(
+        "\"options.delta\" below the server default (" + number.Take() +
+        "); lowering the delta is operator-only");
+  }
+  if (walk_cap_given) {
+    if (options->walk_budget_cap == 0) {
+      return Status::InvalidArgument(
+          "\"options.walk_budget_cap\" must be positive (0 = uncapped is "
+          "operator-only)");
+    }
+    if (default_walk_cap != 0 &&
+        options->walk_budget_cap > default_walk_cap) {
+      return Status::InvalidArgument(
+          "\"options.walk_budget_cap\" above the server default (" +
+          std::to_string(default_walk_cap) +
+          "); raising the cap is operator-only");
+    }
+  }
+  return Status::OK();
+}
+
+// Writes the epsilon/decay/delta/seed/walk_budget_cap members into the
+// writer's currently-open object — the one field list shared by the
+// process-default and per-tenant options sections of /v1/stats, so the
+// two shapes cannot drift.
+void WriteEngineOptionFields(JsonWriter* writer,
+                             const SimPushOptions& options) {
+  writer->Key("epsilon");
+  writer->Double(options.epsilon);
+  writer->Key("decay");
+  writer->Double(options.decay);
+  writer->Key("delta");
+  writer->Double(options.delta);
+  writer->Key("seed");
+  writer->Uint(options.seed);
+  writer->Key("walk_budget_cap");
+  writer->Uint(options.walk_budget_cap);
+}
+
+// The same fields as a complete object (per-tenant sections, the
+// graph-create echo).
+void WriteEngineOptions(JsonWriter* writer, const SimPushOptions& options) {
+  writer->BeginObject();
+  WriteEngineOptionFields(writer, options);
+  writer->EndObject();
+}
+
 RegistryOptions ToRegistryOptions(const ServiceOptions& options) {
   RegistryOptions registry_options;
   registry_options.query = options.query;
@@ -181,9 +357,21 @@ SimPushService::SimPushService(const Graph& graph,
     : SimPushService(options) {
   // Compatibility shape: one tenant under the default name. A copy is
   // taken so the registry owns its master/generation lifecycle. A
-  // rejection (bad options / bad default name) surfaces as NotFound on
-  // every query; tools validate AddGraph status up front instead.
-  (void)AddGraph(options_.default_graph, graph);
+  // rejection (bad options / bad default name) is RECORDED, not
+  // swallowed: /healthz turns 503 and /v1/stats carries the error
+  // until a later AddGraph installs the default graph. Tools should
+  // additionally check AddGraph up front and exit non-zero, as
+  // simpush_serve does.
+  const Status added = AddGraph(options_.default_graph, graph);
+  if (!added.ok()) {
+    std::lock_guard<std::mutex> lock(startup_mu_);
+    startup_status_ = added;
+  }
+}
+
+Status SimPushService::startup_status() const {
+  std::lock_guard<std::mutex> lock(startup_mu_);
+  return startup_status_;
 }
 
 // The metrics map must track the registry under concurrent add/remove
@@ -195,10 +383,24 @@ SimPushService::SimPushService(const Graph& graph,
 // never be deleted out from under the new graph, and a re-added graph
 // can never inherit the old graph's counters.
 Status SimPushService::AddGraph(const std::string& name, Graph graph) {
-  SIMPUSH_RETURN_NOT_OK(registry_.Add(name, std::move(graph)));
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  tenant_metrics_.insert_or_assign(
-      name, std::make_shared<TenantMetrics>(options_.latency_ring_size));
+  return AddGraph(name, std::move(graph), options_.query);
+}
+
+Status SimPushService::AddGraph(const std::string& name, Graph graph,
+                                const SimPushOptions& tenant_options) {
+  SIMPUSH_RETURN_NOT_OK(registry_.Add(name, std::move(graph),
+                                      tenant_options));
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    tenant_metrics_.insert_or_assign(
+        name, std::make_shared<TenantMetrics>(options_.latency_ring_size));
+  }
+  if (name == options_.default_graph) {
+    // The default graph is installed: a startup failure (if any) is no
+    // longer the serving truth, so /healthz may recover.
+    std::lock_guard<std::mutex> lock(startup_mu_);
+    startup_status_ = Status::OK();
+  }
   return Status::OK();
 }
 
@@ -253,6 +455,41 @@ Status SimPushService::RunOnGeneration(const GraphGeneration& generation,
   const Status status = runner.QueryInto(u, result);
   AccumulateEngineTotals(runner.totals());
   return status;
+}
+
+Status SimPushService::RunWithEpsilonOverride(
+    const GraphGeneration& generation, NodeId u, double epsilon,
+    SimPushResult* result) {
+  // The AdaptiveTopK per-round-core pattern: derived parameters are
+  // cheap to recompute, so an override query builds a throwaway core
+  // for its ε over the leased generation's graph. It deliberately does
+  // NOT touch the generation's workspace pool — a private workspace
+  // keeps override traffic from competing for (or resizing) the pooled
+  // scratch that serves the tenant's configured-ε hot path.
+  SimPushOptions round_options = generation.core().options();
+  round_options.epsilon = epsilon;
+  EngineCore core(generation.graph(), round_options);
+  SIMPUSH_RETURN_NOT_OK(core.options_status());
+  QueryWorkspace workspace;
+  QueryRunner runner(core, &workspace);
+  const Status status = runner.QueryInto(u, result);
+  AccumulateEngineTotals(runner.totals());
+  return status;
+}
+
+StatusOr<double> SimPushService::RunQueryRequest(
+    const JsonValue& doc, const GraphGeneration& generation, NodeId u,
+    SimPushResult* result) {
+  bool has_override = false;
+  double override_epsilon = 0.0;
+  SIMPUSH_RETURN_NOT_OK(ReadEpsilonOverride(
+      doc, options_.min_request_epsilon, &has_override, &override_epsilon));
+  SIMPUSH_RETURN_NOT_OK(
+      has_override
+          ? RunWithEpsilonOverride(generation, u, override_epsilon, result)
+          : RunOnGeneration(generation, u, result));
+  return has_override ? override_epsilon
+                      : generation.core().options().epsilon;
 }
 
 Status SimPushService::RunQuery(std::string_view graph_name, NodeId u,
@@ -322,15 +559,16 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   if (const JsonValue* field = doc->Find("with_stats")) {
     with_stats = field->is_bool() && field->bool_value();
   }
-
   // Reused per HTTP worker thread: after warm-up the query path below
   // performs zero heap allocations (see serve_test's alloc-hook check).
+  // Override requests run off this hot path by design (fresh core +
+  // private workspace) and may allocate.
   static thread_local SimPushResult result;
-  const Status status =
-      RunOnGeneration(**lease, static_cast<NodeId>(*node), &result);
-  if (!status.ok()) {
+  const StatusOr<double> effective_epsilon =
+      RunQueryRequest(*doc, **lease, static_cast<NodeId>(*node), &result);
+  if (!effective_epsilon.ok()) {
     bad_requests_.fetch_add(1);
-    return JsonError(400, status.ToString());
+    return JsonError(400, effective_epsilon.status().message());
   }
   query_requests_.fetch_add(1);
   nodes_scored_.fetch_add(1);
@@ -348,8 +586,10 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   writer.String(graph_name);
   writer.Key("generation");
   writer.Uint((*lease)->id());
+  // The ε that actually produced these scores: request override >
+  // tenant options (never the process-wide default).
   writer.Key("epsilon");
-  writer.Double(options_.query.epsilon);
+  writer.Double(*effective_epsilon);
   if (*top_k > 0) {
     writer.Key("top");
     WriteTopEntries(&writer, result.scores, *top_k,
@@ -406,11 +646,11 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
   // the identical entries (self and zero scores excluded, ties to the
   // smaller id).
   static thread_local SimPushResult result;
-  const Status status =
-      RunOnGeneration(**lease, static_cast<NodeId>(*node), &result);
-  if (!status.ok()) {
+  const StatusOr<double> effective_epsilon =
+      RunQueryRequest(*doc, **lease, static_cast<NodeId>(*node), &result);
+  if (!effective_epsilon.ok()) {
     bad_requests_.fetch_add(1);
-    return JsonError(400, status.ToString());
+    return JsonError(400, effective_epsilon.status().message());
   }
   topk_requests_.fetch_add(1);
   nodes_scored_.fetch_add(1);
@@ -428,6 +668,8 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
   writer.String(graph_name);
   writer.Key("generation");
   writer.Uint((*lease)->id());
+  writer.Key("epsilon");
+  writer.Double(*effective_epsilon);
   writer.Key("k");
   writer.Uint(*k);
   writer.Key("top");
@@ -552,6 +794,12 @@ void SimPushService::WriteTenantSection(JsonWriter* writer,
   if (stats.ok()) {
     writer->Key("generation");
     writer->Uint(stats->generation);
+    // THIS tenant's effective engine options (not the process-wide
+    // defaults) and the generation they took effect in.
+    writer->Key("options");
+    WriteEngineOptions(writer, stats->options);
+    writer->Key("options_generation");
+    writer->Uint(stats->options_generation);
     writer->Key("swap_count");
     writer->Uint(stats->swap_count);
     writer->Key("pending_updates");
@@ -600,21 +848,22 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
     writer.EndObject();
     WritePoolGauges(&writer, *stats);
   }
+  // Process-wide DEFAULTS for tenants created without "options" — each
+  // tenant's effective knobs live in its own section under "graphs".
   writer.Key("options");
   writer.BeginObject();
-  writer.Key("epsilon");
-  writer.Double(options_.query.epsilon);
-  writer.Key("decay");
-  writer.Double(options_.query.decay);
-  writer.Key("delta");
-  writer.Double(options_.query.delta);
-  writer.Key("seed");
-  writer.Uint(options_.query.seed);
+  WriteEngineOptionFields(&writer, options_.query);
+  writer.Key("min_request_epsilon");
+  writer.Double(options_.min_request_epsilon);
   writer.Key("swap_threshold");
   writer.Uint(options_.swap_threshold);
   writer.Key("default_graph");
   writer.String(options_.default_graph);
   writer.EndObject();
+  if (const Status startup = startup_status(); !startup.ok()) {
+    writer.Key("startup_error");
+    writer.String(startup.ToString());
+  }
   writer.Key("requests");
   writer.BeginObject();
   writer.Key("query");
@@ -685,6 +934,23 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
 }
 
 HttpResponse SimPushService::HandleHealth(const HttpRequest&) {
+  // A failed default-graph install must fail the liveness probe: a
+  // server whose configured graph never loaded should be restarted (or
+  // repaired over /v1/graphs), not kept in a load balancer rotation.
+  if (const Status startup = startup_status(); !startup.ok()) {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("status");
+    writer.String("unavailable");
+    writer.Key("error");
+    writer.String(startup.ToString());
+    writer.EndObject();
+    HttpResponse response;
+    response.status = 503;
+    response.body = writer.Take();
+    response.body.push_back('\n');
+    return response;
+  }
   HttpResponse response;
   response.body = "{\"status\":\"ok\"}\n";
   return response;
@@ -743,6 +1009,15 @@ HttpResponse SimPushService::HandleGraphCreate(const HttpRequest& request) {
     bad_requests_.fetch_add(1);
     return JsonError(400, "graph name must be 1-64 chars of [A-Za-z0-9._-]");
   }
+  // Per-tenant engine options: unspecified fields inherit the process
+  // defaults; validation failures 400 before any graph is built.
+  SimPushOptions tenant_options = options_.query;
+  if (const Status parsed = ReadTenantOptions(
+          *doc, options_.min_request_epsilon, &tenant_options);
+      !parsed.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, parsed.message());
+  }
 
   const JsonValue* path_field = doc->Find("path");
   const JsonValue* edges_field = doc->Find("edges");
@@ -789,7 +1064,7 @@ HttpResponse SimPushService::HandleGraphCreate(const HttpRequest& request) {
     return JsonError(400, graph.status().ToString());
   }
 
-  const Status added = AddGraph(name, *std::move(graph));
+  const Status added = AddGraph(name, *std::move(graph), tenant_options);
   if (!added.ok()) {
     bad_requests_.fetch_add(1);
     return JsonError(added);
@@ -808,6 +1083,10 @@ HttpResponse SimPushService::HandleGraphCreate(const HttpRequest& request) {
     writer.Key("edges");
     writer.Uint(stats->num_edges);
   }
+  // Echo the effective engine options so a client can confirm what the
+  // tenant will actually run with (defaults merged in).
+  writer.Key("options");
+  WriteEngineOptions(&writer, tenant_options);
   writer.EndObject();
 
   HttpResponse response;

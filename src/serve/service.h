@@ -62,8 +62,24 @@ namespace serve {
 
 /// Configuration for a SimPushService.
 struct ServiceOptions {
-  /// Engine knobs (ε, c, δ, seed, walk cap) shared by every request.
+  /// Process-default engine knobs (ε, c, δ, seed, walk cap). Tenants
+  /// created without an "options" object inherit these; a tenant's own
+  /// options (AddGraph overload / POST /v1/graphs "options") take
+  /// precedence, and a per-request "epsilon" override beats both. See
+  /// docs/serving.md for the precedence table.
   SimPushOptions query;
+  /// Lower bound for every NETWORK-supplied ε: the per-request
+  /// "epsilon" override on /v1/query|/v1/topk and the per-tenant
+  /// "options.epsilon" of POST /v1/graphs (which any client can call).
+  /// Query cost grows rapidly as ε shrinks, so an unbounded value
+  /// would let any client buy an arbitrarily expensive query; values
+  /// below the floor get a 400. Operator-set options (CLI flags,
+  /// AddGraph calls) are NOT subject to this floor. The check is
+  /// fail-closed: a non-sensical floor (NaN from a misparsed embedder
+  /// config) rejects every network-supplied ε rather than accepting
+  /// all of them; simpush_serve additionally validates the flag at
+  /// startup.
+  double min_request_epsilon = 1e-3;
   /// Worker threads for /v1/batch fan-out (0 = hardware concurrency),
   /// shared across all graphs.
   size_t num_threads = 0;
@@ -112,12 +128,29 @@ class SimPushService {
   explicit SimPushService(const ServiceOptions& options);
 
   /// Single-graph compatibility shape: registers a copy of `graph` as
-  /// options.default_graph.
+  /// options.default_graph. A failure to install the default graph
+  /// (invalid engine options, bad default name) is recorded and
+  /// surfaced by /healthz (503) and /v1/stats ("startup_error") — see
+  /// startup_status(). Tools should still check AddGraph directly and
+  /// exit non-zero, as simpush_serve does.
   SimPushService(const Graph& graph, const ServiceOptions& options);
 
-  /// Registers `graph` under `name`. Same error contract as
-  /// GraphRegistry::Add; validates engine options up front.
+  /// Registers `graph` under `name` with the process-default engine
+  /// options. Same error contract as GraphRegistry::Add; validates
+  /// engine options up front.
   Status AddGraph(const std::string& name, Graph graph);
+
+  /// Registers `graph` under `name` with per-tenant engine options:
+  /// every generation of this tenant — including hot swaps — runs with
+  /// `tenant_options`, independent of other tenants and of the process
+  /// defaults.
+  Status AddGraph(const std::string& name, Graph graph,
+                  const SimPushOptions& tenant_options);
+
+  /// Not-OK when installing the startup (default) graph failed and no
+  /// later AddGraph has installed it. /healthz reports 503 while this
+  /// is not OK.
+  Status startup_status() const;
 
   /// Unregisters `name`; in-flight queries on it finish unharmed.
   Status RemoveGraph(std::string_view name);
@@ -187,6 +220,21 @@ class SimPushService {
   /// and the query/topk handlers (which already hold a lease).
   Status RunOnGeneration(const GraphGeneration& generation, NodeId u,
                          SimPushResult* result);
+  /// One query on `generation`'s graph with the tenant's options but a
+  /// per-request ε. Uses a fresh core + private workspace (the
+  /// AdaptiveTopK per-round-core pattern), so the tenant's pooled
+  /// workspaces — and the bit-reproducibility of its non-override
+  /// traffic — are untouched.
+  Status RunWithEpsilonOverride(const GraphGeneration& generation, NodeId u,
+                                double epsilon, SimPushResult* result);
+  /// Shared body of the query/topk handlers: reads the optional
+  /// bounded "epsilon" override from `doc`, runs the query on the
+  /// pooled hot path (no override) or the fresh-core override path,
+  /// and returns the ε that actually produced `result` (override >
+  /// tenant). Any error maps to a 400 in the caller.
+  StatusOr<double> RunQueryRequest(const JsonValue& doc,
+                                   const GraphGeneration& generation,
+                                   NodeId u, SimPushResult* result);
   std::shared_ptr<TenantMetrics> FindMetrics(std::string_view name) const;
   /// Resolves the tenant a request addresses ("graph" field or the
   /// default) and leases its current generation.
@@ -198,6 +246,13 @@ class SimPushService {
   GraphRegistry registry_;
   HttpServer* server_ = nullptr;  // For admission counters in /v1/stats.
   Timer uptime_;
+
+  // Records a failed default-graph install (compat constructor) so the
+  // failure is visible to probes instead of silently yielding 404s on
+  // every query. Cleared when a later AddGraph installs the default
+  // graph successfully.
+  mutable std::mutex startup_mu_;
+  Status startup_status_ = Status::OK();
 
   std::atomic<uint64_t> query_requests_{0};
   std::atomic<uint64_t> topk_requests_{0};

@@ -6,13 +6,18 @@
 namespace simpush {
 
 Status SimPushOptions::Validate() const {
-  if (decay <= 0.0 || decay >= 1.0) {
+  // Each range check is written as !(in range) so that NaN — for which
+  // every comparison is false — is rejected rather than slipping
+  // through a `x <= 0.0 || x >= 1.0` pair and poisoning the derived
+  // parameters. NaN reaches here from untrusted inputs (atof("nan") on
+  // the CLI; defensive for any future JSON number path).
+  if (!(decay > 0.0 && decay < 1.0)) {
     return Status::InvalidArgument("decay must be in (0,1)");
   }
-  if (epsilon <= 0.0 || epsilon >= 1.0) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
     return Status::InvalidArgument("epsilon must be in (0,1)");
   }
-  if (delta <= 0.0 || delta >= 1.0) {
+  if (!(delta > 0.0 && delta < 1.0)) {
     return Status::InvalidArgument("delta must be in (0,1)");
   }
   return Status::OK();

@@ -36,7 +36,9 @@ struct SimPushOptions {
   /// correction), which overestimates SimRank.
   bool use_gamma_correction = true;
 
-  /// Validates ranges (0 < c < 1, ε > 0, 0 < δ < 1).
+  /// Validates ranges (0 < c < 1, 0 < ε < 1, 0 < δ < 1). NaN fails
+  /// every range check (it is not "in range" for any of them), so a
+  /// NaN smuggled in through string parsing is rejected here.
   Status Validate() const;
 };
 

@@ -29,6 +29,10 @@ std::vector<std::string> SeedCorpus() {
       R"({"node": 42, "top_k": 3, "with_stats": true})",
       R"({"node": 4294967301})",
       R"({"name":"ring","nodes":6,"edges":[[0,1],[1,2],[2,3]]})",
+      R"({"name":"tuned","nodes":4,"edges":[[0,1],[1,2]],)"
+      R"("options":{"epsilon":0.05,"decay":0.6,"delta":1e-4,)"
+      R"("seed":7,"walk_budget_cap":20000}})",
+      R"({"node":3,"graph":"tuned","epsilon":0.25,"top_k":5})",
       R"({"add":[[2,0],[0,3]],"remove":[[5,0]],"swap":true})",
       R"({"graph":"social","nodes":[9,8,7,6,5,4,3,2,1,0],"k":100})",
       // Responses (the codec must round-trip its own output).

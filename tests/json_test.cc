@@ -134,6 +134,27 @@ TEST(JsonParse, AsIndex) {
   EXPECT_FALSE(ParseJson("9007199254740992")->AsIndex().ok());
 }
 
+TEST(JsonParse, AsDouble) {
+  EXPECT_EQ(ParseJson("0.25")->AsDouble().value(), 0.25);
+  EXPECT_EQ(ParseJson("-1.5e-3")->AsDouble().value(), -1.5e-3);
+  EXPECT_EQ(ParseJson("0")->AsDouble().value(), 0.0);
+  EXPECT_FALSE(ParseJson("\"0.25\"")->AsDouble().ok());
+  EXPECT_FALSE(ParseJson("true")->AsDouble().ok());
+  EXPECT_FALSE(ParseJson("null")->AsDouble().ok());
+  EXPECT_FALSE(ParseJson("[0.25]")->AsDouble().ok());
+  // The parser refuses non-finite numbers outright; a hand-built value
+  // must still be rejected by the accessor (defense in depth for the
+  // engine-options path).
+  EXPECT_FALSE(
+      JsonValue::MakeNumber(std::numeric_limits<double>::infinity())
+          .AsDouble()
+          .ok());
+  EXPECT_FALSE(
+      JsonValue::MakeNumber(std::numeric_limits<double>::quiet_NaN())
+          .AsDouble()
+          .ok());
+}
+
 TEST(JsonWriter, Document) {
   JsonWriter writer;
   writer.BeginObject();

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <thread>
 #include <utility>
@@ -41,11 +42,26 @@ RegistryOptions FastRegistryOptions() {
   return options;
 }
 
-// Serial reference: fresh single-threaded engine on `graph`.
-std::vector<double> SerialScores(const Graph& graph, NodeId u) {
-  EngineCore core(graph, FastOptions());
+// Serial reference: fresh single-threaded engine on `graph` with the
+// given options.
+std::vector<double> SerialScoresWith(const Graph& graph,
+                                     const SimPushOptions& options,
+                                     NodeId u) {
+  EngineCore core(graph, options);
   QueryWorkspace workspace;
   QueryRunner runner(core, &workspace);
+  auto result = runner.Query(u);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->scores;
+}
+
+std::vector<double> SerialScores(const Graph& graph, NodeId u) {
+  return SerialScoresWith(graph, FastOptions(), u);
+}
+
+// One pooled query through a lease, the serving shape.
+std::vector<double> PooledScores(const GenerationLease& lease, NodeId u) {
+  QueryRunner runner(lease->core(), lease->workspaces());
   auto result = runner.Query(u);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return result->scores;
@@ -101,6 +117,117 @@ TEST(RegistryTest, MaxGraphsEnforced) {
             StatusCode::kOutOfRange);
   ASSERT_TRUE(registry.Remove("a").ok());
   EXPECT_TRUE(registry.Add("c", testing_util::MakeFixtureGraph()).ok());
+}
+
+// Two tenants serving the SAME graph with different ε must answer from
+// their own configuration: different scores from each other, each
+// bit-identical to a serial engine with that tenant's options, and
+// each reproducible across repeated pooled queries.
+TEST(RegistryTest, PerTenantOptionsDistinctEpsilon) {
+  GraphRegistry registry(FastRegistryOptions());
+  SimPushOptions coarse = FastOptions();
+  coarse.epsilon = 0.4;
+  ASSERT_TRUE(registry.Add("fine", testing_util::MakeFixtureGraph()).ok());
+  ASSERT_TRUE(
+      registry.Add("coarse", testing_util::MakeFixtureGraph(), coarse).ok());
+
+  // Stats report each tenant's own effective options.
+  auto fine_stats = registry.Stats("fine");
+  auto coarse_stats = registry.Stats("coarse");
+  ASSERT_TRUE(fine_stats.ok());
+  ASSERT_TRUE(coarse_stats.ok());
+  EXPECT_EQ(fine_stats->options.epsilon, FastOptions().epsilon);
+  EXPECT_EQ(coarse_stats->options.epsilon, 0.4);
+  EXPECT_EQ(fine_stats->options_generation, fine_stats->generation);
+  EXPECT_EQ(coarse_stats->options_generation, coarse_stats->generation);
+
+  auto fine = registry.Lease("fine");
+  auto coarse_lease = registry.Lease("coarse");
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse_lease.ok());
+  EXPECT_EQ((*fine)->core().options().epsilon, FastOptions().epsilon);
+  EXPECT_EQ((*coarse_lease)->core().options().epsilon, 0.4);
+
+  const Graph reference = testing_util::MakeFixtureGraph();
+  bool any_difference = false;
+  for (const NodeId u : {NodeId{1}, NodeId{3}, NodeId{7}}) {
+    const std::vector<double> fine_scores = PooledScores(*fine, u);
+    const std::vector<double> coarse_scores = PooledScores(*coarse_lease, u);
+    // Each tenant matches a serial engine built with ITS options...
+    EXPECT_EQ(fine_scores, SerialScoresWith(reference, FastOptions(), u));
+    EXPECT_EQ(coarse_scores, SerialScoresWith(reference, coarse, u));
+    // ...and repeated pooled queries are bit-reproducible.
+    EXPECT_EQ(fine_scores, PooledScores(*fine, u));
+    EXPECT_EQ(coarse_scores, PooledScores(*coarse_lease, u));
+    if (fine_scores != coarse_scores) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference)
+      << "distinct ε must actually change some answer, or the per-tenant "
+         "configuration is not reaching the engine";
+}
+
+// Hot swaps must preserve the tenant's options: the rebuilt generation
+// runs with the tenant's ε/seed, never the registry default.
+TEST(RegistryTest, OptionsSurviveSwap) {
+  GraphRegistry registry(FastRegistryOptions());
+  SimPushOptions custom = FastOptions();
+  custom.epsilon = 0.3;
+  custom.seed = 1234;
+  ASSERT_TRUE(
+      registry.Add("g", testing_util::MakeFixtureGraph(), custom).ok());
+  const uint64_t first_generation = (*registry.Lease("g"))->id();
+
+  auto outcome = registry.ApplyUpdates(
+      "g", {{EdgeUpdate::Kind::kInsert, 0, 5}}, /*force_swap=*/true);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->swapped);
+
+  auto lease = registry.Lease("g");
+  ASSERT_TRUE(lease.ok());
+  EXPECT_GT((*lease)->id(), first_generation);
+  EXPECT_EQ((*lease)->core().options().epsilon, 0.3);
+  EXPECT_EQ((*lease)->core().options().seed, 1234u);
+  // The swapped generation answers like a serial engine with the
+  // tenant's options on the updated graph.
+  DynamicGraph updated =
+      DynamicGraph::FromGraph(testing_util::MakeFixtureGraph());
+  ASSERT_TRUE(updated.AddEdge(0, 5).ok());
+  EXPECT_EQ(PooledScores(*lease, 3),
+            SerialScoresWith(*updated.Snapshot(), custom, 3));
+  // Options are fixed per tenant: the stats still point at the first
+  // generation as where they took effect.
+  auto stats = registry.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->options_generation, first_generation);
+  EXPECT_EQ(stats->options.epsilon, 0.3);
+}
+
+// Invalid per-tenant options are rejected at Add — including NaN,
+// which every range comparison lets through unless Validate is written
+// NaN-safe (the misconfiguration bug this suite pins down).
+TEST(RegistryTest, InvalidOptionsRejectedAtAdd) {
+  GraphRegistry registry(FastRegistryOptions());
+  SimPushOptions bad = FastOptions();
+  bad.epsilon = 0.0;
+  EXPECT_EQ(
+      registry.Add("g", testing_util::MakeFixtureGraph(), bad).code(),
+      StatusCode::kInvalidArgument);
+  bad.epsilon = std::nan("");
+  EXPECT_EQ(
+      registry.Add("g", testing_util::MakeFixtureGraph(), bad).code(),
+      StatusCode::kInvalidArgument);
+  bad = FastOptions();
+  bad.decay = 1.5;
+  EXPECT_EQ(
+      registry.Add("g", testing_util::MakeFixtureGraph(), bad).code(),
+      StatusCode::kInvalidArgument);
+  bad = FastOptions();
+  bad.delta = -1e-4;
+  EXPECT_EQ(
+      registry.Add("g", testing_util::MakeFixtureGraph(), bad).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 0u) << "no tenant may exist after a rejection";
+  EXPECT_EQ(registry.live_generations(), 0);
 }
 
 TEST(RegistryTest, SwapPublishesNewGenerationOldLeaseSurvives) {
@@ -314,6 +441,155 @@ TEST(RegistryStress, SwapUnderLoadBitIdentity) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->pool_outstanding, 0u);
   EXPECT_EQ(stats->swap_count, static_cast<uint64_t>(kSwaps) + 1);
+}
+
+// Acceptance stress for per-tenant options: two tenants serve the SAME
+// evolving graph with different ε while worker threads hammer both and
+// the main thread hot-swaps both. Every response must be bit-identical
+// to a fresh serial engine built with THAT tenant's options on the
+// generation that served it — one tenant's configuration (or load, or
+// swaps) can never bleed into the other's answers. Runs under the
+// `concurrency` label, so TSan covers the cross-tenant races.
+TEST(RegistryStress, TwoTenantsDistinctEpsilonSwapUnderLoad) {
+  GraphRegistry registry(FastRegistryOptions());
+  Graph base = testing_util::MakeFixtureGraph();
+  const NodeId n = base.num_nodes();
+  SimPushOptions fine = FastOptions();          // ε = 0.1
+  SimPushOptions coarse = FastOptions();
+  coarse.epsilon = 0.4;
+  ASSERT_TRUE(
+      registry.Add("fine", testing_util::MakeFixtureGraph(), fine).ok());
+  ASSERT_TRUE(
+      registry.Add("coarse", testing_util::MakeFixtureGraph(), coarse).ok());
+  const char* const kTenants[] = {"fine", "coarse"};
+  const SimPushOptions kOptions[] = {fine, coarse};
+
+  // Shadow replica + per-generation reference graphs, per tenant. Both
+  // tenants get the same update schedule, so any cross-tenant bleed
+  // would have to come from configuration, not data.
+  constexpr int kSwaps = 6;
+  DynamicGraph replicas[2] = {DynamicGraph::FromGraph(base),
+                              DynamicGraph::FromGraph(base)};
+  // generation id -> (tenant index, reference graph).
+  std::map<uint64_t, std::pair<int, Graph>> reference;
+  for (int t = 0; t < 2; ++t) {
+    reference.emplace((*registry.Lease(kTenants[t]))->id(),
+                      std::make_pair(t, *replicas[t].Snapshot()));
+  }
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> queries_served{0};
+  // (generation, node) -> scores, per thread; generation ids are
+  // registry-unique, so they identify the tenant too.
+  std::vector<std::map<std::pair<uint64_t, NodeId>, std::vector<double>>>
+      observed(kThreads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      SimPushResult result;
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId u = static_cast<NodeId>((t + i) % n);
+        const char* tenant = kTenants[i % 2];  // Alternate tenants.
+        ++i;
+        auto lease = registry.Lease(tenant);
+        if (!lease.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const uint64_t generation = (*lease)->id();
+        QueryRunner runner((*lease)->core(), (*lease)->workspaces());
+        if (!runner.QueryInto(u, &result).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        queries_served.fetch_add(1);
+        const auto key = std::make_pair(generation, u);
+        const auto it = observed[t].find(key);
+        if (it == observed[t].end()) {
+          observed[t].emplace(key, result.scores);
+        } else if (it->second != result.scores) {
+          failures.fetch_add(1);  // Same generation must answer identically.
+        }
+      }
+    });
+  }
+
+  // Interleave identical update+swap schedules on both tenants.
+  for (int i = 0; i < kSwaps; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::vector<EdgeUpdate> batch = {
+        {EdgeUpdate::Kind::kInsert, static_cast<NodeId>((3 * i + 1) % n),
+         static_cast<NodeId>((7 * i + 2) % n)}};
+    for (int t = 0; t < 2; ++t) {
+      auto outcome =
+          registry.ApplyUpdates(kTenants[t], batch, /*force_swap=*/true);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ASSERT_TRUE(outcome->swapped);
+      ASSERT_TRUE(replicas[t].Apply(batch).ok());
+      reference.emplace(outcome->generation,
+                        std::make_pair(t, *replicas[t].Snapshot()));
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(queries_served.load(), static_cast<uint64_t>(2 * kSwaps));
+
+  // Replay every observation against a fresh serial engine with the
+  // owning tenant's options on the generation's reference graph.
+  size_t checked = 0;
+  std::map<std::pair<uint64_t, NodeId>, std::vector<double>> serial_cache;
+  for (const auto& per_thread : observed) {
+    for (const auto& [key, scores] : per_thread) {
+      const auto& [generation, u] = key;
+      const auto ref_it = reference.find(generation);
+      ASSERT_NE(ref_it, reference.end())
+          << "response from unknown generation " << generation;
+      const auto& [tenant_index, ref_graph] = ref_it->second;
+      auto cached = serial_cache.find(key);
+      if (cached == serial_cache.end()) {
+        cached = serial_cache
+                     .emplace(key, SerialScoresWith(
+                                       ref_graph, kOptions[tenant_index], u))
+                     .first;
+      }
+      EXPECT_EQ(scores, cached->second)
+          << "tenant " << kTenants[tenant_index] << " generation "
+          << generation << " node " << u;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // The two tenants' first generations score the same graph with
+  // different ε: at least one node must differ, proving the per-tenant
+  // configuration reached the engine under load.
+  bool any_difference = false;
+  const Graph first_graph = testing_util::MakeFixtureGraph();
+  for (NodeId u = 0; u < n; ++u) {
+    if (SerialScoresWith(first_graph, fine, u) !=
+        SerialScoresWith(first_graph, coarse, u)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+
+  // No leaks: one live generation per tenant, all leases returned.
+  EXPECT_EQ(registry.live_generations(), 2);
+  for (const char* tenant : kTenants) {
+    auto stats = registry.Stats(tenant);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->pool_outstanding, 0u);
+    EXPECT_EQ(stats->swap_count, static_cast<uint64_t>(kSwaps) + 1);
+  }
 }
 
 // The registry hot path (lease + pooled workspace + QueryInto into a

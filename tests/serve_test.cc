@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <thread>
@@ -453,13 +454,19 @@ std::vector<std::pair<NodeId, NodeId>> RingEdges() {
   return {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}};
 }
 
-std::vector<double> DirectScoresOn(const Graph& graph, NodeId u) {
-  EngineCore core(graph, FastOptions());
+std::vector<double> DirectScoresWith(const Graph& graph,
+                                     const SimPushOptions& options,
+                                     NodeId u) {
+  EngineCore core(graph, options);
   QueryWorkspace workspace;
   QueryRunner runner(core, &workspace);
   auto result = runner.Query(u);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return result->scores;
+}
+
+std::vector<double> DirectScoresOn(const Graph& graph, NodeId u) {
+  return DirectScoresWith(graph, FastOptions(), u);
 }
 
 TEST(ServeMultiGraph, CreateQuerySwapDeleteEndToEnd) {
@@ -699,6 +706,310 @@ TEST(ServeMultiGraph, OversizedUpdateRejected413) {
   EXPECT_EQ(service.HandleGraphOp(request).status, 413);
   request.body = "{\"add\":[[0,1],[0,2],[0,3],[0,4]]}";
   EXPECT_EQ(service.HandleGraphOp(request).status, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant engine options and the per-request ε override.
+// ---------------------------------------------------------------------------
+
+// The bounded per-request "epsilon" override: runs through a fresh
+// core on the leased generation, matches a direct QueryRunner built
+// with that ε, and leaves the tenant's pooled hot path bit-identical.
+TEST(ServeSmoke, PerRequestEpsilonOverride) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  SimPushOptions override_options = FastOptions();
+  override_options.epsilon = 0.25;
+
+  // Pooled baseline before any override traffic.
+  const std::vector<double> baseline = fixture.DirectScores(3);
+  EXPECT_EQ(ScoresFromBody(client.Post("/v1/query", "{\"node\": 3}")->body),
+            baseline);
+
+  // Override query: scores match a direct runner with ε = 0.25, and
+  // the response reports the ε that actually ran.
+  auto response =
+      client.Post("/v1/query", "{\"node\": 3, \"epsilon\": 0.25}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  EXPECT_EQ(ScoresFromBody(response->body),
+            DirectScoresWith(fixture.graph(), override_options, 3));
+  {
+    auto doc = ParseJson(response->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Find("epsilon")->number_value(), 0.25);
+  }
+
+  // The override must actually change the answer (otherwise this test
+  // proves nothing) and must NOT perturb the tenant's pooled hot path.
+  EXPECT_NE(ScoresFromBody(response->body), baseline);
+  EXPECT_EQ(ScoresFromBody(client.Post("/v1/query", "{\"node\": 3}")->body),
+            baseline);
+
+  // /v1/topk honors the same override.
+  auto topk = client.Post("/v1/topk",
+                          "{\"node\": 5, \"k\": 3, \"epsilon\": 0.25}");
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->status, 200) << topk->body;
+  {
+    EngineCore core(fixture.graph(), override_options);
+    QueryWorkspace workspace;
+    QueryRunner runner(core, &workspace);
+    auto direct = QueryTopK(&runner, 5, 3);
+    ASSERT_TRUE(direct.ok());
+    auto doc = ParseJson(topk->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Find("epsilon")->number_value(), 0.25);
+    const JsonValue* top = doc->Find("top");
+    ASSERT_NE(top, nullptr);
+    ASSERT_EQ(top->array_items().size(), direct->entries.size());
+    for (size_t i = 0; i < direct->entries.size(); ++i) {
+      EXPECT_EQ(top->array_items()[i].Find("node")->AsIndex().value(),
+                direct->entries[i].node);
+      EXPECT_EQ(top->array_items()[i].Find("score")->number_value(),
+                direct->entries[i].score);
+    }
+  }
+}
+
+// Override validation at the HTTP boundary: non-numbers, out-of-range
+// values and sub-floor values are 400s that name the field — never a
+// query that runs with a garbage ε.
+TEST(ServeSmoke, EpsilonOverrideValidation) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  for (const char* body : {
+           "{\"node\": 3, \"epsilon\": \"small\"}",
+           "{\"node\": 3, \"epsilon\": 0}",
+           "{\"node\": 3, \"epsilon\": -0.1}",
+           "{\"node\": 3, \"epsilon\": 1}",
+           "{\"node\": 3, \"epsilon\": 1.5}",
+           "{\"node\": 3, \"epsilon\": null}",
+           "{\"node\": 3, \"epsilon\": 0.0001}",  // Below the 1e-3 floor.
+       }) {
+    auto response = client.Post("/v1/query", body);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 400) << body << " -> " << response->body;
+    EXPECT_NE(response->body.find("epsilon"), std::string::npos)
+        << "error must name the field: " << response->body;
+    EXPECT_EQ(client.Post("/v1/topk", body)->status, 400);
+  }
+  // The service still serves afterwards.
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 3}")->status, 200);
+}
+
+// Per-tenant options end to end: create tenants with an "options"
+// object, observe distinct-ε answers, per-tenant stats, and options
+// surviving a hot swap.
+TEST(ServeMultiGraph, PerTenantOptionsEndToEnd) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  // Two tenants, same graph (the 10-node fixture, whose cross scores
+  // are nonzero and ε-sensitive — a plain ring's are all zero): one
+  // with its own ε and seed, one inheriting the process defaults.
+  const char* kFixtureEdges =
+      "[[1,0],[2,0],[3,0],[4,1],[5,1],[5,2],[6,2],[6,3],[7,4],[8,4],"
+      "[8,5],[9,5],[9,6],[0,7],[2,9],[1,8]]";
+  auto created = client.Post(
+      "/v1/graphs",
+      std::string("{\"name\":\"coarse\",\"nodes\":10,\"edges\":") +
+          kFixtureEdges +
+          ",\"options\":{\"epsilon\":0.4,\"seed\":7}}");
+  ASSERT_TRUE(created.ok());
+  ASSERT_EQ(created->status, 201) << created->body;
+  {
+    auto doc = ParseJson(created->body);
+    ASSERT_TRUE(doc.ok());
+    const JsonValue* options = doc->Find("options");
+    ASSERT_NE(options, nullptr) << created->body;
+    EXPECT_EQ(options->Find("epsilon")->number_value(), 0.4);
+    EXPECT_EQ(options->Find("seed")->AsIndex().value(), 7u);
+    // Unspecified fields inherit the process defaults.
+    EXPECT_EQ(options->Find("decay")->number_value(), FastOptions().decay);
+  }
+  ASSERT_EQ(client
+                .Post("/v1/graphs",
+                      std::string(
+                          "{\"name\":\"plain\",\"nodes\":10,\"edges\":") +
+                          kFixtureEdges + "}")
+                ->status,
+            201);
+
+  SimPushOptions coarse_options = FastOptions();
+  coarse_options.epsilon = 0.4;
+  coarse_options.seed = 7;
+  const Graph& reference = fixture.graph();  // Same edges, same builder.
+
+  // Each tenant answers with its own configuration, bit-identical to a
+  // direct engine with those options; over a few probe nodes the two
+  // configurations must disagree somewhere.
+  std::string coarse_body;
+  bool any_difference = false;
+  for (const NodeId u : {NodeId{1}, NodeId{3}, NodeId{7}}) {
+    const std::string request =
+        "{\"node\": " + std::to_string(u) + ", \"graph\": \"";
+    auto coarse = client.Post("/v1/query", request + "coarse\"}");
+    auto plain = client.Post("/v1/query", request + "plain\"}");
+    ASSERT_TRUE(coarse.ok());
+    ASSERT_TRUE(plain.ok());
+    ASSERT_EQ(coarse->status, 200) << coarse->body;
+    ASSERT_EQ(plain->status, 200) << plain->body;
+    EXPECT_EQ(ScoresFromBody(coarse->body),
+              DirectScoresWith(reference, coarse_options, u));
+    EXPECT_EQ(ScoresFromBody(plain->body), DirectScoresOn(reference, u));
+    if (ScoresFromBody(coarse->body) != ScoresFromBody(plain->body)) {
+      any_difference = true;
+    }
+    EXPECT_EQ(ParseJson(coarse->body)->Find("epsilon")->number_value(), 0.4);
+    EXPECT_EQ(ParseJson(plain->body)->Find("epsilon")->number_value(),
+              FastOptions().epsilon);
+    if (u == 3) {
+      coarse_body = coarse->body;
+    }
+  }
+  EXPECT_TRUE(any_difference)
+      << "distinct per-tenant ε must change some answer";
+
+  // /v1/stats: each tenant section reports its own effective options
+  // and the generation they took effect in.
+  auto stats = client.Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  auto stats_doc = ParseJson(stats->body);
+  ASSERT_TRUE(stats_doc.ok()) << stats->body;
+  const JsonValue* graphs = stats_doc->Find("graphs");
+  ASSERT_NE(graphs, nullptr);
+  const JsonValue* coarse_section = graphs->Find("coarse");
+  const JsonValue* plain_section = graphs->Find("plain");
+  ASSERT_NE(coarse_section, nullptr);
+  ASSERT_NE(plain_section, nullptr);
+  EXPECT_EQ(coarse_section->Find("options")->Find("epsilon")->number_value(),
+            0.4);
+  EXPECT_EQ(coarse_section->Find("options")->Find("seed")->AsIndex().value(),
+            7u);
+  EXPECT_EQ(coarse_section->Find("options_generation")->AsIndex().value(),
+            coarse_section->Find("generation")->AsIndex().value());
+  EXPECT_EQ(plain_section->Find("options")->Find("epsilon")->number_value(),
+            FastOptions().epsilon);
+
+  // A hot swap preserves the tenant's options: same bits after a
+  // no-update swap (new generation, same canonical graph, same ε/seed).
+  auto swapped = client.Post("/v1/graphs/coarse/swap", "");
+  ASSERT_TRUE(swapped.ok());
+  ASSERT_EQ(swapped->status, 200) << swapped->body;
+  auto after = client.Post("/v1/query", "{\"node\": 3, \"graph\": \"coarse\"}");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->status, 200) << after->body;
+  EXPECT_GT(ParseJson(after->body)->Find("generation")->AsIndex().value(),
+            ParseJson(coarse_body)->Find("generation")->AsIndex().value());
+  EXPECT_EQ(ScoresFromBody(after->body), ScoresFromBody(coarse_body));
+}
+
+// Option-validation gaps at the HTTP boundary: every malformed
+// "options" payload is a 400 naming the offending field, and nothing
+// is registered.
+TEST(ServeMultiGraph, InvalidOptionsRejected400) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  const std::pair<const char*, const char*> kCases[] = {
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"epsilon\":0}}",
+       "epsilon"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"epsilon\":1.5}}",
+       "epsilon"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"epsilon\":\"tiny\"}}",
+       "epsilon"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"decay\":-0.5}}",
+       "decay"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"delta\":2}}",
+       "delta"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"seed\":-1}}",
+       "seed"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"eps\":0.1}}",
+       "unknown option"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":3}",
+       "options"},
+      // Network-supplied cost bounds: a tiny tenant ε or an uncapped
+      // walk budget would let any client buy arbitrarily expensive
+      // queries through a cheap create call.
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"epsilon\":0.0001}}",
+       "min_request_epsilon"},
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"walk_budget_cap\":0}}",
+       "walk_budget_cap"},
+      // A huge positive cap is arithmetically the same as uncapped;
+      // clients may only lower the cap below the server default
+      // (FastOptions sets 20000).
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"walk_budget_cap\":9007199254740991}}",
+       "walk_budget_cap"},
+      // decay → 1 makes walk length diverge and the walk cap does not
+      // bound it; clients may not raise decay above the default (0.6).
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"decay\":0.9999999}}",
+       "decay"},
+      // num_walks grows with log(1/δ); clients may not lower delta
+      // below the default (1e-4).
+      {"{\"name\":\"bad\",\"nodes\":2,\"edges\":[[0,1]],"
+       "\"options\":{\"delta\":1e-12}}",
+       "delta"},
+  };
+  for (const auto& [body, field] : kCases) {
+    auto response = client.Post("/v1/graphs", body);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 400) << body << " -> " << response->body;
+    EXPECT_NE(response->body.find(field), std::string::npos)
+        << "error must name \"" << field << "\": " << response->body;
+  }
+  // Nothing got registered, and the service is intact.
+  EXPECT_EQ(client.Get("/v1/graphs/bad")->status, 404);
+  EXPECT_EQ(client.Get("/healthz")->status, 200);
+  EXPECT_EQ(client.Post("/v1/query", "{\"node\": 1}")->status, 200);
+}
+
+// A failed default-graph install must not be swallowed: /healthz turns
+// 503, /v1/stats names the error, and a successful re-install of the
+// default graph recovers. Exercised through the handlers directly.
+TEST(ServeStartup, FailedDefaultGraphSurfaces503) {
+  Graph graph = testing_util::MakeFixtureGraph();
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.query.epsilon = std::nan("");  // NaN must not pass validation.
+  options.num_threads = 2;
+  SimPushService service(graph, options);
+
+  EXPECT_FALSE(service.startup_status().ok());
+  HttpRequest request;
+  EXPECT_EQ(service.HandleHealth(request).status, 503);
+  EXPECT_NE(service.HandleHealth(request).body.find("epsilon"),
+            std::string::npos);
+  const HttpResponse stats = service.HandleStats(request);
+  EXPECT_NE(stats.body.find("startup_error"), std::string::npos);
+  // No default tenant: queries 404 rather than silently serving.
+  SimPushResult result;
+  EXPECT_EQ(service.RunQuery(3, &result).code(), StatusCode::kNotFound);
+
+  // Installing the default graph with valid options recovers health.
+  ASSERT_TRUE(service
+                  .AddGraph("default", testing_util::MakeFixtureGraph(),
+                            FastOptions())
+                  .ok());
+  EXPECT_TRUE(service.startup_status().ok());
+  EXPECT_EQ(service.HandleHealth(request).status, 200);
+  EXPECT_EQ(service.HandleStats(request).body.find("startup_error"),
+            std::string::npos);
+  EXPECT_TRUE(service.RunQuery(3, &result).ok());
 }
 
 // The serve hot path — lease a pooled workspace, QueryInto reused

@@ -4,6 +4,7 @@
 // stats plumbing and ablation switches.
 
 #include <cmath>
+#include <limits>
 
 #include "gtest/gtest.h"
 #include "simpush/simpush.h"
@@ -40,6 +41,27 @@ TEST(SimPushTest, RejectsInvalidOptions) {
   bad.epsilon = -1.0;
   SimPushEngine engine(g, bad);
   EXPECT_FALSE(engine.Query(0).ok());
+}
+
+TEST(SimPushTest, ValidateRejectsNaNAndBoundaries) {
+  // NaN makes every comparison false, so a range check written as
+  // `x <= lo || x >= hi` silently accepts it — the misconfiguration a
+  // `--epsilon nan` CLI flag used to smuggle past validation. Each
+  // field must reject NaN and both closed boundaries.
+  for (const double bad_value :
+       {std::nan(""), 0.0, 1.0, -0.5, 1.5,
+        std::numeric_limits<double>::infinity()}) {
+    SimPushOptions bad = TestOptions();
+    bad.epsilon = bad_value;
+    EXPECT_FALSE(bad.Validate().ok()) << "epsilon=" << bad_value;
+    bad = TestOptions();
+    bad.decay = bad_value;
+    EXPECT_FALSE(bad.Validate().ok()) << "decay=" << bad_value;
+    bad = TestOptions();
+    bad.delta = bad_value;
+    EXPECT_FALSE(bad.Validate().ok()) << "delta=" << bad_value;
+  }
+  EXPECT_TRUE(TestOptions().Validate().ok());
 }
 
 TEST(SimPushTest, MeetsErrorBoundOnFixture) {

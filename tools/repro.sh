@@ -38,9 +38,9 @@ echo "== single-source SimRank query (CLI)"
 echo "== top-k query (CLI)"
 "$CLI" topk --graph "$WORK/web.txt" --node 42 --k 5 --epsilon 0.05
 
-echo "== boot simpush_serve on an ephemeral port"
-"$SERVE" --graph "$WORK/web.txt" --port 0 --epsilon 0.05 \
-    --port-file "$WORK/port" &
+echo "== boot simpush_serve on an ephemeral port (second tenant with its own epsilon)"
+"$SERVE" --graph "$WORK/web.txt" --graph "tuned=$WORK/web.txt:eps=0.08" \
+    --port 0 --default-epsilon 0.05 --port-file "$WORK/port" &
 SERVE_PID=$!
 for _ in $(seq 100); do [[ -s "$WORK/port" ]] && break; sleep 0.05; done
 PORT="$(cat "$WORK/port")"
@@ -52,6 +52,20 @@ done
 echo "== POST /v1/query (top-k truncated)"
 curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
     -d '{"node": 42, "top_k": 5, "with_stats": true}'
+
+echo "== POST /v1/query on the tuned tenant (its own epsilon=0.08)"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "graph": "tuned", "top_k": 5}' \
+    | grep -q '"epsilon":0.08' || {
+  echo "tuned tenant did not answer with its own epsilon" >&2; exit 1; }
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "graph": "tuned", "top_k": 5}'
+
+echo "== POST /v1/query with a per-request epsilon override"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "top_k": 5, "epsilon": 0.1}' \
+    | grep -q '"epsilon":0.1' || {
+  echo "per-request epsilon override not honored" >&2; exit 1; }
 
 echo "== POST /v1/topk"
 curl -sf -X POST "http://127.0.0.1:$PORT/v1/topk" -d '{"node": 42, "k": 5}'
@@ -70,10 +84,14 @@ curl -sf -X POST "http://127.0.0.1:$PORT/v1/graphs/default/swap"
 curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
     -d '{"node": 42, "top_k": 3}'
 
-echo "== multi-tenant: create a second graph, query it, delete it"
+echo "== multi-tenant: create a graph with its own options, query it, delete it"
 curl -sf -X POST "http://127.0.0.1:$PORT/v1/graphs" \
-    -d '{"name": "toy", "nodes": 3, "edges": [[0, 1], [1, 2], [2, 0]]}'
+    -d '{"name": "toy", "nodes": 3, "edges": [[0, 1], [1, 2], [2, 0]],
+         "options": {"epsilon": 0.02}}'
 curl -sf "http://127.0.0.1:$PORT/v1/graphs"
+curl -sf "http://127.0.0.1:$PORT/v1/graphs/toy" \
+    | grep -q '"epsilon":0.02' || {
+  echo "per-tenant options missing from stats" >&2; exit 1; }
 curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
     -d '{"node": 0, "graph": "toy", "top_k": 2}'
 curl -sf -X DELETE "http://127.0.0.1:$PORT/v1/graphs/toy"

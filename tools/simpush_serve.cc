@@ -8,15 +8,19 @@
 // started on.
 //
 // Usage:
-//   simpush_serve --graph web.txt [--graph social=social.spg ...]
-//       [--port 8080] [--epsilon 0.01] [--decay 0.6] [--seed 42]
+//   simpush_serve --graph web.txt [--graph social=social.spg:eps=0.05 ...]
+//       [--port 8080] [--default-epsilon 0.01] [--decay 0.6] [--seed 42]
 //       [--walk-cap 100000] [--threads 0] [--pool 0] [--max-batch 4096]
 //       [--swap-threshold 0] [--max-graphs 64] [--undirected 1]
-//       [--allow-path-create 1] [--port-file /tmp/port]
+//       [--allow-path-create 1] [--min-request-epsilon 1e-3]
+//       [--port-file /tmp/port]
 //
-//   --graph is repeatable and takes either a bare path (tenant name
-//   "default") or name=path. The first listed graph is the default
-//   tenant for requests without a "graph" field.
+//   --graph is repeatable and takes a bare path (tenant name
+//   "default"), name=path, or name=path:eps=E to give that tenant its
+//   own ε (all other knobs inherit the process defaults). The first
+//   listed graph is the default tenant for requests without a "graph"
+//   field. --default-epsilon (alias: --epsilon) sets the process
+//   default ε for tenants without an :eps= suffix.
 //
 //   --port 0 picks an ephemeral port (printed on stdout, and written to
 //   --port-file when given — that is how scripts/tests find it).
@@ -90,16 +94,61 @@ class Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: simpush_serve --graph [NAME=]F [--graph NAME=F ...] [--port P]\n"
-      "    [--epsilon E] [--decay C] [--delta D] [--seed S] [--walk-cap W]\n"
-      "    [--threads T] [--pool P] [--max-batch B] [--swap-threshold U]\n"
-      "    [--max-graphs G] [--undirected 1] [--allow-path-create 1]\n"
+      "usage: simpush_serve --graph [NAME=]F[:eps=E] [--graph ...] [--port P]\n"
+      "    [--default-epsilon E] [--decay C] [--delta D] [--seed S]\n"
+      "    [--walk-cap W] [--threads T] [--pool P] [--max-batch B]\n"
+      "    [--swap-threshold U] [--max-graphs G] [--undirected 1]\n"
+      "    [--allow-path-create 1] [--min-request-epsilon E]\n"
       "    [--port-file F]\n"
       "  --graph repeats; a bare path serves as tenant \"default\", and\n"
       "  the first listed graph answers requests without a \"graph\"\n"
-      "  field. --port 0 binds an ephemeral port; the bound port is\n"
+      "  field. NAME=F:eps=E gives that tenant its own epsilon;\n"
+      "  --default-epsilon (alias --epsilon) sets the default for the\n"
+      "  rest. --port 0 binds an ephemeral port; the bound port is\n"
       "  printed on stdout and written to --port-file when given.\n");
   return 2;
+}
+
+// One --graph flag: tenant name, file path, optional per-tenant ε from
+// a NAME=PATH:eps=E suffix.
+struct GraphSpec {
+  std::string name;
+  std::string path;
+  bool has_epsilon = false;
+  double epsilon = 0.0;
+};
+
+// Parses "[NAME=]PATH[:eps=E]". The :eps= suffix is searched from the
+// right so a path containing '=' before it still parses. Returns false
+// (with a message on stderr) on a malformed spec.
+bool ParseGraphSpec(const std::string& flag, GraphSpec* spec) {
+  std::string rest = flag;
+  const size_t eps_pos = rest.rfind(":eps=");
+  if (eps_pos != std::string::npos) {
+    const std::string value = rest.substr(eps_pos + 5);
+    rest.resize(eps_pos);
+    char* end = nullptr;
+    spec->epsilon = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "bad :eps= value in --graph spec \"%s\"\n",
+                   flag.c_str());
+      return false;
+    }
+    spec->has_epsilon = true;
+  }
+  const size_t eq = rest.find('=');
+  if (eq == std::string::npos) {
+    spec->name = "default";
+    spec->path = rest;
+  } else {
+    spec->name = rest.substr(0, eq);
+    spec->path = rest.substr(eq + 1);
+  }
+  if (spec->name.empty() || spec->path.empty()) {
+    std::fprintf(stderr, "bad --graph spec \"%s\"\n", flag.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -109,36 +158,53 @@ int main(int argc, char** argv) {
   const std::vector<std::string> graph_flags = args.GetAll("graph");
   if (graph_flags.empty()) return Usage();
 
-  // Parse NAME=PATH entries (a bare PATH is tenant "default"); the
-  // first entry names the default tenant.
-  std::vector<std::pair<std::string, std::string>> graph_specs;
+  // Parse NAME=PATH[:eps=E] entries (a bare PATH is tenant "default");
+  // the first entry names the default tenant.
+  std::vector<GraphSpec> graph_specs;
   for (const std::string& flag : graph_flags) {
-    const size_t eq = flag.find('=');
-    if (eq == std::string::npos) {
-      graph_specs.emplace_back("default", flag);
-    } else {
-      graph_specs.emplace_back(flag.substr(0, eq), flag.substr(eq + 1));
-    }
-    if (graph_specs.back().first.empty() ||
-        graph_specs.back().second.empty()) {
-      std::fprintf(stderr, "bad --graph spec \"%s\"\n", flag.c_str());
-      return Usage();
-    }
+    GraphSpec spec;
+    if (!ParseGraphSpec(flag, &spec)) return Usage();
+    graph_specs.push_back(std::move(spec));
   }
 
   serve::ServiceOptions service_options;
-  service_options.query.epsilon = args.GetDouble("epsilon", 0.01);
+  // --default-epsilon is the canonical spelling (it is a default that
+  // per-tenant :eps= and per-request "epsilon" both override);
+  // --epsilon is kept as an alias.
+  service_options.query.epsilon =
+      args.GetDouble("default-epsilon", args.GetDouble("epsilon", 0.01));
   service_options.query.decay = args.GetDouble("decay", 0.6);
   service_options.query.delta = args.GetDouble("delta", 1e-4);
   service_options.query.seed = args.GetInt("seed", 42);
   service_options.query.walk_budget_cap = args.GetInt("walk-cap", 100000);
+  service_options.min_request_epsilon =
+      args.GetDouble("min-request-epsilon", 1e-3);
   service_options.num_threads = args.GetInt("threads", 0);
   service_options.pool_capacity = args.GetInt("pool", 0);
   service_options.max_batch_nodes = args.GetInt("max-batch", 4096);
   service_options.swap_threshold = args.GetInt("swap-threshold", 0);
   service_options.max_graphs = args.GetInt("max-graphs", 64);
   service_options.allow_path_create = args.GetInt("allow-path-create", 0) != 0;
-  service_options.default_graph = graph_specs.front().first;
+  service_options.default_graph = graph_specs.front().name;
+
+  // Fail fast on bad process-default options — atof("nan") and
+  // friends must die here, not as an error on every query. Per-tenant
+  // ε values are validated by AddGraph below.
+  if (const Status valid = service_options.query.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "bad engine options: %s\n",
+                 valid.ToString().c_str());
+    return 2;
+  }
+  // The override floor guards against arbitrarily expensive
+  // client-chosen queries; NaN (every comparison false) or a typo
+  // parsed as 0 would silently disable it.
+  if (!(service_options.min_request_epsilon > 0.0 &&
+        service_options.min_request_epsilon < 1.0)) {
+    std::fprintf(stderr,
+                 "bad --min-request-epsilon %g: must be in (0,1)\n",
+                 service_options.min_request_epsilon);
+    return 2;
+  }
 
   serve::HttpServerOptions server_options;
   server_options.port = static_cast<uint16_t>(args.GetInt("port", 8080));
@@ -148,20 +214,26 @@ int main(int argc, char** argv) {
   serve::SimPushService service(service_options);
   EdgeListOptions load_options;
   load_options.undirected = args.GetInt("undirected", 0) != 0;
-  for (const auto& [name, path] : graph_specs) {
-    StatusOr<Graph> graph = LoadGraphAnyFormat(path, load_options);
+  for (const GraphSpec& spec : graph_specs) {
+    StatusOr<Graph> graph = LoadGraphAnyFormat(spec.path, load_options);
     if (!graph.ok()) {
       std::fprintf(stderr, "failed to load graph %s from %s: %s\n",
-                   name.c_str(), path.c_str(),
+                   spec.name.c_str(), spec.path.c_str(),
                    graph.status().ToString().c_str());
       return 1;
     }
-    // Surfaces invalid engine options / duplicate names now, not as an
-    // error on every query after /healthz already reported healthy.
-    const Status added = service.AddGraph(name, *std::move(graph));
+    // Per-tenant options: the :eps= suffix overrides only ε; everything
+    // else inherits the process defaults.
+    SimPushOptions tenant_options = service_options.query;
+    if (spec.has_epsilon) tenant_options.epsilon = spec.epsilon;
+    // Surfaces invalid engine options / duplicate names now — exiting
+    // non-zero — not as an error on every query after /healthz already
+    // reported healthy.
+    const Status added =
+        service.AddGraph(spec.name, *std::move(graph), tenant_options);
     if (!added.ok()) {
-      std::fprintf(stderr, "failed to register graph %s: %s\n", name.c_str(),
-                   added.ToString().c_str());
+      std::fprintf(stderr, "failed to register graph %s: %s\n",
+                   spec.name.c_str(), added.ToString().c_str());
       return 1;
     }
   }
@@ -178,19 +250,21 @@ int main(int argc, char** argv) {
   }
 
   std::printf("simpush_serve listening on port %u (graphs=%zu, "
-              "default=%s, epsilon=%g, threads=%zu)\n",
+              "default=%s, default-epsilon=%g, threads=%zu)\n",
               server.port(), service.registry().size(),
               service_options.default_graph.c_str(),
               service_options.query.epsilon,
               service.registry().num_threads());
-  for (const auto& [name, path] : graph_specs) {
-    const auto stats = service.registry().Stats(name);
+  for (const GraphSpec& spec : graph_specs) {
+    const auto stats = service.registry().Stats(spec.name);
     if (stats.ok()) {
-      std::printf("  graph %s: n=%u m=%llu (generation %llu) from %s\n",
-                  name.c_str(), stats->num_nodes,
-                  static_cast<unsigned long long>(stats->num_edges),
-                  static_cast<unsigned long long>(stats->generation),
-                  path.c_str());
+      std::printf(
+          "  graph %s: n=%u m=%llu epsilon=%g (generation %llu) from %s\n",
+          spec.name.c_str(), stats->num_nodes,
+          static_cast<unsigned long long>(stats->num_edges),
+          stats->options.epsilon,
+          static_cast<unsigned long long>(stats->generation),
+          spec.path.c_str());
     }
   }
   std::fflush(stdout);
