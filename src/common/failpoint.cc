@@ -1,0 +1,171 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace simpush {
+
+namespace {
+
+// Parses a decimal millisecond count; returns -1 on malformed input.
+int ParseMs(std::string_view text) {
+  if (text.empty() || text.size() > 9) return -1;
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Status Failpoint::Fire() {
+  Mode mode;
+  std::string message;
+  int sleep_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode = mode_;
+    message = message_;
+    sleep_ms = sleep_ms_;
+  }
+  if (mode == Mode::kOff) return Status::OK();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  switch (mode) {
+    case Mode::kError:
+      return Status::IOError(message.empty()
+                                 ? "failpoint " + name_ + " injected"
+                                 : message);
+    case Mode::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      return Status::OK();
+    case Mode::kAllocFail:
+      // The caller observes mode() and fails its allocation; firing only
+      // records the hit.
+      return Status::OK();
+    case Mode::kOff:
+      break;
+  }
+  return Status::OK();
+}
+
+Failpoint::Mode Failpoint::mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_;
+}
+
+void Failpoint::Configure(Mode mode, std::string message, int sleep_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = mode;
+    message_ = std::move(message);
+    sleep_ms_ = sleep_ms;
+  }
+  // Publish the guard last so a concurrent Fire() never observes an
+  // active failpoint with stale configuration.
+  active_.store(mode != Mode::kOff, std::memory_order_release);
+}
+
+FailpointRegistry& FailpointRegistry::Get() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::Register(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(std::string(name),
+                      std::make_unique<Failpoint>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Status FailpointRegistry::Activate(std::string_view name,
+                                   std::string_view spec) {
+  Failpoint::Mode mode;
+  std::string message;
+  int sleep_ms = 0;
+  if (spec == "off") {
+    mode = Failpoint::Mode::kOff;
+  } else if (spec == "error") {
+    mode = Failpoint::Mode::kError;
+  } else if (spec.rfind("error:", 0) == 0) {
+    mode = Failpoint::Mode::kError;
+    message = std::string(spec.substr(6));
+    if (message.empty()) {
+      return Status::InvalidArgument("failpoint spec \"error:\" has an empty message");
+    }
+  } else if (spec.rfind("sleep:", 0) == 0) {
+    mode = Failpoint::Mode::kSleep;
+    sleep_ms = ParseMs(spec.substr(6));
+    if (sleep_ms < 0) {
+      return Status::InvalidArgument(
+          "failpoint sleep spec needs a millisecond count: \"" +
+          std::string(spec) + "\"");
+    }
+  } else if (spec == "alloc_fail") {
+    mode = Failpoint::Mode::kAllocFail;
+  } else {
+    return Status::InvalidArgument(
+        "unknown failpoint spec \"" + std::string(spec) +
+        "\" (expected off|error[:msg]|sleep:MS|alloc_fail)");
+  }
+  Register(name)->Configure(mode, std::move(message), sleep_ms);
+  return Status::OK();
+}
+
+void FailpointRegistry::Deactivate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it != points_.end()) {
+    it->second->Configure(Failpoint::Mode::kOff, std::string(), 0);
+  }
+}
+
+void FailpointRegistry::DeactivateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    point->Configure(Failpoint::Mode::kOff, std::string(), 0);
+  }
+}
+
+Status FailpointRegistry::ActivateFromEnv(const char* env_var) {
+  const char* raw = std::getenv(env_var);
+  if (raw == nullptr) return Status::OK();
+  std::string_view rest(raw);
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    std::string_view entry =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          std::string(env_var) + " entry \"" + std::string(entry) +
+          "\" is not NAME=SPEC");
+    }
+    SIMPUSH_RETURN_NOT_OK(
+        Activate(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, uint64_t>> FailpointRegistry::Hits()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.emplace_back(name, point->hits());
+  }
+  return out;
+}
+
+}  // namespace simpush

@@ -1,0 +1,140 @@
+// Named, always-compiled failpoints for fault injection.
+//
+// A failpoint is a named hook at a seam the normal test suite can
+// never exercise from the outside — a failed snapshot rebuild, a
+// workspace allocation failure, a stuck socket write. Instrumented
+// code registers the hook once (a static local pointer) and guards it
+// with one relaxed atomic load, so the cost when inactive is a single
+// predictable branch — cheap enough to leave compiled into release
+// binaries, which is the point: the chaos suite and production run the
+// SAME code.
+//
+// Activation specs (tests call Activate, operators set the
+// SIMPUSH_FAILPOINTS env var, e.g. "registry.rebuild=error;
+// workspace_pool.acquire=sleep:50"):
+//
+//   off            deactivate
+//   error          fire as an injected IOError
+//   error:MESSAGE  fire as an injected IOError with MESSAGE
+//   sleep:MS       sleep MS milliseconds, then continue OK
+//   alloc_fail     make the guarded allocation behave as failed
+//
+// Every firing increments a hit counter so a chaos test can assert an
+// instrumented seam was actually reached.
+//
+// Thread-safety contract: all methods on Failpoint and the registry
+// are safe from any thread. active() is wait-free; Fire() takes a
+// short mutex only while a failpoint is active.
+
+#ifndef SIMPUSH_COMMON_FAILPOINT_H_
+#define SIMPUSH_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simpush {
+
+/// One named failpoint. Obtained from FailpointRegistry::Register;
+/// never destroyed (the registry owns them for the process lifetime,
+/// so instrumented code can cache the pointer in a static local).
+class Failpoint {
+ public:
+  enum class Mode { kOff, kError, kSleep, kAllocFail };
+
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// The inactive-path guard: one relaxed atomic load.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Executes the configured action. kError returns the injected
+  /// status; kSleep blocks for the configured duration then returns
+  /// OK; kAllocFail returns OK (the caller checks mode() and fails its
+  /// allocation). Increments the hit counter. Precondition: active().
+  Status Fire();
+
+  /// The active mode (kOff when inactive). For call sites that need to
+  /// distinguish alloc_fail from error.
+  Mode mode() const;
+
+  /// Times this failpoint has fired since process start.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class FailpointRegistry;
+  void Configure(Mode mode, std::string message, int sleep_ms);
+
+  const std::string name_;
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> hits_{0};
+  mutable std::mutex mu_;  // Guards mode_/message_/sleep_ms_.
+  Mode mode_ = Mode::kOff;
+  std::string message_;
+  int sleep_ms_ = 0;
+};
+
+/// Process-wide catalog of failpoints.
+class FailpointRegistry {
+ public:
+  /// The singleton (leaked intentionally; failpoints outlive statics
+  /// that may fire during shutdown).
+  static FailpointRegistry& Get();
+
+  /// Returns the failpoint named `name`, creating it inactive on first
+  /// use. The pointer is stable for the process lifetime.
+  Failpoint* Register(std::string_view name);
+
+  /// Activates `name` with a spec ("error", "error:msg", "sleep:MS",
+  /// "alloc_fail", "off"); creates the failpoint if instrumented code
+  /// has not registered it yet (activation order is not observable).
+  Status Activate(std::string_view name, std::string_view spec);
+
+  /// Deactivates one failpoint (no-op when absent).
+  void Deactivate(std::string_view name);
+
+  /// Deactivates everything — chaos tests call this between scenarios.
+  void DeactivateAll();
+
+  /// Parses `env` ("name=spec;name=spec") from the environment and
+  /// activates each entry; OK when the variable is unset or empty.
+  Status ActivateFromEnv(const char* env_var = "SIMPUSH_FAILPOINTS");
+
+  /// (name, hits) for every registered failpoint, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Hits() const;
+
+ private:
+  FailpointRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+};
+
+/// Instruments a seam in Status-returning code:
+///   SIMPUSH_FAILPOINT("registry.rebuild");
+/// expands to a cached registry lookup, the one-load guard, and an
+/// early error return when the failpoint is active in error mode.
+#define SIMPUSH_FAILPOINT(name_literal)                               \
+  do {                                                                \
+    static ::simpush::Failpoint* simpush_fp_ =                        \
+        ::simpush::FailpointRegistry::Get().Register(name_literal);   \
+    if (simpush_fp_->active()) {                                      \
+      SIMPUSH_RETURN_NOT_OK(simpush_fp_->Fire());                     \
+    }                                                                 \
+  } while (0)
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_FAILPOINT_H_

@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kIOError,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight status object: OK carries no allocation.
@@ -53,6 +55,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "graph/binary_io.h"
 #include "graph/graph_builder.h"
 
@@ -93,6 +94,9 @@ StatusOr<Graph> ParseEdgeList(const std::string& text,
 
 StatusOr<Graph> LoadGraphAnyFormat(const std::string& path,
                                    const EdgeListOptions& options) {
+  // Chaos hook: lets the suite fail a graph load without corrupting a
+  // real file (covers every serve-layer path that loads from disk).
+  SIMPUSH_FAILPOINT("graph_io.load");
   if (path.size() > 4 && path.compare(path.size() - 4, 4, ".spg") == 0) {
     return LoadBinaryGraph(path);
   }

@@ -1,0 +1,107 @@
+#include "serve/disconnect_watcher.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace simpush {
+namespace serve {
+
+DisconnectWatcher::WatchGuard& DisconnectWatcher::WatchGuard::operator=(
+    WatchGuard&& other) noexcept {
+  if (this != &other) {
+    if (watcher_ != nullptr) watcher_->Unwatch(id_);
+    watcher_ = other.watcher_;
+    id_ = other.id_;
+    other.watcher_ = nullptr;
+  }
+  return *this;
+}
+
+DisconnectWatcher::WatchGuard::~WatchGuard() {
+  if (watcher_ != nullptr) watcher_->Unwatch(id_);
+}
+
+DisconnectWatcher::DisconnectWatcher(int poll_interval_ms)
+    : poll_interval_ms_(std::max(1, poll_interval_ms)),
+      thread_([this] { PollLoop(); }) {}
+
+DisconnectWatcher::~DisconnectWatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+DisconnectWatcher::WatchGuard DisconnectWatcher::Watch(int fd,
+                                                       CancelToken* token) {
+  if (fd < 0 || token == nullptr) return WatchGuard();
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    entries_.push_back(Entry{id, fd, token});
+  }
+  wake_.notify_all();
+  return WatchGuard(this, id);
+}
+
+size_t DisconnectWatcher::watched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void DisconnectWatcher::Unwatch(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void DisconnectWatcher::PollLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> ids;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Sleep (instead of spinning on poll) while nothing is watched.
+      wake_.wait(lock, [this] { return stopping_ || !entries_.empty(); });
+      if (stopping_) return;
+      pfds.clear();
+      ids.clear();
+      for (const Entry& entry : entries_) {
+        pfds.push_back(pollfd{entry.fd, POLLRDHUP, 0});
+        ids.push_back(entry.id);
+      }
+    }
+    // Poll WITHOUT the lock so Watch/Unwatch never wait an interval.
+    const int ready =
+        ::poll(pfds.data(), pfds.size(), poll_interval_ms_);
+    if (ready <= 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      // POLLRDHUP: orderly shutdown from the peer (half-close counts —
+      // a client that shut down its write side has abandoned the
+      // request even though the socket can still carry our response).
+      // POLLHUP/POLLERR arrive unsolicited on hard resets. POLLIN is
+      // NOT here: readable bytes may be the client pipelining its next
+      // request.
+      if ((pfds[i].revents & (POLLRDHUP | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      // The entry may have been unwatched while we polled; the id
+      // lookup makes firing a stale fd's token impossible (fd numbers
+      // recycle, ids never do).
+      const uint64_t id = ids[i];
+      auto it = std::find_if(entries_.begin(), entries_.end(),
+                             [id](const Entry& e) { return e.id == id; });
+      if (it != entries_.end()) it->token->Cancel();
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,98 @@
+// DisconnectWatcher: cancels in-flight queries whose client went away.
+//
+// A worker thread that starts a long query on behalf of an HTTP request
+// cannot itself notice the client hanging up — it is busy computing,
+// and the socket only reports the disconnect when someone looks. This
+// watcher is that someone: one background thread polls every watched
+// connection fd (POLLRDHUP | POLLHUP | POLLERR) on a short cadence and
+// fires the request's CancelToken when the peer is gone, so the engine
+// aborts within a stride or two instead of finishing work nobody will
+// read.
+//
+// POLLIN alone is deliberately NOT treated as a disconnect: a
+// pipelining client may legally send its next request while the
+// current one computes, and readable-bytes must not kill it.
+//
+// Thread-safety contract: Watch/Unwatch are safe from any thread. The
+// caller must Unwatch (or destroy the returned guard) BEFORE the
+// CancelToken or the fd die — the watcher holds raw pointers. The
+// guard's destructor guarantees that ordering when kept on the request
+// stack below the token.
+
+#ifndef SIMPUSH_SERVE_DISCONNECT_WATCHER_H_
+#define SIMPUSH_SERVE_DISCONNECT_WATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+
+namespace simpush {
+namespace serve {
+
+class DisconnectWatcher {
+ public:
+  /// RAII registration: unwatches on destruction. Move-only.
+  class WatchGuard {
+   public:
+    WatchGuard() = default;
+    WatchGuard(WatchGuard&& other) noexcept
+        : watcher_(other.watcher_), id_(other.id_) {
+      other.watcher_ = nullptr;
+    }
+    WatchGuard& operator=(WatchGuard&& other) noexcept;
+    WatchGuard(const WatchGuard&) = delete;
+    WatchGuard& operator=(const WatchGuard&) = delete;
+    ~WatchGuard();
+
+   private:
+    friend class DisconnectWatcher;
+    WatchGuard(DisconnectWatcher* watcher, uint64_t id)
+        : watcher_(watcher), id_(id) {}
+    DisconnectWatcher* watcher_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// `poll_interval_ms` bounds disconnect-detection latency.
+  explicit DisconnectWatcher(int poll_interval_ms = 10);
+  /// Joins the poll thread. Every guard must already be destroyed.
+  ~DisconnectWatcher();
+
+  DisconnectWatcher(const DisconnectWatcher&) = delete;
+  DisconnectWatcher& operator=(const DisconnectWatcher&) = delete;
+
+  /// Watches `fd`; fires token->Cancel() once the peer disconnects.
+  /// `fd` and `token` must stay valid until the guard is destroyed.
+  /// Negative fds yield an inert guard (callers need no special case
+  /// for requests without a connection, e.g. tests).
+  WatchGuard Watch(int fd, CancelToken* token);
+
+  /// Entries currently registered (tests: leak check).
+  size_t watched() const;
+
+ private:
+  struct Entry {
+    uint64_t id;
+    int fd;
+    CancelToken* token;
+  };
+
+  void Unwatch(uint64_t id);
+  void PollLoop();
+
+  const int poll_interval_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::vector<Entry> entries_;
+  uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_DISCONNECT_WATCHER_H_

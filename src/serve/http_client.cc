@@ -6,17 +6,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "serve/net_util.h"
 
 namespace simpush {
 namespace serve {
 
-HttpClient::HttpClient(std::string host, uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+HttpClient::HttpClient(std::string host, uint16_t port,
+                       HttpRetryOptions retry)
+    : host_(std::move(host)),
+      port_(port),
+      retry_(retry),
+      jitter_(std::random_device{}()) {}
 
 HttpClient::~HttpClient() { Disconnect(); }
 
@@ -51,11 +58,53 @@ Status HttpClient::Connect() {
   return Status::OK();
 }
 
+int HttpClient::BackoffMs(int retry) {
+  // base * 2^retry, capped, then jittered to [ms/2, ms*3/2) so a fleet
+  // of clients hammering a restarted server spreads out.
+  int64_t ms = retry_.base_backoff_ms;
+  for (int i = 0; i < retry && ms < retry_.max_backoff_ms; ++i) ms *= 2;
+  ms = std::clamp<int64_t>(ms, 1, retry_.max_backoff_ms);
+  std::uniform_int_distribution<int64_t> spread(ms / 2, ms + ms / 2);
+  return static_cast<int>(spread(jitter_));
+}
+
+Status HttpClient::ConnectWithRetry() {
+  // A failed connect never carried a request, so retrying is safe for
+  // every method — this is where a client rides out a server restart.
+  Status status = Status::OK();
+  for (int attempt = 0; attempt < std::max(1, retry_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(attempt - 1)));
+    }
+    status = Connect();
+    if (status.ok()) return status;
+  }
+  return status;
+}
+
 StatusOr<HttpResponse> HttpClient::Request(std::string_view method,
                                            std::string_view target,
                                            std::string_view body) {
+  auto response = RequestAttempt(method, target, body);
+  // Full-request retries only for idempotent GETs: a POST whose
+  // connection died mid-exchange may already have executed.
+  if (response.ok() || method != "GET") return response;
+  for (int attempt = 1; attempt < retry_.max_attempts; ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(BackoffMs(attempt - 1)));
+    response = RequestAttempt(method, target, body);
+    if (response.ok()) return response;
+  }
+  return response;
+}
+
+StatusOr<HttpResponse> HttpClient::RequestAttempt(std::string_view method,
+                                                  std::string_view target,
+                                                  std::string_view body) {
   const bool reused_connection = fd_ >= 0;
-  if (fd_ < 0) SIMPUSH_RETURN_NOT_OK(Connect());
+  if (fd_ < 0) SIMPUSH_RETURN_NOT_OK(ConnectWithRetry());
   bool connection_closed = false;
   auto response = RequestOnce(method, target, body, &connection_closed);
   if (response.ok()) {
@@ -64,14 +113,15 @@ StatusOr<HttpResponse> HttpClient::Request(std::string_view method,
   }
   if (!reused_connection) {
     // A fresh connection failed: retrying would re-execute the request
-    // against a server that may have processed it already.
+    // against a server that may have processed it already (Request
+    // loops back here only for GETs, where that is harmless).
     Disconnect();
     return response;
   }
   // A reused keep-alive connection may simply have been closed by the
   // server while idle; reconnect and retry once.
   Disconnect();
-  SIMPUSH_RETURN_NOT_OK(Connect());
+  SIMPUSH_RETURN_NOT_OK(ConnectWithRetry());
   response = RequestOnce(method, target, body, &connection_closed);
   if (response.ok() && connection_closed) Disconnect();
   return response;

@@ -11,6 +11,7 @@
 #define SIMPUSH_SERVE_HTTP_CLIENT_H_
 
 #include <cstdint>
+#include <random>
 #include <string>
 #include <string_view>
 
@@ -20,12 +21,29 @@
 namespace simpush {
 namespace serve {
 
+/// Retry policy for transient failures. Connect failures are always
+/// safe to retry (the connection never carried a request); full
+/// request retries apply only to idempotent GETs — a POST whose
+/// connection died mid-flight may already have executed server-side,
+/// so it is surfaced to the caller instead (except the classic
+/// keep-alive case: a REUSED connection that fails gets one reconnect
+/// and resend, since the server provably closed it before reading).
+struct HttpRetryOptions {
+  /// Total attempts (first try included). 1 = no retries.
+  int max_attempts = 3;
+  /// First backoff; doubles per retry (exponential), jittered ±50% so
+  /// a fleet of clients retrying a restarted server doesn't stampede.
+  int base_backoff_ms = 10;
+  /// Backoff ceiling.
+  int max_backoff_ms = 250;
+};
+
 /// One keep-alive connection to a server. Reconnects transparently if
 /// the server closed the connection between requests.
 class HttpClient {
  public:
   /// Connects lazily on the first request.
-  HttpClient(std::string host, uint16_t port);
+  HttpClient(std::string host, uint16_t port, HttpRetryOptions retry = {});
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -51,13 +69,25 @@ class HttpClient {
 
  private:
   Status Connect();
+  /// Connect() with the retry policy applied (jittered backoff between
+  /// attempts).
+  Status ConnectWithRetry();
+  /// One full try: connect if needed, send, read, with the keep-alive
+  /// reconnect-once fallback for reused connections.
+  StatusOr<HttpResponse> RequestAttempt(std::string_view method,
+                                        std::string_view target,
+                                        std::string_view body);
   StatusOr<HttpResponse> RequestOnce(std::string_view method,
                                      std::string_view target,
                                      std::string_view body,
                                      bool* connection_closed);
+  /// Jittered exponential backoff for retry number `retry` (0-based).
+  int BackoffMs(int retry);
 
   const std::string host_;
   const uint16_t port_;
+  const HttpRetryOptions retry_;
+  std::mt19937 jitter_;  // Backoff jitter only; not the engine RNG.
   int fd_ = -1;
   std::string buffer_;  // Unconsumed bytes between responses.
 };

@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/deadline.h"
+#include "common/failpoint.h"
 #include "serve/net_util.h"
 
 namespace simpush {
@@ -30,8 +32,14 @@ const char* StatusText(int status) {
     case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    // Nginx's code for "client went away before the response": used
+    // when a disconnect watcher cancels an in-flight query. The
+    // response is usually unsendable — the status mainly feeds logs
+    // and counters — but a half-closed client can still receive it.
+    case 499: return "Client Closed Request";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -157,6 +165,14 @@ void HttpServer::AcceptLoop() {
     timeout.tv_sec = options_.read_timeout_ms / 1000;
     timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    // ... and the write-side mirror: one send() to a client that
+    // stopped reading unblocks after this long (WriteResponse then
+    // retries under its total budget or gives up).
+    timeval write_timeout{};
+    write_timeout.tv_sec = options_.write_timeout_ms / 1000;
+    write_timeout.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &write_timeout,
+                 sizeof(write_timeout));
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
@@ -172,10 +188,13 @@ void HttpServer::AcceptLoop() {
     // Admission control: shed the connection at the door with a canned
     // 503 rather than queueing unboundedly.
     rejected_.fetch_add(1);
+    // Retry-After tells well-behaved clients to back off instead of
+    // hammering an overloaded server into a 503 storm.
     static constexpr char kOverloaded[] =
         "HTTP/1.1 503 Service Unavailable\r\n"
         "Content-Type: application/json\r\n"
         "Content-Length: 23\r\n"
+        "Retry-After: 1\r\n"
         "Connection: close\r\n\r\n"
         "{\"error\":\"overloaded\"}\n";
     SendAll(fd, kOverloaded, sizeof(kOverloaded) - 1);
@@ -205,6 +224,7 @@ void HttpServer::ServeConnection(int fd) {
     HttpRequest request;
     const int got = ReadRequest(fd, &buffer, &request);
     if (got <= 0) break;
+    request.client_fd = fd;  // For handler-side disconnect watching.
 
     HttpResponse response;
     bool path_known = false;
@@ -244,7 +264,9 @@ void HttpServer::ServeConnection(int fd) {
       if (AsciiLowerCase(*connection) == "close") close = true;
     }
     requests_.fetch_add(1);
-    WriteResponse(fd, response, close);
+    // A failed write means the connection is stalled or gone; further
+    // keep-alive requests on it would only waste the worker.
+    if (!WriteResponse(fd, response, close)) break;
     if (close) break;
   }
   ::close(fd);
@@ -406,8 +428,17 @@ int HttpServer::ReadRequest(int fd, std::string* buffer,
   return 1;
 }
 
-void HttpServer::WriteResponse(int fd, const HttpResponse& response,
+bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
                                bool close) {
+  // Chaos hook: error mode aborts the connection as if the client
+  // vanished mid-write; sleep mode delays the response (slow-network
+  // simulation without traffic shaping).
+  static Failpoint* write_fp =
+      FailpointRegistry::Get().Register("http.write");
+  if (write_fp->active()) {
+    if (!write_fp->Fire().ok()) return false;
+  }
+
   std::string head;
   head.reserve(160);
   head.append("HTTP/1.1 ");
@@ -418,10 +449,24 @@ void HttpServer::WriteResponse(int fd, const HttpResponse& response,
   head.append(response.content_type);
   head.append("\r\nContent-Length: ");
   head.append(std::to_string(response.body.size()));
+  for (const auto& [name, value] : response.extra_headers) {
+    head.append("\r\n");
+    head.append(name);
+    head.append(": ");
+    head.append(value);
+  }
   head.append(close ? "\r\nConnection: close\r\n\r\n"
                     : "\r\nConnection: keep-alive\r\n\r\n");
-  if (!SendAll(fd, head.data(), head.size())) return;
-  SendAll(fd, response.body.data(), response.body.size());
+  // One TOTAL budget across head + body. Each send() already unblocks
+  // after write_timeout_ms (SO_SNDTIMEO), but a client draining a few
+  // bytes per timeout would keep every send "succeeding" — the shared
+  // deadline bounds the worker's total exposure to a stuck or
+  // trickling reader no matter how the progress is shaped.
+  const Deadline budget = Deadline::After(
+      std::max(options_.write_timeout_ms, options_.idle_timeout_ms));
+  if (!SendAllWithin(fd, head.data(), head.size(), budget)) return false;
+  return SendAllWithin(fd, response.body.data(), response.body.size(),
+                       budget);
 }
 
 }  // namespace serve

@@ -49,6 +49,11 @@ struct HttpRequest {
   std::string target;  ///< Request target, e.g. "/v1/query".
   std::string body;    ///< Content-Length bytes (empty when absent).
   std::vector<std::pair<std::string, std::string>> headers;
+  /// The connection's socket, valid for the handler's duration. Lets a
+  /// handler watch for client disconnect (poll for POLLRDHUP) while it
+  /// computes; handlers must never read, write, or close it — the
+  /// server owns the connection framing.
+  int client_fd = -1;
 
   /// First header named `name` (lower-case), or nullptr.
   const std::string* FindHeader(std::string_view name) const;
@@ -60,6 +65,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Additional headers appended verbatim (e.g. {"Retry-After", "1"}).
+  /// Names the server already emits (Content-Type/Length, Connection)
+  /// must not appear here.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 /// A route handler. Runs on a worker thread; must be thread-safe
@@ -75,6 +84,11 @@ struct HttpServerOptions {
   /// Socket read timeout (must be > 0): the granularity at which a
   /// worker re-checks the idle budget and the drain flag.
   int read_timeout_ms = 200;
+  /// Socket write timeout (must be > 0): bounds how long one send() may
+  /// block on a full socket buffer — the write-side mirror of
+  /// read_timeout_ms. Without it a client that stops reading while a
+  /// large response is mid-flight holds its worker hostage forever.
+  int write_timeout_ms = 200;
   /// A connection that sends no bytes for this long is closed (idle
   /// keep-alive connections silently, mid-request stalls with 408), so
   /// idle or trickling clients cannot pin workers indefinitely.
@@ -137,7 +151,9 @@ class HttpServer {
   // Reads one request off `fd`. Returns 1 on success, 0 on clean
   // connection close before any bytes, -1 on error/timeout-at-drain.
   int ReadRequest(int fd, std::string* buffer, HttpRequest* request);
-  void WriteResponse(int fd, const HttpResponse& response, bool close);
+  // Serializes and sends one response under the write budget. False
+  // means the connection is unusable (stalled or gone) and must close.
+  bool WriteResponse(int fd, const HttpResponse& response, bool close);
 
   const HttpServerOptions options_;
   std::vector<std::tuple<std::string, std::string, HttpHandler>> routes_;

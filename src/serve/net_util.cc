@@ -21,6 +21,24 @@ bool SendAll(int fd, const char* data, size_t size) {
   return true;
 }
 
+bool SendAllWithin(int fd, const char* data, size_t size,
+                   const Deadline& budget) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && !budget.expired()) {
+        continue;  // SO_SNDTIMEO tick on a full buffer; budget remains.
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+    if (sent < size && budget.expired()) return false;
+  }
+  return true;
+}
+
 std::string AsciiLowerCase(std::string s) {
   for (char& c : s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

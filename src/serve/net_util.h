@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/deadline.h"
+
 namespace simpush {
 namespace serve {
 
@@ -13,6 +15,15 @@ namespace serve {
 /// MSG_NOSIGNAL so a dead peer reports EPIPE instead of raising
 /// SIGPIPE.
 bool SendAll(int fd, const char* data, size_t size);
+
+/// SendAll under a total time budget: EAGAIN/EWOULDBLOCK (the socket's
+/// SO_SNDTIMEO firing on a full buffer) retries until `budget` expires
+/// instead of failing immediately, so a slow-but-progressing reader is
+/// tolerated while a stuck one cannot hold the caller past the budget.
+/// Requires SO_SNDTIMEO on `fd` — without it a single send() can block
+/// arbitrarily long and the budget is only checked between calls.
+bool SendAllWithin(int fd, const char* data, size_t size,
+                   const Deadline& budget);
 
 /// ASCII lower-casing (header names/values; never applied to bodies).
 std::string AsciiLowerCase(std::string s);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace simpush {
 namespace serve {
 
@@ -130,13 +132,24 @@ StatusOr<GenerationLease> GraphRegistry::Lease(std::string_view name) const {
 }
 
 Status GraphRegistry::RebuildLocked(Tenant* tenant) {
+  // Chaos hook: a rebuild that fails (snapshot OOM, bad state) must
+  // leave the tenant serving its old generation with nothing leaked.
+  SIMPUSH_FAILPOINT("registry.rebuild");
   StatusOr<Graph> snapshot = tenant->master.Snapshot();
   if (!snapshot.ok()) return snapshot.status();
   // The tenant's own options, not the registry default — a hot swap
   // must never silently reset a tenant's ε/c/δ/seed.
-  GenerationLease next = BuildGeneration(*std::move(snapshot),
-                                         tenant->options);
+  SimPushOptions options;
+  {
+    std::lock_guard<std::mutex> lock(tenant->options_mu);
+    options = tenant->options;
+  }
+  GenerationLease next = BuildGeneration(*std::move(snapshot), options);
   SIMPUSH_RETURN_NOT_OK(next->core().options_status());
+  // Chaos hook: failure after the (expensive) build but before the
+  // publish — the fully-built `next` must unwind cleanly through the
+  // live_generations gauge.
+  SIMPUSH_FAILPOINT("registry.publish");
   tenant->pending.store(0);
   tenant->swap_count.fetch_add(1);
   std::lock_guard<std::mutex> lock(tenant->current_mu);
@@ -205,16 +218,53 @@ StatusOr<UpdateOutcome> GraphRegistry::Swap(std::string_view name) {
   return outcome;
 }
 
+StatusOr<UpdateOutcome> GraphRegistry::UpdateOptions(
+    std::string_view name, const SimPushOptions& options) {
+  SIMPUSH_RETURN_NOT_OK(options.Validate());
+  const std::shared_ptr<Tenant> tenant = FindTenant(name);
+  if (tenant == nullptr) {
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  // update_mu serializes against rebuilds so the generation we re-wrap
+  // cannot be swapped out from under us mid-build.
+  std::lock_guard<std::mutex> lock(tenant->update_mu);
+  const GenerationLease current = tenant->Current();
+  if (current == nullptr) {  // Raced with Remove().
+    return Status::NotFound("no graph named \"" + std::string(name) + "\"");
+  }
+  // Re-publish the CURRENT generation's graph, not a master snapshot:
+  // an options change must not smuggle in pending edge updates.
+  GenerationLease next = BuildGeneration(Graph(current->graph()), options);
+  SIMPUSH_RETURN_NOT_OK(next->core().options_status());
+  SIMPUSH_FAILPOINT("registry.publish");
+  {
+    std::lock_guard<std::mutex> olock(tenant->options_mu);
+    tenant->options = options;
+    tenant->options_generation = next->id();
+  }
+  tenant->swap_count.fetch_add(1);
+  UpdateOutcome outcome;
+  outcome.swapped = true;
+  outcome.pending = tenant->pending.load();
+  outcome.generation = next->id();
+  std::lock_guard<std::mutex> clock(tenant->current_mu);
+  tenant->current = std::move(next);
+  return outcome;
+}
+
 StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
   const std::shared_ptr<Tenant> tenant = FindTenant(name);
   if (tenant == nullptr) {
     return Status::NotFound("no graph named \"" + std::string(name) + "\"");
   }
-  // Atomic gauges, not update_mu: a stats scrape must never wait out a
-  // rebuild holding the lock across its O(m) snapshot.
+  // Atomic gauges (and options_mu), not update_mu: a stats scrape must
+  // never wait out a rebuild holding the lock across its O(m) snapshot.
   TenantStats stats;
-  stats.options = tenant->options;
-  stats.options_generation = tenant->options_generation;
+  {
+    std::lock_guard<std::mutex> lock(tenant->options_mu);
+    stats.options = tenant->options;
+    stats.options_generation = tenant->options_generation;
+  }
   stats.pending_updates = tenant->pending.load();
   stats.updates_applied = tenant->updates_applied.load();
   stats.swap_count = tenant->swap_count.load();

@@ -121,8 +121,9 @@ struct TenantStats {
   /// The engine options every generation of this tenant is built from
   /// — the tenant's own ε/c/δ/seed, NOT the registry-wide default.
   SimPushOptions options;
-  /// Generation id in which `options` took effect (the tenant's first
-  /// generation; options are fixed for a tenant's lifetime).
+  /// Generation id in which `options` took effect: the tenant's first
+  /// generation, or the generation published by the most recent
+  /// UpdateOptions call.
   uint64_t options_generation = 0;
   uint64_t pending_updates = 0;   ///< Master edits not yet snapshotted.
   uint64_t updates_applied = 0;   ///< Lifetime accepted edge updates.
@@ -188,6 +189,17 @@ class GraphRegistry {
   /// Rebuilds and publishes a new generation from the master now.
   StatusOr<UpdateOutcome> Swap(std::string_view name);
 
+  /// Replaces the tenant's engine options and re-publishes the CURRENT
+  /// generation's graph under them (a new generation id; in-flight
+  /// queries keep their leased generation, exactly like a hot swap).
+  /// Pending master updates are deliberately NOT consumed: an options
+  /// change must not smuggle in edges that were awaiting an explicit
+  /// swap — they stay pending and apply at the next Swap/threshold.
+  /// The new options govern every later generation the tenant
+  /// publishes; options_generation records where they took effect.
+  StatusOr<UpdateOutcome> UpdateOptions(std::string_view name,
+                                        const SimPushOptions& options);
+
   /// Stats snapshot for one tenant.
   StatusOr<TenantStats> Stats(std::string_view name) const;
 
@@ -213,9 +225,12 @@ class GraphRegistry {
     // Never held while executing queries; Lease() does not take it.
     std::mutex update_mu;
     DynamicGraph master;
-    // The tenant's engine options and the generation they first
-    // applied in. Written once in Add() before the tenant is published
-    // to the map (the map mutex orders the writes), immutable after.
+    // The tenant's engine options and the generation they took effect
+    // in. Written in Add() before the tenant reaches the map, then
+    // only by UpdateOptions; options_mu guards them because Stats()
+    // reads without update_mu (which rebuilds hold across an O(m)
+    // snapshot).
+    mutable std::mutex options_mu;
     SimPushOptions options;
     uint64_t options_generation = 0;
     // Gauges mirrored as atomics (written under update_mu, read

@@ -178,6 +178,58 @@ Status CheckEpsilonFloor(double value, double min_epsilon,
   return Status::OK();
 }
 
+// Reads the optional per-request "deadline_ms" budget for /v1/query,
+// /v1/topk and /v1/batch. Absent → the operator's request_timeout_ms
+// default (0 = no deadline). Present → an integer in
+// [1, max_deadline_ms]; the field is network-controlled, so values
+// above the operator cap are a 400, not a clamp — silent clamping
+// would let a client believe it bought more time than it got.
+StatusOr<int64_t> ReadDeadlineMs(const JsonValue& doc,
+                                 const ServiceOptions& options) {
+  const JsonValue* field = doc.Find("deadline_ms");
+  if (field == nullptr) {
+    return static_cast<int64_t>(options.request_timeout_ms);
+  }
+  auto value = field->AsIndex();
+  if (!value.ok()) {
+    return Status::InvalidArgument("\"deadline_ms\": " +
+                                   value.status().message());
+  }
+  if (*value < 1 ||
+      *value > static_cast<uint64_t>(options.max_deadline_ms)) {
+    return Status::InvalidArgument(
+        "\"deadline_ms\" must be in [1, " +
+        std::to_string(options.max_deadline_ms) + "]");
+  }
+  return static_cast<int64_t>(*value);
+}
+
+// 504/499 body: the error plus partial timing, so a client (or its
+// operator) can see how far past the budget the query got and which
+// generation it ran against.
+HttpResponse TimeoutError(int status, std::string_view message,
+                          double elapsed_ms, int64_t deadline_ms,
+                          std::string_view graph, uint64_t generation) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("error");
+  writer.String(message);
+  writer.Key("elapsed_ms");
+  writer.Double(elapsed_ms);
+  writer.Key("deadline_ms");
+  writer.Uint(deadline_ms > 0 ? static_cast<uint64_t>(deadline_ms) : 0);
+  writer.Key("graph");
+  writer.String(graph);
+  writer.Key("generation");
+  writer.Uint(generation);
+  writer.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = writer.Take();
+  response.body.push_back('\n');
+  return response;
+}
+
 // Reads the optional per-request "epsilon" override for /v1/query and
 // /v1/topk. Absent → *has_override stays false. Present → must be a
 // finite number in (0,1) and at least `min_epsilon` (the override is
@@ -431,7 +483,7 @@ void SimPushService::RegisterRoutes(HttpServer* server) {
                 [this](const HttpRequest& r) { return HandleGraphList(r); });
   server->Route("POST", "/v1/graphs",
                 [this](const HttpRequest& r) { return HandleGraphCreate(r); });
-  for (const char* method : {"GET", "POST", "DELETE"}) {
+  for (const char* method : {"GET", "POST", "DELETE", "PATCH"}) {
     server->RoutePrefix(method, "/v1/graphs/", [this](const HttpRequest& r) {
       return HandleGraphOp(r);
     });
@@ -446,12 +498,14 @@ std::shared_ptr<SimPushService::TenantMetrics> SimPushService::FindMetrics(
 }
 
 Status SimPushService::RunOnGeneration(const GraphGeneration& generation,
-                                       NodeId u, SimPushResult* result) {
+                                       NodeId u, SimPushResult* result,
+                                       const CancelToken* cancel) {
   // Lease one pooled workspace for this query; construction blocks
   // while all `pool_capacity` workspaces are in flight, which is the
-  // backpressure that bounds query-scratch memory under load. The
-  // caller's generation lease is what a hot swap can never invalidate.
-  QueryRunner runner(generation.core(), generation.workspaces());
+  // backpressure that bounds query-scratch memory under load (a fired
+  // `cancel` unblocks the wait). The caller's generation lease is what
+  // a hot swap can never invalidate.
+  QueryRunner runner(generation.core(), generation.workspaces(), cancel);
   const Status status = runner.QueryInto(u, result);
   AccumulateEngineTotals(runner.totals());
   return status;
@@ -459,7 +513,7 @@ Status SimPushService::RunOnGeneration(const GraphGeneration& generation,
 
 Status SimPushService::RunWithEpsilonOverride(
     const GraphGeneration& generation, NodeId u, double epsilon,
-    SimPushResult* result) {
+    SimPushResult* result, const CancelToken* cancel) {
   // The AdaptiveTopK per-round-core pattern: derived parameters are
   // cheap to recompute, so an override query builds a throwaway core
   // for its ε over the leased generation's graph. It deliberately does
@@ -472,6 +526,7 @@ Status SimPushService::RunWithEpsilonOverride(
   SIMPUSH_RETURN_NOT_OK(core.options_status());
   QueryWorkspace workspace;
   QueryRunner runner(core, &workspace);
+  runner.set_cancellation(cancel);
   const Status status = runner.QueryInto(u, result);
   AccumulateEngineTotals(runner.totals());
   return status;
@@ -479,17 +534,42 @@ Status SimPushService::RunWithEpsilonOverride(
 
 StatusOr<double> SimPushService::RunQueryRequest(
     const JsonValue& doc, const GraphGeneration& generation, NodeId u,
-    SimPushResult* result) {
+    SimPushResult* result, const CancelToken* cancel) {
   bool has_override = false;
   double override_epsilon = 0.0;
   SIMPUSH_RETURN_NOT_OK(ReadEpsilonOverride(
       doc, options_.min_request_epsilon, &has_override, &override_epsilon));
-  SIMPUSH_RETURN_NOT_OK(
-      has_override
-          ? RunWithEpsilonOverride(generation, u, override_epsilon, result)
-          : RunOnGeneration(generation, u, result));
+  SIMPUSH_RETURN_NOT_OK(has_override
+                            ? RunWithEpsilonOverride(generation, u,
+                                                     override_epsilon, result,
+                                                     cancel)
+                            : RunOnGeneration(generation, u, result, cancel));
   return has_override ? override_epsilon
                       : generation.core().options().epsilon;
+}
+
+HttpResponse SimPushService::QueryErrorResponse(
+    const Status& status, double elapsed_ms, int64_t deadline_ms,
+    std::string_view graph_name, uint64_t generation,
+    const std::shared_ptr<TenantMetrics>& metrics) {
+  // kCancelled beats kDeadlineExceeded in CancelToken::Check, so a
+  // request that was BOTH late and abandoned counts as abandoned — the
+  // 499 is best-effort (nobody is reading it), but the counter is the
+  // operator's signal that clients are hanging up, not timing out.
+  if (status.code() == StatusCode::kCancelled) {
+    client_abandoned_.fetch_add(1);
+    if (metrics != nullptr) metrics->client_abandoned.fetch_add(1);
+    return TimeoutError(499, "client closed request", elapsed_ms,
+                        deadline_ms, graph_name, generation);
+  }
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_expired_.fetch_add(1);
+    if (metrics != nullptr) metrics->deadline_expired.fetch_add(1);
+    return TimeoutError(504, "deadline exceeded", elapsed_ms, deadline_ms,
+                        graph_name, generation);
+  }
+  bad_requests_.fetch_add(1);
+  return JsonError(400, status.message());
 }
 
 Status SimPushService::RunQuery(std::string_view graph_name, NodeId u,
@@ -559,20 +639,30 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   if (const JsonValue* field = doc->Find("with_stats")) {
     with_stats = field->is_bool() && field->bool_value();
   }
+  const auto deadline_ms = ReadDeadlineMs(*doc, options_);
+  if (!deadline_ms.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, deadline_ms.status().message());
+  }
+  // Token before guard: the guard must die first (it unregisters the
+  // raw token pointer from the watcher's poll set).
+  CancelToken token(Deadline::After(*deadline_ms));
+  const auto watch = watcher_.Watch(request.client_fd, &token);
+  const auto metrics = FindMetrics(graph_name);
   // Reused per HTTP worker thread: after warm-up the query path below
   // performs zero heap allocations (see serve_test's alloc-hook check).
   // Override requests run off this hot path by design (fresh core +
   // private workspace) and may allocate.
   static thread_local SimPushResult result;
-  const StatusOr<double> effective_epsilon =
-      RunQueryRequest(*doc, **lease, static_cast<NodeId>(*node), &result);
+  const StatusOr<double> effective_epsilon = RunQueryRequest(
+      *doc, **lease, static_cast<NodeId>(*node), &result, &token);
   if (!effective_epsilon.ok()) {
-    bad_requests_.fetch_add(1);
-    return JsonError(400, effective_epsilon.status().message());
+    return QueryErrorResponse(effective_epsilon.status(),
+                              wall.ElapsedSeconds() * 1e3, *deadline_ms,
+                              graph_name, (*lease)->id(), metrics);
   }
   query_requests_.fetch_add(1);
   nodes_scored_.fetch_add(1);
-  const auto metrics = FindMetrics(graph_name);
   if (metrics != nullptr) {
     metrics->requests.fetch_add(1);
     metrics->nodes_scored.fetch_add(1);
@@ -641,20 +731,29 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
                               std::to_string(graph.num_nodes()) + ")");
   }
 
+  const auto deadline_ms = ReadDeadlineMs(*doc, options_);
+  if (!deadline_ms.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, deadline_ms.status().message());
+  }
+  CancelToken token(Deadline::After(*deadline_ms));
+  const auto watch = watcher_.Watch(request.client_fd, &token);
+  const auto metrics = FindMetrics(graph_name);
+
   // Same reused-buffer hot path as /v1/query: QueryTopK would allocate
   // a fresh O(n) score vector per request, and WriteTopEntries selects
   // the identical entries (self and zero scores excluded, ties to the
   // smaller id).
   static thread_local SimPushResult result;
-  const StatusOr<double> effective_epsilon =
-      RunQueryRequest(*doc, **lease, static_cast<NodeId>(*node), &result);
+  const StatusOr<double> effective_epsilon = RunQueryRequest(
+      *doc, **lease, static_cast<NodeId>(*node), &result, &token);
   if (!effective_epsilon.ok()) {
-    bad_requests_.fetch_add(1);
-    return JsonError(400, effective_epsilon.status().message());
+    return QueryErrorResponse(effective_epsilon.status(),
+                              wall.ElapsedSeconds() * 1e3, *deadline_ms,
+                              graph_name, (*lease)->id(), metrics);
   }
   topk_requests_.fetch_add(1);
   nodes_scored_.fetch_add(1);
-  const auto metrics = FindMetrics(graph_name);
   if (metrics != nullptr) {
     metrics->requests.fetch_add(1);
     metrics->nodes_scored.fetch_add(1);
@@ -725,22 +824,37 @@ HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
     nodes.push_back(static_cast<NodeId>(*node));
   }
 
+  const auto deadline_ms = ReadDeadlineMs(*doc, options_);
+  if (!deadline_ms.ok()) {
+    bad_requests_.fetch_add(1);
+    return JsonError(400, deadline_ms.status().message());
+  }
+  CancelToken token(Deadline::After(*deadline_ms));
+  const auto watch = watcher_.Watch(request.client_fd, &token);
+  const auto metrics = FindMetrics(graph_name);
+
   // Fan out across the registry's shared thread pool; one workspace
   // from this generation's pool per chunk (ForEachQueryChunked),
   // results in input order. The lease pins the generation for the
   // whole fan-out, so every chunk scores the same graph even if a swap
-  // lands mid-batch.
+  // lands mid-batch. A fired token stops chunks between queries and
+  // inside each query's push loops.
   ParallelBatchStats batch_stats;
-  auto results =
-      ParallelQueryBatchTopK((*lease)->core(), registry_.thread_pool(),
-                             (*lease)->workspaces(), nodes, *k, &batch_stats);
+  auto results = ParallelQueryBatchTopK(
+      (*lease)->core(), registry_.thread_pool(), (*lease)->workspaces(),
+      nodes, *k, &batch_stats, &token);
   if (!results.ok()) {
+    if (results.status().code() == StatusCode::kCancelled ||
+        results.status().code() == StatusCode::kDeadlineExceeded) {
+      return QueryErrorResponse(results.status(),
+                                wall.ElapsedSeconds() * 1e3, *deadline_ms,
+                                graph_name, (*lease)->id(), metrics);
+    }
     bad_requests_.fetch_add(1);
     return JsonError(400, results.status().ToString());
   }
   batch_requests_.fetch_add(1);
   nodes_scored_.fetch_add(nodes.size());
-  const auto metrics = FindMetrics(graph_name);
   if (metrics != nullptr) {
     metrics->requests.fetch_add(1);
     metrics->nodes_scored.fetch_add(nodes.size());
@@ -819,6 +933,10 @@ void SimPushService::WriteTenantSection(JsonWriter* writer,
     writer->Uint(metrics->requests.load());
     writer->Key("nodes_scored");
     writer->Uint(metrics->nodes_scored.load());
+    writer->Key("deadline_expired");
+    writer->Uint(metrics->deadline_expired.load());
+    writer->Key("client_abandoned");
+    writer->Uint(metrics->client_abandoned.load());
     writer->Key("latency_ms");
     WriteLatency(writer, metrics->latency.Snapshot());
   }
@@ -876,6 +994,10 @@ HttpResponse SimPushService::HandleStats(const HttpRequest&) {
   writer.Uint(admin_requests_.load());
   writer.Key("bad");
   writer.Uint(bad_requests_.load());
+  writer.Key("deadline_expired");
+  writer.Uint(deadline_expired_.load());
+  writer.Key("client_abandoned");
+  writer.Uint(client_abandoned_.load());
   writer.Key("nodes_scored");
   writer.Uint(nodes_scored_.load());
   writer.EndObject();
@@ -1224,9 +1346,61 @@ HttpResponse SimPushService::HandleGraphOp(const HttpRequest& request) {
     return response;
   }
 
+  if (op == "options") {
+    if (request.method != "PATCH") {
+      bad_requests_.fetch_add(1);
+      return JsonError(405, "method not allowed");
+    }
+    auto doc = ParseJson(request.body);
+    if (!doc.ok() || !doc->is_object()) {
+      bad_requests_.fetch_add(1);
+      return JsonError(400, doc.ok() ? "request body must be a JSON object"
+                                     : doc.status().message());
+    }
+    // REPLACE semantics against the process defaults — the same merge
+    // and network bounds as POST /v1/graphs "options", so a field the
+    // request omits reverts to the operator default rather than
+    // sticking at whatever the tenant ran with before. Predictable
+    // beats sticky for a knob any client can set.
+    SimPushOptions tenant_options = options_.query;
+    if (const Status parsed = ReadTenantOptions(
+            *doc, options_.min_request_epsilon, &tenant_options);
+        !parsed.ok()) {
+      bad_requests_.fetch_add(1);
+      return JsonError(400, parsed.message());
+    }
+    if (doc->Find("options") == nullptr) {
+      bad_requests_.fetch_add(1);
+      return JsonError(400, "missing \"options\" object");
+    }
+    auto outcome = registry_.UpdateOptions(name, tenant_options);
+    if (!outcome.ok()) {
+      bad_requests_.fetch_add(1);
+      return JsonError(outcome.status());
+    }
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("graph");
+    writer.String(name);
+    // Echo the effective (merged) options, as the create endpoint does.
+    writer.Key("options");
+    WriteEngineOptions(&writer, tenant_options);
+    writer.Key("swapped");
+    writer.Bool(outcome->swapped);
+    writer.Key("pending");
+    writer.Uint(outcome->pending);
+    writer.Key("generation");
+    writer.Uint(outcome->generation);
+    writer.EndObject();
+    HttpResponse response;
+    response.body = writer.Take();
+    response.body.push_back('\n');
+    return response;
+  }
+
   bad_requests_.fetch_add(1);
   return JsonError(404, "unknown graph operation \"" + std::string(op) +
-                            "\" (expected edges|swap)");
+                            "\" (expected edges|swap|options)");
 }
 
 void SimPushService::LatencyRing::Record(double seconds) {

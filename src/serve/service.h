@@ -14,6 +14,7 @@
 //   DELETE /v1/graphs/{name}        unregister a graph
 //   POST   /v1/graphs/{name}/edges  batched add/remove edge updates
 //   POST   /v1/graphs/{name}/swap   publish a new generation now
+//   PATCH  /v1/graphs/{name}/options  replace engine options (re-publish)
 //
 // The query endpoints take an optional "graph" field naming the tenant
 // (default: options.default_graph, preserved for single-graph
@@ -49,9 +50,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "graph/graph.h"
+#include "serve/disconnect_watcher.h"
 #include "serve/http_server.h"
 #include "serve/json.h"
 #include "serve/registry.h"
@@ -105,6 +108,16 @@ struct ServiceOptions {
   size_t swap_threshold = 0;
   /// Maximum number of registered graphs.
   size_t max_graphs = 64;
+  /// Default per-request deadline for query/topk/batch requests that
+  /// carry no "deadline_ms" field, in milliseconds (0 = no default
+  /// deadline — requests without the field run to completion). A
+  /// request whose deadline expires aborts cooperatively in the engine
+  /// and answers 504 with partial timing.
+  int request_timeout_ms = 0;
+  /// Upper bound for the client-supplied "deadline_ms" field (larger
+  /// values get a 400). The field is network-controlled; without a cap
+  /// a client could pin a worker for an arbitrary time.
+  int max_deadline_ms = 60000;
   /// Tenant served when a request has no "graph" field.
   std::string default_graph = "default";
   /// Latency ring-buffer size for the /v1/stats percentiles (global
@@ -206,6 +219,8 @@ class SimPushService {
     explicit TenantMetrics(size_t ring_size) : latency(ring_size) {}
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> nodes_scored{0};
+    std::atomic<uint64_t> deadline_expired{0};   ///< 504 responses.
+    std::atomic<uint64_t> client_abandoned{0};   ///< 499: client left.
     LatencyRing latency;
   };
 
@@ -218,23 +233,36 @@ class SimPushService {
   void AccumulateEngineTotals(const QueryRunnerTotals& totals);
   /// One query on one generation bundle: the shared body of RunQuery
   /// and the query/topk handlers (which already hold a lease).
+  /// `cancel` (nullable) is polled cooperatively inside the engine.
   Status RunOnGeneration(const GraphGeneration& generation, NodeId u,
-                         SimPushResult* result);
+                         SimPushResult* result,
+                         const CancelToken* cancel = nullptr);
   /// One query on `generation`'s graph with the tenant's options but a
   /// per-request ε. Uses a fresh core + private workspace (the
   /// AdaptiveTopK per-round-core pattern), so the tenant's pooled
   /// workspaces — and the bit-reproducibility of its non-override
   /// traffic — are untouched.
   Status RunWithEpsilonOverride(const GraphGeneration& generation, NodeId u,
-                                double epsilon, SimPushResult* result);
+                                double epsilon, SimPushResult* result,
+                                const CancelToken* cancel = nullptr);
   /// Shared body of the query/topk handlers: reads the optional
   /// bounded "epsilon" override from `doc`, runs the query on the
   /// pooled hot path (no override) or the fresh-core override path,
   /// and returns the ε that actually produced `result` (override >
-  /// tenant). Any error maps to a 400 in the caller.
+  /// tenant). Parse errors map to 400 in the caller; kDeadlineExceeded
+  /// and kCancelled map to 504 and 499.
   StatusOr<double> RunQueryRequest(const JsonValue& doc,
                                    const GraphGeneration& generation,
-                                   NodeId u, SimPushResult* result);
+                                   NodeId u, SimPushResult* result,
+                                   const CancelToken* cancel = nullptr);
+  /// Maps a failed query status onto the HTTP vocabulary and bumps the
+  /// matching counters: kDeadlineExceeded → 504, kCancelled → 499
+  /// (both with partial timing in the body), anything else → 400.
+  HttpResponse QueryErrorResponse(const Status& status, double elapsed_ms,
+                                  int64_t deadline_ms,
+                                  std::string_view graph_name,
+                                  uint64_t generation,
+                                  const std::shared_ptr<TenantMetrics>& metrics);
   std::shared_ptr<TenantMetrics> FindMetrics(std::string_view name) const;
   /// Resolves the tenant a request addresses ("graph" field or the
   /// default) and leases its current generation.
@@ -260,11 +288,18 @@ class SimPushService {
   std::atomic<uint64_t> admin_requests_{0};
   std::atomic<uint64_t> nodes_scored_{0};
   std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> deadline_expired_{0};   // 504s, all graphs.
+  std::atomic<uint64_t> client_abandoned_{0};   // 499s, all graphs.
   // Engine-side totals aggregated from QueryRunnerTotals: CPU seconds
   // spent inside queries (all endpoints) and level-detection walks
   // (query/topk paths; the batch fan-out does not expose walk counts).
   std::atomic<uint64_t> engine_query_nanos_{0};
   std::atomic<uint64_t> engine_walks_{0};
+
+  // Cancels in-flight queries whose HTTP client disconnected; request
+  // handlers register their connection fd + CancelToken for the
+  // duration of the query.
+  DisconnectWatcher watcher_;
 
   LatencyRing latency_;  // All requests, all graphs.
   mutable std::mutex metrics_mu_;

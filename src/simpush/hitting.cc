@@ -54,7 +54,7 @@ void HittingTable::Reset(uint32_t max_level) {
 
 void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
                          double sqrt_c, QueryWorkspace* workspace,
-                         HittingTable* table) {
+                         HittingTable* table, const CancelToken* cancel) {
   workspace->Prepare(graph.num_nodes());
   const uint32_t max_level = gu.max_level();
   table->Reset(max_level);
@@ -99,6 +99,7 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
   }
 
   // Pull from level+1 into level, for level = L-1 .. 1.
+  uint32_t since_poll = 0;
   for (uint32_t level = max_level - 1; level >= 1; --level) {
     const HittingTable::LevelVectors& above = table->per_level_[level + 1];
     HittingTable::LevelVectors& here = table->per_level_[level];
@@ -135,6 +136,12 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
       }
     }
     for (NodeId v : receivers) {
+      // Cancellation stride over pulls; on a fired token the table is
+      // left partial — the caller re-checks the token and discards it.
+      if (++since_poll >= kCancelCheckStride) {
+        since_poll = 0;
+        if (ShouldStop(cancel)) return;
+      }
       touched.clear();
       const uint32_t deg = graph.InDegree(v);
       // A dangling node (deg == 0) pulls nothing, but when it is an
@@ -186,7 +193,8 @@ HittingTable ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
                                  double sqrt_c) {
   QueryWorkspace workspace;
   HittingTable table;
-  ComputeHittingTable(graph, gu, sqrt_c, &workspace, &table);
+  ComputeHittingTable(graph, gu, sqrt_c, &workspace, &table,
+                      /*cancel=*/nullptr);
   return table;
 }
 

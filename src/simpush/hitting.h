@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "graph/graph.h"
 #include "simpush/source_graph.h"
 
@@ -57,7 +58,8 @@ class HittingTable {
  private:
   friend void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
                                   double sqrt_c, QueryWorkspace* workspace,
-                                  HittingTable* table);
+                                  HittingTable* table,
+                                  const CancelToken* cancel);
   // One node's span into the level's entry pool.
   struct NodeSpan {
     NodeId node;
@@ -75,9 +77,16 @@ class HittingTable {
 
 /// Runs Algorithm 3 over G_u into `table`, using `workspace` for dense
 /// scratch. O(m·log(1/ε)/ε) worst case (Lemma 6).
+///
+/// `cancel`, when non-null, is polled every kCancelCheckStride pulls;
+/// a fired token returns early with the table only partially built —
+/// the caller (QueryRunner) re-checks the token between stages and
+/// discards the partial result. The poll reads state only, so an
+/// unfired token leaves the table bit-identical.
 void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
                          double sqrt_c, QueryWorkspace* workspace,
-                         HittingTable* table);
+                         HittingTable* table,
+                         const CancelToken* cancel = nullptr);
 
 /// Convenience overload for tests and one-shot callers: allocates its
 /// own scratch and returns the table by value.

@@ -68,9 +68,15 @@ double ComputeGammaFor(const SourceGraph& gu, const HittingTable& hitting,
 void ComputeLastMeetingProbabilities(const SourceGraph& gu,
                                      const HittingTable& hitting,
                                      QueryWorkspace* workspace,
-                                     std::vector<double>* gamma) {
+                                     std::vector<double>* gamma,
+                                     const CancelToken* cancel) {
   gamma->assign(gu.num_attention(), 1.0);
   for (AttentionId id = 0; id < gu.num_attention(); ++id) {
+    // Cancellation stride over attention occurrences; a fired token
+    // leaves `gamma` partial and the caller discards it.
+    if ((id & (kCancelCheckStride - 1)) == 0 && ShouldStop(cancel)) {
+      return;
+    }
     (*gamma)[id] = GammaFor(gu, hitting, id, &workspace->gamma_scratch);
   }
 }

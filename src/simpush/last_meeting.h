@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "simpush/hitting.h"
 #include "simpush/source_graph.h"
 
@@ -19,10 +20,16 @@ class QueryWorkspace;
 /// (indexed by AttentionId), reusing the workspace's scratch. Values are
 /// clamped to [0, 1] against floating-point drift; mathematically they
 /// lie there already. Allocation-free once the workspace is warm.
+///
+/// `cancel`, when non-null, is polled every kCancelCheckStride
+/// attention occurrences; a fired token returns early with `gamma`
+/// only partially overwritten — the caller re-checks the token and
+/// discards it. An unfired token leaves the result bit-identical.
 void ComputeLastMeetingProbabilities(const SourceGraph& gu,
                                      const HittingTable& hitting,
                                      QueryWorkspace* workspace,
-                                     std::vector<double>* gamma);
+                                     std::vector<double>* gamma,
+                                     const CancelToken* cancel = nullptr);
 
 /// Convenience overload for tests and one-shot callers.
 std::vector<double> ComputeLastMeetingProbabilities(

@@ -22,7 +22,8 @@ void ForEachQueryChunked(
     const EngineCore& core, ThreadPool& thread_pool,
     WorkspacePool& workspaces, size_t num_items,
     const std::function<void(QueryRunner&, size_t begin, size_t end)>&
-        run_chunk) {
+        run_chunk,
+    const CancelToken* cancel) {
   const size_t workers = std::max<size_t>(1, thread_pool.num_threads());
   const size_t chunk = (num_items + workers - 1) / workers;
 
@@ -43,12 +44,14 @@ void ForEachQueryChunked(
     }
     thread_pool.Submit(
         [&core, &workspaces, &run_chunk, &done_mu, &chunk_done, &pending,
-         begin, end] {
+         begin, end, cancel] {
           // One leased workspace serves the whole chunk; the lease
           // returns to the pool when the runner dies, so a later batch
-          // on the same executor reuses the (warm) workspace.
-          {
-            QueryRunner runner(core, workspaces);
+          // on the same executor reuses the (warm) workspace. A chunk
+          // whose token already fired never leases at all — an expired
+          // batch must stop fanning out, not drain the pool.
+          if (!ShouldStop(cancel)) {
+            QueryRunner runner(core, workspaces, cancel);
             run_chunk(runner, begin, end);
           }
           std::lock_guard<std::mutex> lock(done_mu);
@@ -115,7 +118,7 @@ ParallelBatchStats ParallelQueryBatch(
 StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
     const EngineCore& core, ThreadPool& thread_pool,
     WorkspacePool& workspaces, const std::vector<NodeId>& queries, size_t k,
-    ParallelBatchStats* stats) {
+    ParallelBatchStats* stats, const CancelToken* cancel) {
   std::vector<BatchTopKResult> results(queries.size());
 
   ParallelBatchStats local_stats;
@@ -129,6 +132,10 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
       core, thread_pool, workspaces, queries.size(),
       [&](QueryRunner& runner, size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
+          // Between queries is the cheapest place to notice a fired
+          // token: skip the rest of the chunk instead of starting
+          // queries whose results would be discarded.
+          if (ShouldStop(cancel)) break;
           const NodeId u = queries[i];
           auto topk = QueryTopK(&runner, u, k);
           if (!topk.ok()) {
@@ -144,7 +151,8 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
             results[i].topk.emplace_back(entry.node, entry.score);
           }
         }
-      });
+      },
+      cancel);
 
   local_stats.queries_ok = ok.load();
   local_stats.queries_failed = failed.load();
@@ -152,6 +160,12 @@ StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
   local_stats.wall_seconds = wall.ElapsedSeconds();
   if (stats != nullptr) *stats = local_stats;
 
+  // A fired token wins over the failure count: skipped chunks report
+  // a deadline/cancel error, not a bogus invalid-node error. The
+  // fired-query failures inside chunks carry the same token status.
+  if (cancel != nullptr) {
+    SIMPUSH_RETURN_NOT_OK(cancel->Check());
+  }
   if (local_stats.queries_failed > 0) {
     return Status::InvalidArgument("batch contained invalid query nodes");
   }

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/graph.h"
@@ -127,18 +128,28 @@ void ForEachQueryChunked(
 /// workspaces) arrive from different owners. Contracts are unchanged:
 /// core immutable, both pools internally synchronized, one leased
 /// workspace per chunk.
+///
+/// `cancel`, when non-null, is propagated into every chunk's runner
+/// (which polls it at a bounded stride) AND gates the fan-out itself: a
+/// chunk whose task starts after the token fired returns immediately
+/// without leasing a workspace, so one expired batch stops fanning out
+/// instead of draining the pool. Leases return via RAII either way.
 void ForEachQueryChunked(
     const EngineCore& core, ThreadPool& thread_pool,
     WorkspacePool& workspaces, size_t num_items,
     const std::function<void(QueryRunner&, size_t begin, size_t end)>&
-        run_chunk);
+        run_chunk,
+    const CancelToken* cancel = nullptr);
 
 /// Unbundled top-k batch, same composition story as the unbundled
 /// ForEachQueryChunked (used by the registry's per-tenant /v1/batch).
+/// A fired `cancel` aborts the batch with the token's status
+/// (kDeadlineExceeded / kCancelled) instead of a partial result.
 StatusOr<std::vector<BatchTopKResult>> ParallelQueryBatchTopK(
     const EngineCore& core, ThreadPool& thread_pool,
     WorkspacePool& workspaces, const std::vector<NodeId>& queries, size_t k,
-    ParallelBatchStats* stats = nullptr);
+    ParallelBatchStats* stats = nullptr,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace simpush
 

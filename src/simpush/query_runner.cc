@@ -17,6 +17,13 @@ QueryRunner::QueryRunner(const EngineCore& core, QueryWorkspace* workspace)
 QueryRunner::QueryRunner(const EngineCore& core, WorkspacePool& pool)
     : core_(&core), lease_(pool.Acquire()), workspace_(lease_.get()) {}
 
+QueryRunner::QueryRunner(const EngineCore& core, WorkspacePool& pool,
+                         const CancelToken* cancel)
+    : core_(&core),
+      lease_(pool.Acquire(cancel)),
+      workspace_(lease_.get()),
+      cancel_(cancel) {}
+
 Status QueryRunner::QueryInto(NodeId u, SimPushResult* result) {
   Status status = QueryIntoImpl(u, result);
   if (status.ok()) {
@@ -30,6 +37,12 @@ Status QueryRunner::QueryInto(NodeId u, SimPushResult* result) {
 }
 
 Status QueryRunner::QueryIntoImpl(NodeId u, SimPushResult* result) {
+  if (workspace_ == nullptr) {
+    // The cancel-aware pool wait gave up before a workspace freed up.
+    const Status cancel_status = CheckCancel(cancel_);
+    if (!cancel_status.ok()) return cancel_status;
+    return Status::Internal("query runner has no workspace");
+  }
   SIMPUSH_RETURN_NOT_OK(core_->options_status());
   const Graph& graph = core_->graph();
   if (u >= graph.num_nodes()) {
@@ -54,7 +67,7 @@ Status QueryRunner::QueryIntoImpl(NodeId u, SimPushResult* result) {
   SourceGraph& gu = workspace.source_graph;
   SIMPUSH_RETURN_NOT_OK(SourcePushInto(graph, u, options, derived,
                                        &query_rng, &workspace, &gu,
-                                       &sp_stats));
+                                       &sp_stats, cancel_));
   result->stats.max_level = sp_stats.detected_level;
   result->stats.num_attention = sp_stats.num_attention;
   result->stats.gu_node_occurrences = sp_stats.gu_node_occurrences;
@@ -66,10 +79,14 @@ Status QueryRunner::QueryIntoImpl(NodeId u, SimPushResult* result) {
   stage_timer.Restart();
   std::vector<double>& gamma = workspace.gamma;
   if (options.use_gamma_correction) {
+    // Both stages bail out early on a fired token, leaving partial
+    // scratch; the stage-boundary check below turns that into an error
+    // before the partial data can influence the (discarded) result.
     ComputeHittingTable(graph, gu, derived.sqrt_c, &workspace,
-                        &workspace.hitting_table);
+                        &workspace.hitting_table, cancel_);
     ComputeLastMeetingProbabilities(gu, workspace.hitting_table,
-                                    &workspace, &gamma);
+                                    &workspace, &gamma, cancel_);
+    SIMPUSH_RETURN_NOT_OK(CheckCancel(cancel_));
   } else {
     gamma.assign(gu.num_attention(), 1.0);
   }
@@ -79,8 +96,9 @@ Status QueryRunner::QueryIntoImpl(NodeId u, SimPushResult* result) {
   stage_timer.Restart();
   result->scores.assign(graph.num_nodes(), 0.0);
   ReversePushStats rp_stats;
-  ReversePush(graph, gu, gamma, derived.sqrt_c, derived.eps_h,
-              &workspace, &result->scores, &rp_stats);
+  SIMPUSH_RETURN_NOT_OK(ReversePush(graph, gu, gamma, derived.sqrt_c,
+                                    derived.eps_h, &workspace,
+                                    &result->scores, &rp_stats, cancel_));
   result->scores[u] = 1.0;  // Algorithm 5 line 10.
   result->stats.reverse_pushes = rp_stats.pushes;
   result->stats.reverse_edges = rp_stats.edges_traversed;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "simpush/engine_core.h"
@@ -74,6 +75,15 @@ class QueryRunner {
   /// exhausted) and returns it when the runner is destroyed.
   QueryRunner(const EngineCore& core, WorkspacePool& pool);
 
+  /// Like the pool constructor, but cancellation-aware end to end: the
+  /// pool wait itself honors `cancel` (a token that fires while the
+  /// pool is exhausted leaves the runner without a workspace, and every
+  /// query then fails with the token's status), and queries poll the
+  /// token at a bounded stride. `cancel` may be null; it must outlive
+  /// the runner.
+  QueryRunner(const EngineCore& core, WorkspacePool& pool,
+              const CancelToken* cancel);
+
   // Neither copyable nor movable: a defaulted move would leave the
   // moved-from runner with live pointers to a workspace it no longer
   // owns exclusively. Construct runners in place.
@@ -91,6 +101,11 @@ class QueryRunner {
   /// allocations. Produces bit-identical scores to Query.
   Status QueryInto(NodeId u, SimPushResult* result);
 
+  /// Installs (or clears, with nullptr) the cancellation token polled
+  /// by subsequent queries. The token only ever aborts work — an
+  /// unfired token cannot change any score (see common/deadline.h).
+  void set_cancellation(const CancelToken* cancel) { cancel_ = cancel; }
+
   /// The shared immutable core this runner executes against.
   const EngineCore& core() const { return *core_; }
 
@@ -104,6 +119,7 @@ class QueryRunner {
   const EngineCore* core_;
   WorkspaceLease lease_;  // Empty when bound to a caller-owned workspace.
   QueryWorkspace* workspace_;
+  const CancelToken* cancel_ = nullptr;  // Not owned; may be null.
   QueryRunnerTotals totals_;
 };
 

@@ -6,10 +6,11 @@
 
 namespace simpush {
 
-void ReversePush(const Graph& graph, const SourceGraph& gu,
-                 const std::vector<double>& gamma, double sqrt_c,
-                 double eps_h, QueryWorkspace* workspace,
-                 std::vector<double>* scores, ReversePushStats* stats) {
+Status ReversePush(const Graph& graph, const SourceGraph& gu,
+                   const std::vector<double>& gamma, double sqrt_c,
+                   double eps_h, QueryWorkspace* workspace,
+                   std::vector<double>* scores, ReversePushStats* stats,
+                   const CancelToken* cancel) {
   workspace->Prepare(graph.num_nodes());
   EpochArray<double>& current = workspace->dense_a;
   EpochArray<double>& next = workspace->dense_b;
@@ -22,6 +23,7 @@ void ReversePush(const Graph& graph, const SourceGraph& gu,
 
   ReversePushStats local_stats;
   const uint32_t max_level = gu.max_level();
+  uint32_t since_poll = 0;
 
   for (uint32_t level = max_level; level >= 1; --level) {
     // Inject the initial residues r^(ℓ)(w) = h^(ℓ)(u,w)·γ^(ℓ)(w) of the
@@ -40,6 +42,13 @@ void ReversePush(const Graph& graph, const SourceGraph& gu,
     }
 
     for (NodeId vp : current_touched) {
+      // Cancellation poll every kCancelCheckStride pushed nodes; the
+      // poll reads state only, so an unfired token cannot perturb the
+      // (fully deterministic) push order or the scores.
+      if (++since_poll >= kCancelCheckStride) {
+        since_poll = 0;
+        SIMPUSH_RETURN_NOT_OK(CheckCancel(cancel));
+      }
       const double residue = current.RawRef(vp);
       // Push threshold: √c·r^(ℓ')(v') >= ε_h (Algorithm 5 line 4);
       // below-threshold residue is dropped — that is the approximation
@@ -70,6 +79,7 @@ void ReversePush(const Graph& graph, const SourceGraph& gu,
   }
 
   if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
 }
 
 }  // namespace simpush

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "graph/graph.h"
 #include "simpush/source_graph.h"
 
@@ -29,10 +31,17 @@ struct ReversePushStats {
 /// workspace provides the dense residue scratch (shared with
 /// Source-Push — the stages run sequentially); the call is
 /// allocation-free once the workspace is warm.
-void ReversePush(const Graph& graph, const SourceGraph& gu,
-                 const std::vector<double>& gamma, double sqrt_c,
-                 double eps_h, QueryWorkspace* workspace,
-                 std::vector<double>* scores, ReversePushStats* stats);
+///
+/// `cancel`, when non-null, is polled every kCancelCheckStride pushed
+/// nodes; a fired token aborts with kCancelled/kDeadlineExceeded and
+/// `scores` holds a partial accumulation the caller must discard. The
+/// push is otherwise deterministic and the poll reads state only, so
+/// an unfired token leaves the result bit-identical.
+Status ReversePush(const Graph& graph, const SourceGraph& gu,
+                   const std::vector<double>& gamma, double sqrt_c,
+                   double eps_h, QueryWorkspace* workspace,
+                   std::vector<double>* scores, ReversePushStats* stats,
+                   const CancelToken* cancel = nullptr);
 
 }  // namespace simpush
 

@@ -23,13 +23,21 @@ namespace {
 // clears between queries.
 uint32_t DetectMaxLevel(const Graph& graph, NodeId u,
                         const DerivedParams& params, Rng* rng,
-                        QueryWorkspace* workspace, uint64_t* walks_out) {
+                        QueryWorkspace* workspace, uint64_t* walks_out,
+                        const CancelToken* cancel) {
   const Walker walker(graph, params.sqrt_c);
   *walks_out = params.num_walks;
   LevelNodeTally& tally = workspace->level_tally;
   tally.NewRound();
   uint32_t max_level = 0;
   for (uint64_t i = 0; i < params.num_walks; ++i) {
+    // Cancellation poll at a bounded stride. The poll reads state only
+    // (never the RNG), so an unfired token leaves the walk sequence —
+    // and therefore the result — bit-identical to the token-free run.
+    if ((i & (kCancelCheckStride - 1)) == 0 && ShouldStop(cancel)) {
+      *walks_out = i;
+      return max_level;  // Caller re-checks the token and aborts.
+    }
     const uint32_t length = walker.SampleWalkLength(rng, params.l_star);
     NodeId current = u;
     for (uint32_t level = 1; level <= length; ++level) {
@@ -53,7 +61,8 @@ Status SourcePushInto(const Graph& graph, NodeId u,
                       const SimPushOptions& options,
                       const DerivedParams& params, Rng* rng,
                       QueryWorkspace* workspace, SourceGraph* gu,
-                      SourcePushStats* stats) {
+                      SourcePushStats* stats,
+                      const CancelToken* cancel) {
   if (u >= graph.num_nodes()) {
     return Status::InvalidArgument("query node " + std::to_string(u) +
                                    " out of range");
@@ -63,8 +72,10 @@ Status SourcePushInto(const Graph& graph, NodeId u,
   uint32_t max_level = params.l_star;
   uint64_t walks = 0;
   if (options.use_level_detection) {
-    max_level = DetectMaxLevel(graph, u, params, rng, workspace, &walks);
+    max_level =
+        DetectMaxLevel(graph, u, params, rng, workspace, &walks, cancel);
     max_level = std::min(max_level, params.l_star);
+    SIMPUSH_RETURN_NOT_OK(CheckCancel(cancel));
   }
   // Even when sampling saw nothing past level 0 (e.g. u has no
   // in-neighbors), level 1 may still hold attention nodes with
@@ -90,10 +101,17 @@ Status SourcePushInto(const Graph& graph, NodeId u,
   frontier.clear();
   frontier.push_back(u);
   current.Set(u, 1.0);
+  uint32_t since_poll = 0;
   for (uint32_t level = 0; level < max_level; ++level) {
     if (frontier.empty()) break;
     frontier_next.clear();
     for (NodeId v : frontier) {
+      // Per-occurrence cancellation stride (same contract as the walk
+      // loop above: a poll reads state only).
+      if (++since_poll >= kCancelCheckStride) {
+        since_poll = 0;
+        SIMPUSH_RETURN_NOT_OK(CheckCancel(cancel));
+      }
       const double h = current.RawRef(v);
       const uint32_t deg = graph.InDegree(v);
       if (deg == 0) continue;

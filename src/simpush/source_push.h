@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -31,11 +32,18 @@ struct SourcePushStats {
 /// `params` carries ε_h, L*, and the walk budget; `rng` supplies the
 /// level-detection randomness. Allocation-free once the workspace and
 /// `gu` are warm.
+///
+/// `cancel`, when non-null, is polled every kCancelCheckStride walks
+/// (level detection) and pushed occurrences (propagation); a fired
+/// token aborts with kCancelled/kDeadlineExceeded. The poll only reads
+/// state — a run whose token never fires is bit-identical to a run
+/// with cancel == nullptr (see common/deadline.h).
 Status SourcePushInto(const Graph& graph, NodeId u,
                       const SimPushOptions& options,
                       const DerivedParams& params, Rng* rng,
                       QueryWorkspace* workspace, SourceGraph* gu,
-                      SourcePushStats* stats);
+                      SourcePushStats* stats,
+                      const CancelToken* cancel = nullptr);
 
 /// Convenience overload for tests and one-shot callers: allocates its
 /// own workspace and returns G_u by value.

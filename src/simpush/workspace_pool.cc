@@ -1,7 +1,10 @@
 #include "simpush/workspace_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
+
+#include "common/failpoint.h"
 
 namespace simpush {
 
@@ -38,6 +41,15 @@ QueryWorkspace* WorkspacePool::TakeLocked() {
     return workspace;
   }
   if (all_.size() < capacity_) {
+    // Chaos hook: "workspace_pool.alloc" in alloc_fail mode makes the
+    // lazy workspace creation behave as exhausted memory — the pool
+    // then acts fully checked out, exercising the wait/cancel path.
+    static Failpoint* alloc_fp =
+        FailpointRegistry::Get().Register("workspace_pool.alloc");
+    if (alloc_fp->active()) {
+      (void)alloc_fp->Fire();
+      if (alloc_fp->mode() == Failpoint::Mode::kAllocFail) return nullptr;
+    }
     all_.push_back(std::make_unique<QueryWorkspace>());
     ++outstanding_;
     return all_.back().get();
@@ -50,6 +62,28 @@ WorkspaceLease WorkspacePool::Acquire() {
   QueryWorkspace* workspace = TakeLocked();
   while (workspace == nullptr) {
     workspace_returned_.wait(lock);
+    workspace = TakeLocked();
+  }
+  return WorkspaceLease(this, workspace);
+}
+
+WorkspaceLease WorkspacePool::Acquire(const CancelToken* cancel) {
+  // Chaos hook: "workspace_pool.acquire" in sleep mode stretches the
+  // checkout window so tests can catch a request mid-acquire (e.g. to
+  // disconnect the client while it waits). Fired before the lock so a
+  // sleeping failpoint cannot serialize the whole pool.
+  static Failpoint* acquire_fp =
+      FailpointRegistry::Get().Register("workspace_pool.acquire");
+  if (acquire_fp->active()) (void)acquire_fp->Fire();
+
+  if (cancel == nullptr) return Acquire();
+  std::unique_lock<std::mutex> lock(mu_);
+  QueryWorkspace* workspace = TakeLocked();
+  while (workspace == nullptr) {
+    if (cancel->ShouldStop()) return WorkspaceLease();
+    // Bounded wait: a token with no waker (pure deadline) still gets
+    // polled a few hundred times per second.
+    workspace_returned_.wait_for(lock, std::chrono::milliseconds(5));
     workspace = TakeLocked();
   }
   return WorkspaceLease(this, workspace);

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "simpush/workspace.h"
 
 namespace simpush {
@@ -77,6 +78,13 @@ class WorkspacePool {
   /// Checks out a workspace, blocking while `capacity` leases are
   /// already outstanding.
   WorkspaceLease Acquire();
+
+  /// Cancellation-aware variant: while the pool is exhausted, the wait
+  /// wakes periodically to poll `cancel`; a fired token returns an
+  /// EMPTY lease instead of a workspace (a request whose deadline
+  /// expired in the queue must not tie up scratch memory). A null
+  /// `cancel` behaves exactly like Acquire().
+  WorkspaceLease Acquire(const CancelToken* cancel);
 
   /// Non-blocking variant: an empty lease when the pool is exhausted.
   WorkspaceLease TryAcquire();

@@ -7,10 +7,15 @@
 #include <map>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/timer.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "simpush/batch.h"
+#include "simpush/engine_core.h"
 #include "simpush/parallel.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace.h"
 
 namespace simpush {
 namespace {
@@ -139,6 +144,66 @@ TEST(DeterminismTest, TopKBatchBitIdenticalAcrossThreadCounts) {
       ASSERT_EQ(with_one[i].topk[j].second, with_eight[i].topk[j].second);
     }
   }
+}
+
+TEST(DeterminismTest, NeverFiringCancelTokenIsInvisible) {
+  // The cancellation determinism contract (common/deadline.h): a token
+  // that never fires must be invisible — the poll reads state only and
+  // never advances the RNG, so scores are BIT-identical with and
+  // without a token installed.
+  auto graph = GenerateChungLu(300, 1800, 2.4, 91);
+  ASSERT_TRUE(graph.ok());
+  const EngineCore core(*graph, TestOptions());
+  ASSERT_TRUE(core.options_status().ok());
+
+  QueryWorkspace plain_scratch;
+  QueryRunner plain(core, &plain_scratch);
+  QueryWorkspace watched_scratch;
+  QueryRunner watched(core, &watched_scratch);
+  const CancelToken token(Deadline::After(60000));  // Never fires here.
+  watched.set_cancellation(&token);
+
+  SimPushResult expected, observed;
+  for (const NodeId u : {0u, 7u, 42u, 123u, 299u}) {
+    ASSERT_TRUE(plain.QueryInto(u, &expected).ok());
+    ASSERT_TRUE(watched.QueryInto(u, &observed).ok());
+    ASSERT_EQ(expected.scores.size(), observed.scores.size());
+    for (size_t v = 0; v < expected.scores.size(); ++v) {
+      ASSERT_EQ(expected.scores[v], observed.scores[v])
+          << "query " << u << " node " << v;
+    }
+  }
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(DeterminismTest, ExpiredDeadlineAbortsWithin50ms) {
+  // An already-expired deadline must abort a query on a serving-sized
+  // graph within 50ms — the engine polls its token every
+  // kCancelCheckStride iterations in every stage, so the abort cannot
+  // wait for a stage to finish.
+  auto graph = GenerateChungLu(20000, 160000, 2.4, 93);
+  ASSERT_TRUE(graph.ok());
+  SimPushOptions options = TestOptions();
+  options.walk_budget_cap = 100000;
+  const EngineCore core(*graph, options);
+  ASSERT_TRUE(core.options_status().ok());
+
+  QueryWorkspace scratch;
+  QueryRunner runner(core, &scratch);
+  const CancelToken token(Deadline::Expired());
+  runner.set_cancellation(&token);
+
+  Timer timer;
+  SimPushResult result;
+  const Status status = runner.QueryInto(0, &result);
+  const double elapsed_ms = timer.ElapsedSeconds() * 1e3;
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+      << status.ToString();
+  EXPECT_LT(elapsed_ms, 50.0);
+
+  // The same runner recovers completely once the token is cleared.
+  runner.set_cancellation(nullptr);
+  ASSERT_TRUE(runner.QueryInto(0, &result).ok());
 }
 
 TEST(DeterminismTest, SequentialBatchMatchesParallelBatch) {

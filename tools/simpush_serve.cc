@@ -13,6 +13,7 @@
 //       [--walk-cap 100000] [--threads 0] [--pool 0] [--max-batch 4096]
 //       [--swap-threshold 0] [--max-graphs 64] [--undirected 1]
 //       [--allow-path-create 1] [--min-request-epsilon 1e-3]
+//       [--request-timeout-ms 0] [--max-deadline-ms 60000]
 //       [--port-file /tmp/port]
 //
 //   --graph is repeatable and takes a bare path (tenant name
@@ -32,7 +33,8 @@
 //   GET  /v1/stats
 //   GET  /healthz
 //   GET/POST /v1/graphs, DELETE /v1/graphs/{name},
-//   POST /v1/graphs/{name}/edges, POST /v1/graphs/{name}/swap
+//   POST /v1/graphs/{name}/edges, POST /v1/graphs/{name}/swap,
+//   PATCH /v1/graphs/{name}/options
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
 // requests, then exit 0.
@@ -44,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "graph/graph_io.h"
 #include "serve/http_server.h"
 #include "serve/service.h"
@@ -99,7 +102,13 @@ int Usage() {
       "    [--walk-cap W] [--threads T] [--pool P] [--max-batch B]\n"
       "    [--swap-threshold U] [--max-graphs G] [--undirected 1]\n"
       "    [--allow-path-create 1] [--min-request-epsilon E]\n"
+      "    [--request-timeout-ms T] [--max-deadline-ms M]\n"
       "    [--port-file F]\n"
+      "  --request-timeout-ms is the default per-request deadline for\n"
+      "  query/topk/batch requests without a \"deadline_ms\" field (0 =\n"
+      "  none); --max-deadline-ms caps the client-supplied field. The\n"
+      "  SIMPUSH_FAILPOINTS env var (\"name=spec;...\") arms fault-\n"
+      "  injection points for chaos testing; see docs/serving.md.\n"
       "  --graph repeats; a bare path serves as tenant \"default\", and\n"
       "  the first listed graph answers requests without a \"graph\"\n"
       "  field. NAME=F:eps=E gives that tenant its own epsilon;\n"
@@ -185,7 +194,29 @@ int main(int argc, char** argv) {
   service_options.swap_threshold = args.GetInt("swap-threshold", 0);
   service_options.max_graphs = args.GetInt("max-graphs", 64);
   service_options.allow_path_create = args.GetInt("allow-path-create", 0) != 0;
+  service_options.request_timeout_ms =
+      static_cast<int>(args.GetInt("request-timeout-ms", 0));
+  service_options.max_deadline_ms =
+      static_cast<int>(args.GetInt("max-deadline-ms", 60000));
   service_options.default_graph = graph_specs.front().name;
+  if (service_options.max_deadline_ms < 1 ||
+      service_options.request_timeout_ms < 0 ||
+      service_options.request_timeout_ms > service_options.max_deadline_ms) {
+    std::fprintf(stderr,
+                 "bad deadline flags: need 0 <= --request-timeout-ms <= "
+                 "--max-deadline-ms and --max-deadline-ms >= 1\n");
+    return 2;
+  }
+
+  // Arm failpoints named in SIMPUSH_FAILPOINTS (chaos testing). A
+  // malformed spec is a startup error: silently ignoring it would make
+  // a chaos run quietly test nothing.
+  if (const Status armed = FailpointRegistry::Get().ActivateFromEnv();
+      !armed.ok()) {
+    std::fprintf(stderr, "bad SIMPUSH_FAILPOINTS: %s\n",
+                 armed.ToString().c_str());
+    return 2;
+  }
 
   // Fail fast on bad process-default options — atof("nan") and
   // friends must die here, not as an error on every query. Per-tenant
