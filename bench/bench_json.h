@@ -1,0 +1,140 @@
+// Machine-readable perf trajectory output for the bench binaries.
+//
+// Every PR regenerates BENCH_serial.json / BENCH_parallel.json at the
+// repo root (tools/repro.sh), so wins and regressions leave a recorded
+// trail instead of living in terminal scrollback. The schema is flat on
+// purpose — one object per benchmark with median/p50/p99 across
+// repetitions plus whatever counters the benchmark exported
+// (walks/s, allocs/query, ...) — so `jq` one-liners can diff runs.
+
+#ifndef SIMPUSH_BENCH_BENCH_JSON_H_
+#define SIMPUSH_BENCH_BENCH_JSON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/memory.h"
+
+namespace simpush {
+namespace bench {
+
+/// Git revision for trajectory records: tools/repro.sh exports
+/// SIMPUSH_GIT_SHA so the binaries need no git dependency.
+inline std::string GitSha() {
+  const char* sha = std::getenv("SIMPUSH_GIT_SHA");
+  return sha != nullptr && *sha != '\0' ? sha : "unknown";
+}
+
+inline std::string Iso8601UtcNow() {
+  char buffer[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number (JSON has no inf/nan — map to 0).
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+/// One benchmark's samples across repetitions, plus exported counters.
+struct BenchSamples {
+  std::vector<double> per_iter_ms;         // One entry per repetition.
+  std::map<std::string, double> counters;  // Last repetition's counters.
+};
+
+/// Quantile over a copy of `samples` (nearest-rank on the sorted list).
+inline double QuantileMs(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+/// Writes the trajectory file. `extra_meta` holds bench-specific
+/// top-level string fields (e.g. the walk-kernel config line).
+inline bool WriteTrajectoryJson(
+    const std::string& path, const std::string& bench_name,
+    const std::map<std::string, BenchSamples>& results,
+    const std::map<std::string, std::string>& extra_meta = {}) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"bench\": \"%s\",\n",
+               JsonEscape(bench_name).c_str());
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", JsonEscape(GitSha()).c_str());
+  std::fprintf(f, "  \"timestamp_utc\": \"%s\",\n", Iso8601UtcNow().c_str());
+  std::fprintf(f, "  \"peak_rss_bytes\": %zu,\n", PeakRssBytes());
+  for (const auto& [key, value] : extra_meta) {
+    std::fprintf(f, "  \"%s\": \"%s\",\n", JsonEscape(key).c_str(),
+                 JsonEscape(value).c_str());
+  }
+  std::fprintf(f, "  \"results\": [");
+  bool first = true;
+  for (const auto& [name, samples] : results) {
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"samples\": %zu, ",
+                 first ? "" : ",", JsonEscape(name).c_str(),
+                 samples.per_iter_ms.size());
+    first = false;
+    std::fprintf(f, "\"median_ms\": %s, \"p50_ms\": %s, \"p99_ms\": %s",
+                 JsonNumber(QuantileMs(samples.per_iter_ms, 0.5)).c_str(),
+                 JsonNumber(QuantileMs(samples.per_iter_ms, 0.5)).c_str(),
+                 JsonNumber(QuantileMs(samples.per_iter_ms, 0.99)).c_str());
+    if (!samples.counters.empty()) {
+      std::fprintf(f, ", \"counters\": {");
+      bool first_counter = true;
+      for (const auto& [counter, value] : samples.counters) {
+        std::fprintf(f, "%s\"%s\": %s", first_counter ? "" : ", ",
+                     JsonEscape(counter).c_str(), JsonNumber(value).c_str());
+        first_counter = false;
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace bench
+}  // namespace simpush
+
+#endif  // SIMPUSH_BENCH_BENCH_JSON_H_

@@ -7,7 +7,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "common/memory.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -19,6 +23,7 @@
 #include "simpush/reverse_push.h"
 #include "simpush/simpush.h"
 #include "simpush/source_push.h"
+#include "walk/walk_batch.h"
 #include "walk/walker.h"
 
 namespace {
@@ -49,6 +54,72 @@ void BM_SqrtCWalk(benchmark::State& state) {
       benchmark::Counter(double(steps) / state.iterations());
 }
 BENCHMARK(BM_SqrtCWalk);
+
+// Walk-kernel comparison: the serial per-walk loop vs the batched SoA
+// kernel, on identical counter streams (so both do the same logical
+// work — only the schedule differs). The batched variant sweeps the
+// wave width; the knee of that curve justifies the default W.
+constexpr uint64_t kKernelWalksPerIter = 20000;
+
+void BM_WalkKernelSerial(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const Walker walker(g, std::sqrt(0.6));
+  const DerivedParams params = ComputeDerivedParams(SimPushOptions{});
+  uint64_t sink = 0;
+  NodeId u = 0;
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < kKernelWalksPerIter; ++i) {
+      Rng rng = Rng::ForWalk(/*seed=*/42, u, i);
+      const uint32_t length =
+          walker.SampleWalkLength(&rng, params.l_star);
+      NodeId current = u;
+      for (uint32_t level = 1; level <= length; ++level) {
+        const uint32_t deg = g.InDegree(current);
+        if (deg == 0) break;
+        current = g.InNeighborAt(
+            current, static_cast<uint32_t>(rng.NextBounded(deg)));
+        sink += current + level;
+      }
+    }
+    u = (u + 37) % g.num_nodes();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["walks/s"] = benchmark::Counter(
+      double(kKernelWalksPerIter) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalkKernelSerial)->Name("BM_WalkKernel/serial");
+
+void BM_WalkKernelBatched(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const Walker walker(g, std::sqrt(0.6));
+  const DerivedParams params = ComputeDerivedParams(SimPushOptions{});
+  const uint32_t wave = static_cast<uint32_t>(state.range(0));
+  uint64_t sink = 0;
+  NodeId u = 0;
+  for (auto _ : state) {
+    RunWalkWaves(
+        g, u, /*walk_seed=*/42, kKernelWalksPerIter, params.l_star,
+        walker.inv_log_sqrt_c(), UniformInSampler{},
+        [&sink](uint32_t level, NodeId node) { sink += node + level; },
+        /*cancel=*/nullptr, wave);
+    u = (u + 37) % g.num_nodes();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["walks/s"] = benchmark::Counter(
+      double(kKernelWalksPerIter) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalkKernelBatched)
+    ->Name("BM_WalkKernel/batched")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128);
 
 void BM_PairWalkMeeting(benchmark::State& state) {
   const Graph& g = BenchGraph();
@@ -275,6 +346,64 @@ void BM_ThreadPoolDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
 
+// Console reporter that additionally captures every per-repetition run
+// so --json can persist the trajectory (bench_json.h).
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration ||
+          run.iterations == 0) {
+        continue;
+      }
+      bench::BenchSamples& samples = results_[run.benchmark_name()];
+      samples.per_iter_ms.push_back(run.real_accumulated_time /
+                                    double(run.iterations) * 1e3);
+      for (const auto& [name, counter] : run.counters) {
+        samples.counters[name] = counter.value;
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, bench::BenchSamples>& results() const {
+    return results_;
+  }
+
+ private:
+  std::map<std::string, bench::BenchSamples> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json OUT before google-benchmark sees the flags (it
+  // aborts on unknown ones). Everything else passes through, so the
+  // usual --benchmark_filter/--benchmark_min_time still work.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    if (!simpush::bench::WriteTrajectoryJson(
+            json_path, "bench_micro", reporter.results(),
+            {{"walk_kernel", simpush::WalkKernelConfigString()},
+             {"graph", "chung-lu n=20000 m=240000"}})) {
+      return 1;
+    }
+    std::printf("trajectory written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

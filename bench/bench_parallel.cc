@@ -21,9 +21,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "common/memory.h"
 #include "common/thread_pool.h"
 #include "simpush/parallel.h"
@@ -92,8 +96,13 @@ RunRow RunPooled(const Graph& graph, const SimPushOptions& options,
   return row;
 }
 
+// Trajectory collector (active only with --json): one record per
+// (dataset, model, thread count), sampled as per-query wall latency
+// with throughput/RSS as counters.
+std::map<std::string, BenchSamples>* g_trajectory = nullptr;
+
 void PrintRow(const char* model, const RunRow& row, size_t batch,
-              double baseline_wall) {
+              double baseline_wall, const std::string& dataset) {
   const double qps = batch / row.stats.wall_seconds;
   double rss = static_cast<double>(row.peak_rss);
   const char* unit = HumanBytesUnit(&rss);
@@ -102,6 +111,16 @@ void PrintRow(const char* model, const RunRow& row, size_t batch,
               qps / row.stats.num_threads,
               baseline_wall / row.stats.wall_seconds,
               row.stats.cpu_query_seconds, rss, unit);
+  if (g_trajectory != nullptr) {
+    BenchSamples& samples =
+        (*g_trajectory)[dataset + "/" + model + "/threads:" +
+                        std::to_string(row.stats.num_threads)];
+    samples.per_iter_ms.push_back(row.stats.wall_seconds / batch * 1e3);
+    samples.counters["queries_per_s"] = qps;
+    samples.counters["wall_s"] = row.stats.wall_seconds;
+    samples.counters["cpu_sum_s"] = row.stats.cpu_query_seconds;
+    samples.counters["peak_rss_bytes"] = double(row.peak_rss);
+  }
 }
 
 void RunDataset(const DatasetSpec& spec) {
@@ -154,9 +173,11 @@ void RunDataset(const DatasetSpec& spec) {
       engines_baseline = engines.stats.wall_seconds;
       pooled_baseline = pooled.stats.wall_seconds;
     }
-    PrintRow("engine/worker", engines, queries.size(), engines_baseline);
-    PrintRow("pooled", pooled, queries.size(), pooled_baseline);
-    PrintRow("pooled-half", capped, queries.size(), pooled_baseline);
+    PrintRow("engine/worker", engines, queries.size(), engines_baseline,
+             spec.name);
+    PrintRow("pooled", pooled, queries.size(), pooled_baseline, spec.name);
+    PrintRow("pooled-half", capped, queries.size(), pooled_baseline,
+             spec.name);
     std::fflush(stdout);
   }
   if (sink == 0) std::printf("(unreachable sink: %zu)\n", sink);
@@ -166,9 +187,17 @@ void RunDataset(const DatasetSpec& spec) {
 }  // namespace bench
 }  // namespace simpush
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simpush;
   using namespace simpush::bench;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  std::map<std::string, BenchSamples> trajectory;
+  if (!json_path.empty()) g_trajectory = &trajectory;
   std::printf("== Parallel batch throughput (extension bench) ==\n");
   std::printf(
       "(single-query latency is unchanged; this measures how an "
@@ -176,6 +205,12 @@ int main() {
       "pooled-workspace model costs nothing vs an engine per worker)\n");
   for (const DatasetSpec& spec : SmallDatasets()) {
     RunDataset(spec);
+  }
+  if (!json_path.empty()) {
+    if (!WriteTrajectoryJson(json_path, "bench_parallel", trajectory)) {
+      return 1;
+    }
+    std::printf("trajectory written to %s\n", json_path.c_str());
   }
   return 0;
 }

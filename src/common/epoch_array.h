@@ -63,6 +63,29 @@ class EpochArray {
   /// Unchecked mutable reference. Precondition: IsSet(i).
   T& RawRef(size_t i) { return values_[i]; }
 
+  /// values_[i] += delta, treating a stale slot as T{}. One branch, no
+  /// membership signal back to the caller — scatter loops that track
+  /// membership elsewhere (e.g. a bitmask) use this instead of
+  /// IsSet + Set/RawRef to keep the hot path to a single probe.
+  void Accumulate(size_t i, T delta) {
+    if (epochs_[i] != epoch_) {
+      epochs_[i] = epoch_;
+      values_[i] = delta;
+    } else {
+      values_[i] += delta;
+    }
+  }
+
+  /// Hints the loads behind a future Get(i)/IsSet(i) (both the stamp
+  /// and the value line). Used by loops that can see several random
+  /// indices ahead, so the misses overlap. No-op when unsupported.
+  void Prefetch(size_t i) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&epochs_[i], /*rw=*/0, /*locality=*/1);
+    __builtin_prefetch(&values_[i], /*rw=*/0, /*locality=*/1);
+#endif
+  }
+
   size_t size() const { return values_.size(); }
 
  private:

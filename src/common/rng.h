@@ -25,12 +25,34 @@ inline uint64_t DeriveStreamSeed(uint64_t base_seed, uint64_t stream_id) {
   return SplitMix64(&state);
 }
 
+/// Mixes a (stream key, counter) pair into a stream seed. This is the
+/// counter-based primitive behind Rng::ForWalk: the mapping is
+/// stateless, so any execution order — serial, a lockstep wave, a SIMD
+/// lane, another thread — derives the identical stream for the same
+/// counter. Distinct from DeriveStreamSeed only in mixing constants, so
+/// walk streams can never collide with query streams derived from the
+/// same base seed.
+inline uint64_t CounterStreamSeed(uint64_t key, uint64_t counter) {
+  uint64_t state = key + 0x94D049BB133111EBULL * (counter + 1);
+  return SplitMix64(&state);
+}
+
 /// xoshiro256++ generator: small state, excellent statistical quality,
 /// much faster than std::mt19937_64 for the walk-heavy workloads here.
 class Rng {
  public:
   /// Seeds the four state words via splitmix64 from a single seed.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Counter-based per-walk stream pinned to (seed, node, walk_index):
+  /// the walk-index is a pure counter, so batched, serial, and
+  /// any-thread-count execution consume bit-identical randomness by
+  /// construction — walk order is a free variable for the batched
+  /// kernel (and future SIMD/GPU backends). See walk/walk_batch.h for
+  /// the determinism contract this anchors.
+  static Rng ForWalk(uint64_t seed, uint64_t node, uint64_t walk_index) {
+    return Rng(CounterStreamSeed(DeriveStreamSeed(seed, node), walk_index));
+  }
 
   /// Uniform 64-bit value.
   uint64_t Next();

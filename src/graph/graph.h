@@ -58,6 +58,29 @@ class Graph {
     return in_sources_[in_offsets_[v] + k];
   }
 
+  /// First in-CSR index of v's row: v's in-edges occupy
+  /// [InRowBegin(v), InRowBegin(v) + InDegree(v)). Exposed so samplers
+  /// can keep per-in-edge state flattened parallel to the CSR.
+  EdgeId InRowBegin(NodeId v) const { return in_offsets_[v]; }
+
+  /// In-CSR entry at flat index e (the source of in-edge e).
+  NodeId InSourceAt(EdgeId e) const { return in_sources_[e]; }
+
+  /// Prefetch hints for the batched walk kernel: issue the loads for
+  /// many walks' next steps before consuming any of them so the cache
+  /// misses overlap instead of serializing. No-ops on compilers without
+  /// __builtin_prefetch.
+  void PrefetchInOffsets(NodeId v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&in_offsets_[v], /*rw=*/0, /*locality=*/1);
+#endif
+  }
+  void PrefetchInSource(EdgeId e) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&in_sources_[e], /*rw=*/0, /*locality=*/1);
+#endif
+  }
+
   /// True when the graph was built from an undirected edge list (every
   /// edge has its reverse). Informational only.
   bool is_symmetric() const { return is_symmetric_; }

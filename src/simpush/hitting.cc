@@ -1,6 +1,8 @@
 #include "simpush/hitting.h"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 
 #include "simpush/workspace.h"
 
@@ -61,22 +63,32 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
   if (max_level < 2) return;  // No targets deeper than level 1.
 
   const size_t num_attention = gu.num_attention();
-  // Dense scratch accumulator over attention ids with a touched list,
-  // zero-restored after each node to avoid per-node clears.
+  // Dense scratch accumulator over attention ids, paired with a bitmask
+  // of touched ids. The merge loop below runs ~10 pool entries per
+  // stored entry, so its per-entry cost decides the whole stage: the
+  // bitmask makes it branchless (unconditional OR instead of the
+  // unpredictable accum[t] == 0 test a touched-list needs), and
+  // iterating set bits at emit time yields the targets already in
+  // ascending id order — the per-receiver sort disappears. Both the
+  // accumulator slots and the mask words are zero-restored during the
+  // emit scan, so the scratch stays clean without per-receiver clears.
   std::vector<double>& accum = workspace->attention_accum;
   if (accum.size() < num_attention) accum.resize(num_attention, 0.0);
-  std::vector<AttentionId>& touched = workspace->attention_touched;
+  const size_t words = (num_attention + 63) / 64;
+  std::vector<uint64_t>& bits = workspace->scratch_bits;
+  bits.assign(words, 0);  // Clean even after a cancelled predecessor.
   // Epoch-stamped per-node scratch over graph nodes, one epoch per
   // level:
-  //   holder_index — maps a node of level+1 holding a nonzero vector to
-  //                  (index of its NodeSpan) + 1, so a pull reads the
-  //                  holder's span without any hashing;
+  //   holder_span — maps a node of level+1 holding a nonzero vector to
+  //                 its packed pool-span bounds (begin << 32 | end), so
+  //                 a pull reads the holder's entries after ONE random
+  //                 access (no NodeSpan chase, no hashing);
   //   member_marks — nodes present on the current level of G_u;
   //   receiver_marks — current-level nodes already queued for a pull.
   // Receivers are discovered by scanning the holders' out-edges, so a
   // level's cost is Σ outdeg(holders) + Σ indeg(receivers) instead of
   // an O(|G_u level|) sweep — holders cluster near the attention set.
-  EpochArray<uint32_t>& holder_index = workspace->holder_index;
+  EpochArray<uint64_t>& holder_span = workspace->holder_span;
   EpochArray<uint8_t>& member_marks = workspace->member_marks;
   EpochArray<uint8_t>& receiver_marks = workspace->receiver_marks;
   std::vector<NodeId>& receivers = workspace->receivers;
@@ -103,11 +115,14 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
   for (uint32_t level = max_level - 1; level >= 1; --level) {
     const HittingTable::LevelVectors& above = table->per_level_[level + 1];
     HittingTable::LevelVectors& here = table->per_level_[level];
-    holder_index.BeginEpoch();
+    holder_span.BeginEpoch();
     member_marks.BeginEpoch();
     receiver_marks.BeginEpoch();
-    for (uint32_t i = 0; i < above.nodes.size(); ++i) {
-      holder_index.Set(above.nodes[i].node, i + 1);
+    for (const HittingTable::NodeSpan& holder : above.nodes) {
+      // end > begin for every stored span, so a packed value is never 0
+      // and Get() == 0 cleanly reads as "not a holder".
+      holder_span.Set(holder.node, (static_cast<uint64_t>(holder.begin) << 32) |
+                                       holder.end);
     }
     for (const auto& [node, h] : gu.Level(level)) {
       (void)h;
@@ -135,6 +150,12 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
         }
       }
     }
+    // Pull in ascending node order: the receivers' in-CSR rows are then
+    // streamed sequentially (instead of hopping with discovery order),
+    // and the spans appended to here.nodes come out already sorted —
+    // the per-level sort below disappears. Each receiver's accumulation
+    // is independent, so the reorder changes no value.
+    std::sort(receivers.begin(), receivers.end());
     for (NodeId v : receivers) {
       // Cancellation stride over pulls; on a fired token the table is
       // left partial — the caller re-checks the token and discards it.
@@ -142,25 +163,50 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
         since_poll = 0;
         if (ShouldStop(cancel)) return;
       }
-      touched.clear();
       const uint32_t deg = graph.InDegree(v);
+      size_t wlo = words, whi = 0;
       // A dangling node (deg == 0) pulls nothing, but when it is an
       // attention node its self entry below must still be emitted so
       // shallower levels can see it.
       if (deg > 0) {
         const double scale = sqrt_c / deg;
-        for (NodeId vp : graph.InNeighbors(v)) {
-          const uint32_t span_index = holder_index.Get(vp);
-          if (span_index == 0) continue;
-          const HittingTable::NodeSpan& span = above.nodes[span_index - 1];
-          for (uint32_t e = span.begin; e < span.end; ++e) {
+        const std::span<const NodeId> in = graph.InNeighbors(v);
+        // Two-stage software pipeline over the in-neighbors: the
+        // holder_span probes are random node-indexed accesses, hinted
+        // kSpanLookahead ahead; at kPoolLookahead (close enough that its
+        // span bounds are already cached from the first stage) the span
+        // bounds are re-read to hint the pool entries themselves — the
+        // level's pool outgrows L2, so the merge loop's first touch of
+        // each span is otherwise a stall.
+        constexpr size_t kSpanLookahead = 8;
+        constexpr size_t kPoolLookahead = 3;
+        const size_t n_in = in.size();
+        for (size_t i = 0; i < n_in; ++i) {
+          if (i + kSpanLookahead < n_in) {
+            holder_span.Prefetch(in[i + kSpanLookahead]);
+          }
+          if (i + kPoolLookahead < n_in) {
+            const uint64_t ahead = holder_span.Get(in[i + kPoolLookahead]);
+#if defined(__GNUC__) || defined(__clang__)
+            if (ahead != 0) {
+              __builtin_prefetch(&above.pool[ahead >> 32], /*rw=*/0,
+                                 /*locality=*/1);
+            }
+#endif
+          }
+          const uint64_t packed = holder_span.Get(in[i]);
+          if (packed == 0) continue;
+          const uint32_t end = static_cast<uint32_t>(packed);
+          for (uint32_t e = static_cast<uint32_t>(packed >> 32); e < end; ++e) {
             const auto& [target, prob] = above.pool[e];
-            if (accum[target] == 0.0) touched.push_back(target);
             accum[target] += prob * scale;
+            const size_t w = target >> 6;
+            bits[w] |= uint64_t{1} << (target & 63);
+            if (w < wlo) wlo = w;
+            if (w > whi) whi = w;
           }
         }
       }
-      std::sort(touched.begin(), touched.end());
       const uint32_t begin = static_cast<uint32_t>(here.pool.size());
       // Self entry when v is itself an attention node on this level
       // (level >= 2): its id is distinct from every pulled target id
@@ -170,21 +216,28 @@ void ComputeHittingTable(const Graph& graph, const SourceGraph& gu,
       const bool has_self =
           level >= 2 && gu.LookupAttention(level, v, &self_id);
       bool self_inserted = false;
-      for (AttentionId target : touched) {
-        if (has_self && !self_inserted && self_id < target) {
-          here.pool.emplace_back(self_id, 1.0);
-          self_inserted = true;
-        }
-        here.pool.emplace_back(target, accum[target]);
-        accum[target] = 0.0;
+      for (size_t wi = wlo; wi <= whi; ++wi) {
+        uint64_t m = bits[wi];
+        if (m == 0) continue;
+        bits[wi] = 0;
+        do {
+          const AttentionId target =
+              static_cast<AttentionId>(wi * 64 + std::countr_zero(m));
+          m &= m - 1;
+          if (has_self && !self_inserted && self_id < target) {
+            here.pool.emplace_back(self_id, 1.0);
+            self_inserted = true;
+          }
+          here.pool.emplace_back(target, accum[target]);
+          accum[target] = 0.0;
+        } while (m != 0);
       }
       if (has_self && !self_inserted) here.pool.emplace_back(self_id, 1.0);
       const uint32_t end = static_cast<uint32_t>(here.pool.size());
       if (end > begin) here.nodes.push_back({v, begin, end});
     }
-    std::sort(here.nodes.begin(), here.nodes.end(),
-              [](const HittingTable::NodeSpan& a,
-                 const HittingTable::NodeSpan& b) { return a.node < b.node; });
+    // here.nodes is sorted by construction: receivers were processed in
+    // ascending node order, so VectorAt's binary search needs no sort.
     if (level == 1) break;  // uint32_t wrap guard.
   }
 }

@@ -55,8 +55,9 @@ class SourceGraph {
   void Reset(uint32_t max_level);
 
   /// Appends one (node, h) entry to a level. Entries within a level must
-  /// be unique; Source-Push sorts each finished level via SortLevel so
-  /// lookups can assume node order.
+  /// be unique and are appended in ascending node order by Source-Push
+  /// (its frontiers are kept sorted), so lookups can assume node order;
+  /// bulk writers appending out of order must call SortLevel after.
   void AddEntry(uint32_t level, NodeId node, double h) {
     levels_[level].emplace_back(node, h);
   }

@@ -1,9 +1,11 @@
 #include "simpush/source_push.h"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "simpush/workspace.h"
+#include "walk/walk_batch.h"
 #include "walk/walker.h"
 
 namespace simpush {
@@ -15,44 +17,47 @@ namespace {
 // count reaches the detection threshold (i.e. an empirical hitting
 // probability >= ε_h/2). Capped by L* afterwards by the caller.
 //
-// This is the per-query latency floor of SimPush, so the walk loop is
-// fully inlined: each walk's decay length is sampled with one RNG draw
-// (geometric inverse CDF, already capped at L*), neighbor picks are the
-// only per-step randomness, and counts live in the workspace's epoch-
-// stamped open-addressing tally — no hashing container churn, no O(n)
-// clears between queries.
+// This is the per-query latency floor of SimPush, so the walks run
+// through the batched SoA kernel (walk/walk_batch.h): waves of lockstep
+// walks with prefetched adjacency loads, each walk on its own counter
+// stream Rng::ForWalk(walk_seed, u, i). Counts live in the workspace's
+// epoch-stamped open-addressing tally — no hashing container churn, no
+// O(n) clears between queries.
+//
+// The final max_level is invariant to the order walks are tallied in,
+// so any wave size gives bit-identical downstream scores: a visit's
+// increment is skipped only when its level is already <= max_level, and
+// max_level can only ever rise to M* = max{l : some node's FULL count
+// T(l, v) reaches the threshold} — visits at levels above the current
+// max_level are never skipped, so the threshold at M* is always
+// eventually reached no matter the interleaving, and no level beyond M*
+// can reach it under any order.
 uint32_t DetectMaxLevel(const Graph& graph, NodeId u,
+                        const SimPushOptions& options,
                         const DerivedParams& params, Rng* rng,
                         QueryWorkspace* workspace, uint64_t* walks_out,
                         const CancelToken* cancel) {
-  const Walker walker(graph, params.sqrt_c);
-  *walks_out = params.num_walks;
   LevelNodeTally& tally = workspace->level_tally;
   tally.NewRound();
   uint32_t max_level = 0;
-  for (uint64_t i = 0; i < params.num_walks; ++i) {
-    // Cancellation poll at a bounded stride. The poll reads state only
-    // (never the RNG), so an unfired token leaves the walk sequence —
-    // and therefore the result — bit-identical to the token-free run.
-    if ((i & (kCancelCheckStride - 1)) == 0 && ShouldStop(cancel)) {
-      *walks_out = i;
-      return max_level;  // Caller re-checks the token and aborts.
-    }
-    const uint32_t length = walker.SampleWalkLength(rng, params.l_star);
-    NodeId current = u;
-    for (uint32_t level = 1; level <= length; ++level) {
-      const uint32_t deg = graph.InDegree(current);
-      if (deg == 0) break;  // Dangling: the walk must stop.
-      current = graph.InNeighborAt(
-          current, static_cast<uint32_t>(rng->NextBounded(deg)));
-      if (level <= max_level) continue;  // Only deeper levels matter.
-      const uint64_t key = (static_cast<uint64_t>(level) << 32) | current;
-      if (tally.Increment(key) >= params.level_count_threshold) {
-        max_level = level;
-      }
-    }
-  }
-  return max_level;
+  // One draw reserves the walk-stream key. `rng` is itself a pure
+  // function of (options.seed, u), so every walk stream stays pinned to
+  // (seed, node, walk_index); downstream consumers of `rng` see exactly
+  // one draw here regardless of wave size, walk count, or cancellation.
+  const uint64_t walk_seed = rng->Next();
+  const Walker walker(graph, params.sqrt_c);
+  *walks_out = RunWalkWaves(
+      graph, u, walk_seed, params.num_walks, params.l_star,
+      walker.inv_log_sqrt_c(), UniformInSampler{},
+      [&](uint32_t level, NodeId node) {
+        if (level <= max_level) return;  // Only deeper levels matter.
+        const uint64_t key = (static_cast<uint64_t>(level) << 32) | node;
+        if (tally.Increment(key) >= params.level_count_threshold) {
+          max_level = level;
+        }
+      },
+      cancel, options.walk_wave_size);
+  return max_level;  // On cancellation the caller re-checks and aborts.
 }
 
 }  // namespace
@@ -72,8 +77,8 @@ Status SourcePushInto(const Graph& graph, NodeId u,
   uint32_t max_level = params.l_star;
   uint64_t walks = 0;
   if (options.use_level_detection) {
-    max_level =
-        DetectMaxLevel(graph, u, params, rng, workspace, &walks, cancel);
+    max_level = DetectMaxLevel(graph, u, options, params, rng, workspace,
+                               &walks, cancel);
     max_level = std::min(max_level, params.l_star);
     SIMPUSH_RETURN_NOT_OK(CheckCancel(cancel));
   }
@@ -96,6 +101,16 @@ Status SourcePushInto(const Graph& graph, NodeId u,
   EpochArray<double>& next = workspace->dense_b;
   std::vector<NodeId>& frontier = workspace->frontier_a;
   std::vector<NodeId>& frontier_next = workspace->frontier_b;
+  // Touched-node bitmask: the scatter marks next-level members with an
+  // unconditional OR (no was-it-set branch, no push per first touch),
+  // and the per-level emit scan walks set bits in node order — the next
+  // frontier comes out ascending by construction, replacing the
+  // per-level sort. The accumulation order over in-edges is unchanged
+  // (sorted frontier × in-CSR order), so the float sums are bit-for-bit
+  // the same as with the sorted-push scheme.
+  const size_t words = (static_cast<size_t>(graph.num_nodes()) + 63) / 64;
+  std::vector<uint64_t>& bits = workspace->scratch_bits;
+  bits.assign(words, 0);  // Clean even after a cancelled predecessor.
   current.BeginEpoch();
   next.BeginEpoch();
   frontier.clear();
@@ -104,31 +119,49 @@ Status SourcePushInto(const Graph& graph, NodeId u,
   uint32_t since_poll = 0;
   for (uint32_t level = 0; level < max_level; ++level) {
     if (frontier.empty()) break;
-    frontier_next.clear();
-    for (NodeId v : frontier) {
+    size_t wlo = words, whi = 0;
+    for (size_t i = 0; i < frontier.size(); ++i) {
       // Per-occurrence cancellation stride (same contract as the walk
-      // loop above: a poll reads state only).
+      // loop above: a poll reads state only). A cancelled return leaves
+      // set bits behind; every consumer re-zeroes the mask on entry.
       if (++since_poll >= kCancelCheckStride) {
         since_poll = 0;
         SIMPUSH_RETURN_NOT_OK(CheckCancel(cancel));
       }
+      // The frontier is sorted ascending (see below), so the in-CSR
+      // rows stream near-sequentially; hint the next rows' offsets so
+      // their misses overlap with this row's pushes.
+      if (i + 4 < frontier.size()) graph.PrefetchInOffsets(frontier[i + 4]);
+      const NodeId v = frontier[i];
       const double h = current.RawRef(v);
       const uint32_t deg = graph.InDegree(v);
       if (deg == 0) continue;
       const double share = params.sqrt_c * h / deg;
       for (NodeId vp : graph.InNeighbors(v)) {
-        if (!next.IsSet(vp)) {
-          next.Set(vp, share);
-          frontier_next.push_back(vp);
-        } else {
-          next.RawRef(vp) += share;
-        }
+        next.Accumulate(vp, share);
+        const size_t w = vp >> 6;
+        bits[w] |= uint64_t{1} << (vp & 63);
+        if (w < wlo) wlo = w;
+        if (w > whi) whi = w;
       }
     }
-    for (NodeId vp : frontier_next) {
-      gu->AddEntry(level + 1, vp, next.RawRef(vp));
+    // Canonical (ascending) frontier order: makes the next level's
+    // traversal sequential over the in-CSR, makes the accumulation
+    // order — and hence the float sums — a function of the graph alone
+    // (never of discovery order), and appends the level's entries
+    // already sorted by node, so no per-level SortLevel pass.
+    frontier_next.clear();
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      uint64_t m = bits[wi];
+      if (m == 0) continue;
+      bits[wi] = 0;
+      do {
+        const NodeId vp = static_cast<NodeId>(wi * 64 + std::countr_zero(m));
+        m &= m - 1;
+        frontier_next.push_back(vp);
+        gu->AddEntry(level + 1, vp, next.RawRef(vp));
+      } while (m != 0);
     }
-    gu->SortLevel(level + 1);
     // The consumed level's stamps are wiped in O(1) so the array can be
     // reused as the next level's accumulator after the swap.
     current.BeginEpoch();

@@ -64,7 +64,7 @@ void QueryWorkspace::Prepare(NodeId num_nodes) {
   dense_b.BeginEpoch();
   frontier_a.clear();
   frontier_b.clear();
-  holder_index.Resize(num_nodes);
+  holder_span.Resize(num_nodes);
   member_marks.Resize(num_nodes);
   receiver_marks.Resize(num_nodes);
 }

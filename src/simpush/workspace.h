@@ -7,8 +7,8 @@
 //                            dense_a/dense_b + frontier_a/frontier_b
 //                            (level-wise residue propagation),
 //                            source_graph (the G_u being built).
-//   Hitting (Alg. 3)       — holder_index/member_marks/receiver_marks,
-//                            receivers, attention_accum/attention_touched,
+//   Hitting (Alg. 3)       — holder_span/member_marks/receiver_marks,
+//                            receivers, attention_accum/scratch_bits,
 //                            hitting_table.
 //   Last-meeting (Alg. 4)  — gamma_scratch, gamma.
 //   Reverse-Push (Alg. 5)  — dense_a/dense_b + frontier_a/frontier_b
@@ -97,15 +97,25 @@ class QueryWorkspace {
   // --- Source-Push level detection.
   LevelNodeTally level_tally;
 
-  // --- Hitting-table construction. holder_index maps a node of level
-  // ℓ+1 to (index of its NodeSpan) + 1; member/receiver marks track the
-  // current level's G_u membership and queued pulls.
-  EpochArray<uint32_t> holder_index;
+  // --- Hitting-table construction. holder_span maps a node of level
+  // ℓ+1 holding a nonzero vector to its packed pool-span bounds
+  // (begin << 32 | end) — the pull loop reads the span in ONE random
+  // access instead of index-then-NodeSpan chasing; member/receiver
+  // marks track the current level's G_u membership and queued pulls.
+  EpochArray<uint64_t> holder_span;
   EpochArray<uint8_t> member_marks;
   EpochArray<uint8_t> receiver_marks;
   std::vector<NodeId> receivers;
   std::vector<double> attention_accum;    // Zero-restored after each use.
-  std::vector<AttentionId> attention_touched;
+
+  // --- Touched-set bitmask, shared by the Source-Push frontier scatter
+  // (node-indexed) and the hitting pull merge (attention-id-indexed);
+  // the stages run sequentially and each re-zeroes it on entry
+  // (assign() reuses capacity, so steady state stays allocation-free).
+  // Scatter loops OR into it unconditionally — no per-write branch —
+  // and the emit scan walks set bits in index order, which both
+  // restores the zeros and yields sorted output without a sort.
+  std::vector<uint64_t> scratch_bits;
 
   // --- Last-meeting probabilities.
   GammaScratch gamma_scratch;

@@ -1,0 +1,86 @@
+#include "walk/sampling.h"
+
+#include <cmath>
+
+namespace simpush {
+
+Status BuildAliasRow(std::span<const double> weights, std::span<double> prob,
+                     std::span<uint32_t> alias) {
+  const size_t n = weights.size();
+  if (prob.size() != n || alias.size() != n) {
+    return Status::InvalidArgument("alias row output size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("alias weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument("alias weights must not all be zero");
+  }
+
+  // Vose: scale to mean 1, split into under/over-full slots, pair each
+  // under-full slot with a donor so every slot needs at most one
+  // fallback. Build-time only — never on a query path.
+  const double scale = static_cast<double>(n) / total;
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    prob[i] = weights[i] * scale;
+    (prob[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    alias[s] = l;
+    // The large slot donates (1 - prob[s]) of its mass to s.
+    prob[l] -= 1.0 - prob[s];
+    if (prob[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly full (modulo rounding): accept always.
+  for (uint32_t i : large) {
+    prob[i] = 1.0;
+    alias[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob[i] = 1.0;
+    alias[i] = i;
+  }
+  return Status::OK();
+}
+
+StatusOr<AliasInSampler> AliasInSampler::Build(
+    const Graph& graph, std::span<const double> weights) {
+  if (weights.size() != graph.num_edges()) {
+    return Status::InvalidArgument("need one weight per in-edge");
+  }
+  AliasInSampler sampler(graph);
+  sampler.prob_.resize(weights.size());
+  sampler.alias_.resize(weights.size());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t deg = graph.InDegree(v);
+    if (deg == 0) continue;
+    const size_t begin = static_cast<size_t>(graph.InRowBegin(v));
+    SIMPUSH_RETURN_NOT_OK(
+        BuildAliasRow(weights.subspan(begin, deg),
+                      std::span<double>(sampler.prob_).subspan(begin, deg),
+                      std::span<uint32_t>(sampler.alias_).subspan(begin, deg)));
+  }
+  return sampler;
+}
+
+AliasInSampler AliasInSampler::Uniform(const Graph& graph) {
+  std::vector<double> weights(graph.num_edges(), 1.0);
+  auto sampler = Build(graph, weights);
+  // Uniform weights are trivially valid; Build can only fail on size.
+  return std::move(sampler).value();
+}
+
+}  // namespace simpush

@@ -1,0 +1,96 @@
+// Neighbor-sampling policies for the walk engine.
+//
+// A policy maps (node, in-degree, rng) to the index of the in-neighbor
+// a walk steps to. The batched kernel (walk_batch.h) and the serial
+// Walker are templated on the policy so the per-step dispatch inlines;
+// the hierarchy mirrors the naive → alias progression of random-walk
+// engines (randgraph's sample.hpp):
+//
+//   UniformInSampler — naive uniform pick over the in-CSR row: one
+//                      bounded draw, no per-node state. The only
+//                      correct policy for today's unweighted graphs.
+//   AliasInSampler   — per-node alias tables (Vose) flattened parallel
+//                      to the in-CSR: O(1) draws from an arbitrary
+//                      per-edge weight distribution, ready for when
+//                      weighted graphs land. O(m) doubles + O(m)
+//                      uint32 of index state, built in O(m).
+//
+// Determinism: a policy consumes randomness ONLY through the walk's
+// own Rng stream (a fixed number of draws per pick — one for uniform,
+// two for alias), so swapping execution order of walks can never
+// change any walk's trajectory.
+
+#ifndef SIMPUSH_WALK_SAMPLING_H_
+#define SIMPUSH_WALK_SAMPLING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace simpush {
+
+/// Naive uniform in-neighbor pick: index k ~ U[0, deg). Stateless.
+class UniformInSampler {
+ public:
+  /// Index of the in-neighbor to step to. Precondition: deg > 0.
+  uint32_t PickIndex(NodeId /*v*/, uint32_t deg, Rng* rng) const {
+    return static_cast<uint32_t>(rng->NextBounded(deg));
+  }
+};
+
+/// Builds one alias row (Vose's method) for `weights` into
+/// prob/alias (resized to weights.size()). Non-finite, negative, or
+/// all-zero weight vectors are invalid. Exposed for tests and for
+/// incremental per-node rebuilds.
+Status BuildAliasRow(std::span<const double> weights,
+                     std::span<double> prob, std::span<uint32_t> alias);
+
+/// Per-node alias tables over the in-adjacency: O(1) weighted
+/// in-neighbor draws. Tables are flattened parallel to the in-CSR
+/// (entry for in-edge e lives at index e), so a pick is two array
+/// reads at InRowBegin(v) + k — no per-node indirection.
+class AliasInSampler {
+ public:
+  /// Builds tables from per-in-edge weights (weights[e] belongs to the
+  /// in-edge at CSR index e; size must equal num_edges). The graph
+  /// must outlive the sampler.
+  static StatusOr<AliasInSampler> Build(const Graph& graph,
+                                        std::span<const double> weights);
+
+  /// Uniform weights — statistically identical to UniformInSampler
+  /// (NOT bit-identical: an alias pick consumes two draws per step,
+  /// a uniform pick one). Exists so the alias machinery is testable
+  /// before weighted graphs land.
+  static AliasInSampler Uniform(const Graph& graph);
+
+  /// Index of the in-neighbor to step to. Precondition: deg > 0.
+  /// Consumes exactly two draws: slot, then accept/alias coin.
+  uint32_t PickIndex(NodeId v, uint32_t deg, Rng* rng) const {
+    const EdgeId begin = graph_->InRowBegin(v);
+    const uint32_t k = static_cast<uint32_t>(rng->NextBounded(deg));
+    return rng->NextDouble() < prob_[begin + k] ? k : alias_[begin + k];
+  }
+
+  /// Acceptance probability / alias of slot k of v's row (for tests).
+  double ProbAt(NodeId v, uint32_t k) const {
+    return prob_[graph_->InRowBegin(v) + k];
+  }
+  uint32_t AliasAt(NodeId v, uint32_t k) const {
+    return alias_[graph_->InRowBegin(v) + k];
+  }
+
+ private:
+  explicit AliasInSampler(const Graph& graph) : graph_(&graph) {}
+
+  const Graph* graph_;
+  std::vector<double> prob_;    // Acceptance threshold per in-edge slot.
+  std::vector<uint32_t> alias_; // Fallback slot within the same row.
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_WALK_SAMPLING_H_

@@ -1,0 +1,23 @@
+#include "walk/walk_batch.h"
+
+#include <string>
+
+namespace simpush {
+
+static_assert(kDefaultWalkWaveSize >= 1 &&
+                  kDefaultWalkWaveSize <= kMaxWalkWaveSize,
+              "default wave must be a legal wave width");
+static_assert((kMaxWalkWaveSize & (kMaxWalkWaveSize - 1)) == 0,
+              "kMaxWalkWaveSize is a power of two so the cancellation "
+              "stride (also a power of two) lands on wave boundaries");
+static_assert(kMaxWalkWaveSize <= kCancelCheckStride,
+              "a wave must never straddle more than one poll stride, or "
+              "the between-wave poll cadence would exceed the contract");
+
+std::string WalkKernelConfigString() {
+  return "wave=" + std::to_string(kDefaultWalkWaveSize) +
+         ",max_wave=" + std::to_string(kMaxWalkWaveSize) +
+         ",streams=counter(seed,node,walk_index),prefetch=offsets+csr";
+}
+
+}  // namespace simpush

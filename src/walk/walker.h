@@ -21,6 +21,20 @@
 
 namespace simpush {
 
+/// Decay length of a √c-walk from one uniform draw u in [0, 1), via the
+/// inverse geometric CDF: P(floor(log_√c(1-u)) >= l) = √c^l. The √c
+/// dependence enters through `inv_log_sqrt_c` = 1/log(√c), precomputed
+/// by the caller so batched sampling does one log per walk, not two.
+/// Capped at `cap`; the !(length < cap) form also catches the inf at
+/// u → 1 (survival → 0).
+inline uint32_t WalkLengthForUniform(double u, double inv_log_sqrt_c,
+                                     uint32_t cap) {
+  const double survival = 1.0 - u;  // In (0, 1].
+  const double length = std::log(survival) * inv_log_sqrt_c;
+  if (!(length < cap)) return cap;
+  return static_cast<uint32_t>(length);
+}
+
 /// One recorded √c-walk: positions[0] is the start node, positions[l] the
 /// node reached at step l. The walk stopped after the last position.
 struct Walk {
@@ -44,12 +58,11 @@ class Walker {
   /// Samples the decay-determined length of a √c-walk (the number of
   /// survival steps) in a single RNG draw, capped at `cap`.
   uint32_t SampleWalkLength(Rng* rng, uint32_t cap = kMaxWalkLength) const {
-    // 1 - U is in (0, 1]; P(floor(log_√c(1-U)) >= l) = √c^l.
-    const double survival = 1.0 - rng->NextDouble();
-    const double length = std::log(survival) * inv_log_sqrt_c_;
-    if (!(length < cap)) return cap;  // Also catches inf at survival→0.
-    return static_cast<uint32_t>(length);
+    return WalkLengthForUniform(rng->NextDouble(), inv_log_sqrt_c_, cap);
   }
+
+  /// 1/log(√c), for callers batching WalkLengthForUniform draws.
+  double inv_log_sqrt_c() const { return inv_log_sqrt_c_; }
 
   /// Samples one full √c-walk from `start`, recording every position.
   Walk SampleWalk(NodeId start, Rng* rng) const;

@@ -3,9 +3,19 @@
 // paired-walk meeting estimator.
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
 
+#include "common/deadline.h"
+#include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "walk/sampling.h"
+#include "walk/walk_batch.h"
 #include "walk/walk_stats.h"
 #include "walk/walker.h"
 
@@ -131,6 +141,182 @@ TEST(WalkStatsTest, VisitCountsAccessors) {
   EXPECT_TRUE(counts.Level(9).empty());
   counts.Record(0, 1);  // Level 0 records are ignored.
   EXPECT_EQ(counts.Count(0, 1), 0u);
+}
+
+TEST(WalkerTest, WalkLengthForUniformCapAndInfinityEdge) {
+  const double inv = 1.0 / std::log(kSqrtC);
+  // u = 0 → survival 1 → log 0 → length 0.
+  EXPECT_EQ(WalkLengthForUniform(0.0, inv, Walker::kMaxWalkLength), 0u);
+  // survival == 0 → log(-inf) → length +inf: !(inf < cap) must clamp
+  // to the cap instead of wrapping through the uint32 cast (UB).
+  EXPECT_EQ(WalkLengthForUniform(1.0, inv, Walker::kMaxWalkLength),
+            Walker::kMaxWalkLength);
+  // Just below 1: a huge-but-finite length still clamps at the cap.
+  EXPECT_EQ(WalkLengthForUniform(std::nextafter(1.0, 0.0), inv, 16), 16u);
+  // A zero cap forces length 0 for every u, including the inf edge.
+  EXPECT_EQ(WalkLengthForUniform(1.0, inv, 0), 0u);
+  EXPECT_EQ(WalkLengthForUniform(0.5, inv, 0), 0u);
+  // SampleWalkLength is the same mapping applied to rng draws.
+  Graph g = testing_util::MakeFixtureGraph();
+  Walker walker(g, kSqrtC);
+  Rng rng_a(17), rng_b(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(walker.SampleWalkLength(&rng_a),
+              WalkLengthForUniform(rng_b.NextDouble(), inv,
+                                   Walker::kMaxWalkLength));
+  }
+}
+
+// Tally of (level, node) visit counts — the order-insensitive digest the
+// kernel equivalence tests compare on.
+using LevelCounts = std::map<std::pair<uint32_t, NodeId>, uint64_t>;
+
+LevelCounts KernelCounts(const Graph& g, NodeId start, uint64_t walk_seed,
+                         uint64_t num_walks, uint32_t wave_size,
+                         const CancelToken* cancel = nullptr) {
+  const Walker walker(g, kSqrtC);
+  LevelCounts counts;
+  RunWalkWaves(
+      g, start, walk_seed, num_walks, Walker::kMaxWalkLength,
+      walker.inv_log_sqrt_c(), UniformInSampler{},
+      [&](uint32_t level, NodeId node) { ++counts[{level, node}]; },
+      cancel, wave_size);
+  return counts;
+}
+
+TEST(WalkBatchTest, KernelMatchesSerialWalkerPerStream) {
+  // The batched kernel over counter streams must visit exactly what the
+  // serial Walker visits when handed the same per-walk streams: the
+  // wave is a scheduling detail, not an algorithm change.
+  auto graph = GenerateChungLu(500, 3000, 2.3, 101);
+  ASSERT_TRUE(graph.ok());
+  const Walker walker(*graph, kSqrtC);
+  const uint64_t walk_seed = 0xDEADBEEFCAFEF00DULL;
+  const NodeId start = 3;
+  const uint64_t num_walks = 2000;
+
+  LevelCounts serial;
+  for (uint64_t i = 0; i < num_walks; ++i) {
+    Rng rng = Rng::ForWalk(walk_seed, start, i);
+    walker.SampleWalkVisit(start, &rng, [&](uint32_t level, NodeId node) {
+      ++serial[{level, node}];
+    });
+  }
+  for (uint32_t wave : {1u, 8u, 64u, 256u}) {
+    EXPECT_EQ(serial, KernelCounts(*graph, start, walk_seed, num_walks, wave))
+        << "wave " << wave;
+  }
+}
+
+TEST(WalkBatchTest, WaveSizeIsInvisibleAndUnfiredTokenToo) {
+  auto graph = GenerateChungLu(400, 2400, 2.4, 103);
+  ASSERT_TRUE(graph.ok());
+  const auto baseline = KernelCounts(*graph, 0, 7, 3000, 1);
+  // Any wave size (including an over-cap request, clamped) agrees.
+  for (uint32_t wave : {2u, 8u, 64u, 128u, 100000u}) {
+    EXPECT_EQ(baseline, KernelCounts(*graph, 0, 7, 3000, wave));
+  }
+  // An installed-but-unfired token is bit-invisible mid-batch.
+  const CancelToken token(Deadline::After(600000));
+  EXPECT_EQ(baseline, KernelCounts(*graph, 0, 7, 3000, 64, &token));
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(WalkBatchTest, FiredTokenStopsAtWaveBoundary) {
+  auto graph = GenerateChungLu(400, 2400, 2.4, 105);
+  ASSERT_TRUE(graph.ok());
+  const Walker walker(*graph, kSqrtC);
+  CancelToken token;
+  token.Cancel();
+  uint64_t visits = 0;
+  const uint64_t done = RunWalkWaves(
+      *graph, 0, 7, 3000, Walker::kMaxWalkLength, walker.inv_log_sqrt_c(),
+      UniformInSampler{}, [&](uint32_t, NodeId) { ++visits; }, &token, 64);
+  // The pre-fired token is seen at the very first poll: no walk runs.
+  EXPECT_EQ(done, 0u);
+  EXPECT_EQ(visits, 0u);
+  // Without a token the kernel reports every walk completed.
+  EXPECT_EQ(RunWalkWaves(*graph, 0, 7, 3000, Walker::kMaxWalkLength,
+                         walker.inv_log_sqrt_c(), UniformInSampler{},
+                         [](uint32_t, NodeId) {}, nullptr, 64),
+            3000u);
+}
+
+TEST(SamplingTest, BuildAliasRowRejectsBadWeights) {
+  std::vector<double> prob(3);
+  std::vector<uint32_t> alias(3);
+  auto build = [&](std::vector<double> w) {
+    return BuildAliasRow(w, std::span<double>(prob).first(w.size()),
+                         std::span<uint32_t>(alias).first(w.size()));
+  };
+  EXPECT_FALSE(build({1.0, -0.5, 1.0}).ok());
+  EXPECT_FALSE(build({1.0, std::nan(""), 1.0}).ok());
+  EXPECT_FALSE(build({1.0, std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_FALSE(build({0.0, 0.0, 0.0}).ok());
+  EXPECT_FALSE(BuildAliasRow(std::vector<double>{1.0, 2.0},
+                             std::span<double>(prob),  // size 3 != 2
+                             std::span<uint32_t>(alias).first(2))
+                   .ok());
+  EXPECT_TRUE(build({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SamplingTest, AliasSamplerMatchesWeights) {
+  // Node 0's in-neighbors are 1, 2, 3 (in-CSR flat indices 0, 1, 2);
+  // weight them 1:2:3 and check empirical pick frequencies.
+  Graph g = testing_util::MakeGraph(4, {{1, 0}, {2, 0}, {3, 0}});
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  auto sampler = AliasInSampler::Build(g, weights);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(19);
+  const int draws = 120000;
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < draws; ++i) {
+    ++counts[sampler->PickIndex(0, 3, &rng)];
+  }
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(counts[k] / double(draws), weights[k] / 6.0, 0.01);
+  }
+  // Every acceptance threshold is a probability.
+  for (uint32_t k = 0; k < 3; ++k) {
+    EXPECT_GE(sampler->ProbAt(0, k), 0.0);
+    EXPECT_LE(sampler->ProbAt(0, k), 1.0);
+    EXPECT_LT(sampler->AliasAt(0, k), 3u);
+  }
+}
+
+TEST(SamplingTest, UniformAliasTablesAreDegenerate) {
+  // Uniform weights make every slot exactly full: prob 1, alias self —
+  // the alias machinery collapses to a plain bounded draw.
+  auto graph = GenerateChungLu(100, 600, 2.4, 107);
+  ASSERT_TRUE(graph.ok());
+  const AliasInSampler sampler = AliasInSampler::Uniform(*graph);
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    for (uint32_t k = 0; k < graph->InDegree(v); ++k) {
+      EXPECT_DOUBLE_EQ(sampler.ProbAt(v, k), 1.0);
+      EXPECT_EQ(sampler.AliasAt(v, k), k);
+    }
+  }
+}
+
+TEST(SamplingTest, PoliciesUseFixedDrawsPerPick) {
+  // The determinism contract requires a fixed RNG draw count per pick:
+  // one for uniform, two for alias — regardless of which slot wins.
+  Graph g = testing_util::MakeGraph(4, {{1, 0}, {2, 0}, {3, 0}});
+  const UniformInSampler uniform;
+  const std::vector<double> skew = {0.01, 0.01, 10.0};
+  const auto alias = AliasInSampler::Build(g, skew);
+  ASSERT_TRUE(alias.ok());
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng a(seed), b(seed);
+    uniform.PickIndex(0, 3, &a);
+    b.Next();
+    EXPECT_EQ(a.Next(), b.Next()) << "uniform must draw exactly once";
+    Rng c(seed), d(seed);
+    alias->PickIndex(0, 3, &c);
+    d.Next();
+    d.NextDouble();
+    EXPECT_EQ(c.Next(), d.Next()) << "alias must draw exactly twice";
+  }
 }
 
 TEST(WalkerTest, PairMeetingMatchesExactSimRank) {

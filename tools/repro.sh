@@ -107,4 +107,22 @@ if [[ -x "$BUILD_DIR/bench_serve" ]]; then
       --clients 4 --requests 10
 fi
 
+echo "== record perf trajectory (BENCH_serial.json / BENCH_parallel.json)"
+# Every PR re-records machine-readable numbers at the repo root so the
+# perf trajectory is part of the history, not terminal scrollback.
+SIMPUSH_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export SIMPUSH_GIT_SHA
+if [[ -x "$BUILD_DIR/bench_micro" ]]; then
+  "$BUILD_DIR/bench_micro" --json BENCH_serial.json \
+      --benchmark_filter='BM_WalkKernel|BM_SourcePushStage|BM_FullQuery|BM_QuerySteadyState' \
+      --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=false > /dev/null
+  echo "   wrote BENCH_serial.json"
+fi
+if [[ -x "$BUILD_DIR/bench_parallel" ]]; then
+  SIMPUSH_BENCH_SCALE=quick "$BUILD_DIR/bench_parallel" \
+      --json BENCH_parallel.json > /dev/null
+  echo "   wrote BENCH_parallel.json"
+fi
+
 echo "repro.sh: all documented commands ran green"
