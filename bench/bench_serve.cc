@@ -8,35 +8,56 @@
 // checks for correctness: HTTP parse, JSON decode, pooled query,
 // JSON-encode, write — as latency percentiles and sustained q/s.
 //
+// Skewed-workload mode (--zipf-s > 0) samples source nodes from a
+// Zipf(s) distribution over a seeded permutation of the node space —
+// the production-shaped traffic the generation-keyed result cache
+// exists for. Responses stamped "cached":true are split into a hit
+// latency bucket so the report shows hit rate and hit-vs-computed
+// p50/p99 side by side, and --json writes the whole run as a
+// BENCH_serve.json trajectory record (tools/repro.sh / CI bench-smoke
+// regenerate it and fail when a cache hit allocates).
+//
 // Flags (all optional):
-//   --nodes N       graph size                     (default 20000)
-//   --edges M       edge count                     (default 8N)
-//   --epsilon E     query accuracy                 (default 0.05)
-//   --clients C     concurrent closed-loop clients (default 8)
-//   --requests R    requests per client            (default 50)
-//   --threads T     service/HTTP worker threads    (default hw)
-//   --pool P        workspace pool cap             (default threads)
-//   --endpoint NAME query | topk | batch           (default query)
-//   --top-k K       top_k truncation for query, k for topk/batch
-//   --batch-size B  nodes per batch request        (default 16)
+//   --nodes N        graph size                     (default 20000)
+//   --edges M        edge count                     (default 8N)
+//   --epsilon E      query accuracy                 (default 0.05)
+//   --clients C      concurrent closed-loop clients (default 8)
+//   --requests R     requests per client            (default 50)
+//   --threads T      service/HTTP worker threads    (default hw)
+//   --pool P         workspace pool cap             (default threads)
+//   --endpoint NAME  query | topk | batch           (default query)
+//   --top-k K        top_k truncation for query, k for topk/batch
+//   --batch-size B   nodes per batch request        (default 16)
+//   --zipf-s S       Zipf exponent for source picks (default 0 = uniform)
+//   --hot-fraction F restrict picks to F*N hot nodes (default 1.0)
+//   --cache-bytes N  per-tenant result-cache budget (default 64 MiB)
+//   --cache-off 1    disable the result cache
+//   --json OUT       write a BENCH_serve.json trajectory record
 //
 // Ends by fetching /v1/stats so the server-side view (pool occupancy,
-// ring-buffer percentiles, peak RSS) prints next to the client-side
-// measurements.
+// cache hit counters, ring-buffer percentiles) prints next to the
+// client-side measurements.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cmath>
 #include <cstring>
+#include <map>
+#include <numeric>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
+#include "common/memory.h"
 #include "common/timer.h"
 #include "graph/generators.h"
 #include "serve/http_client.h"
 #include "serve/http_server.h"
+#include "serve/result_cache.h"
 #include "serve/service.h"
 
 namespace simpush {
@@ -66,10 +87,65 @@ std::string FlagString(int argc, char** argv, const char* name,
   return fallback;
 }
 
-double Percentile(std::vector<double>* sorted, double p) {
-  if (sorted->empty()) return 0;
-  const size_t index = static_cast<size_t>(p * (sorted->size() - 1));
-  return (*sorted)[index];
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[index];
+}
+
+// Zipf(s) sampler over ranks 1..pool, materialized as a normalized
+// CDF + binary search. Rank r is mapped to a node through a seeded
+// permutation so the hot set is spread across the id space instead of
+// clustering at the low ids the generator happened to make dense.
+struct ZipfPicker {
+  std::vector<double> cdf;     // cdf[r] = P(rank <= r+1).
+  std::vector<NodeId> perm;    // rank -> node id.
+
+  ZipfPicker(NodeId n, double s, double hot_fraction) {
+    const size_t pool = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(n) * hot_fraction));
+    cdf.resize(pool);
+    double total = 0;
+    for (size_t r = 0; r < pool; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf[r] = total;
+    }
+    for (double& c : cdf) c /= total;
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), NodeId{0});
+    std::mt19937_64 shuffle_rng(0x5EEDF00Dull);
+    std::shuffle(perm.begin(), perm.end(), shuffle_rng);
+  }
+
+  NodeId Pick(double uniform01) const {
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), uniform01);
+    const size_t rank =
+        it == cdf.end() ? cdf.size() - 1 : static_cast<size_t>(it - cdf.begin());
+    return perm[rank];
+  }
+};
+
+// Zero-allocation-per-hit microcheck: exercises ResultCache::Get
+// directly with warm buffers under the alloc_hook counters (linked
+// into this binary). A regression to allocating on the hit path shows
+// up here as allocs/hit > 0 — repro.sh and CI bench-smoke fail on it.
+double MeasureAllocsPerHit(NodeId n) {
+  serve::ResultCacheConfig config;
+  config.byte_budget = 8u << 20;
+  serve::ResultCache cache(config);
+  SimPushResult seed;
+  seed.scores.assign(n, 0.25);
+  const uint64_t fingerprint = serve::OptionsFingerprint(SimPushOptions{});
+  cache.Insert(7, fingerprint, seed);
+  SimPushResult out;
+  cache.Get(7, fingerprint, &out);  // Warm the output buffers.
+  constexpr int kHits = 1000;
+  const AllocationStats before = GetAllocationStats();
+  for (int i = 0; i < kHits; ++i) {
+    cache.Get(7, fingerprint, &out);
+  }
+  const AllocationStats after = GetAllocationStats();
+  return static_cast<double>(after.allocations - before.allocations) / kHits;
 }
 
 }  // namespace
@@ -87,7 +163,19 @@ int main(int argc, char** argv) {
   const size_t top_k = FlagInt(argc, argv, "--top-k", 10);
   const size_t batch_size = FlagInt(argc, argv, "--batch-size", 16);
   const double epsilon = FlagDouble(argc, argv, "--epsilon", 0.05);
+  const double zipf_s = FlagDouble(argc, argv, "--zipf-s", 0.0);
+  const double hot_fraction = FlagDouble(argc, argv, "--hot-fraction", 1.0);
+  const bool cache_off = FlagInt(argc, argv, "--cache-off", 0) != 0;
+  const size_t cache_bytes =
+      cache_off ? 0 : FlagInt(argc, argv, "--cache-bytes", 64u << 20);
   const std::string endpoint = FlagString(argc, argv, "--endpoint", "query");
+  const std::string json_path = FlagString(argc, argv, "--json", "");
+  if (zipf_s < 0 || !(hot_fraction > 0.0) || hot_fraction > 1.0) {
+    std::fprintf(stderr,
+                 "bad skew flags: need --zipf-s >= 0 and "
+                 "--hot-fraction in (0, 1]\n");
+    return 2;
+  }
 
   auto graph = GenerateChungLu(n, m, 2.2, /*seed=*/7);
   if (!graph.ok()) {
@@ -101,6 +189,7 @@ int main(int argc, char** argv) {
   service_options.query.walk_budget_cap = 100000;
   service_options.num_threads = threads;
   service_options.pool_capacity = pool;
+  service_options.cache_bytes = cache_bytes;
   serve::SimPushService service(*graph, service_options);
   const auto default_stats = service.registry().Stats("default");
   if (!default_stats.ok()) {  // e.g. invalid --epsilon rejected by AddGraph.
@@ -128,24 +217,47 @@ int main(int argc, char** argv) {
               endpoint.c_str(), clients, requests,
               service.registry().num_threads(),
               default_stats->pool_capacity);
+  if (zipf_s > 0) {
+    std::printf("  workload: zipf s=%g over %g of the node space, "
+                "cache %s (%zu bytes)\n",
+                zipf_s, hot_fraction, cache_bytes > 0 ? "on" : "off",
+                cache_bytes);
+  }
+
+  const ZipfPicker* picker = nullptr;
+  ZipfPicker zipf_picker_storage =
+      zipf_s > 0 ? ZipfPicker(n, zipf_s, hot_fraction)
+                 : ZipfPicker(1, 1.0, 1.0);
+  if (zipf_s > 0) picker = &zipf_picker_storage;
 
   // Closed loop: each client thread issues its next request as soon as
-  // the previous response arrives. Per-request latencies land in a
-  // preallocated slot per client, merged after the run.
-  std::vector<std::vector<double>> latencies(clients);
+  // the previous response arrives. Per-request latencies land in
+  // preallocated per-client buckets — hits (responses stamped
+  // "cached":true) separately from computed responses — merged after
+  // the run.
+  std::vector<std::vector<double>> hit_latencies(clients);
+  std::vector<std::vector<double>> computed_latencies(clients);
   std::atomic<size_t> errors{0};
   Timer wall;
   std::vector<std::thread> workers;
   workers.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
-    latencies[c].reserve(requests);
+    hit_latencies[c].reserve(requests);
+    computed_latencies[c].reserve(requests);
     workers.emplace_back([&, c] {
       serve::HttpClient client("127.0.0.1", server.port());
       uint64_t state = 0x9E3779B97F4A7C15ull ^ (c * 0xBF58476D1CE4E5B9ull);
       std::string body;
       for (size_t r = 0; r < requests; ++r) {
         state = state * 6364136223846793005ull + 1442695040888963407ull;
-        const NodeId u = static_cast<NodeId>((state >> 33) % n);
+        NodeId u;
+        if (picker != nullptr) {
+          const double uniform01 =
+              static_cast<double>(state >> 11) * 0x1.0p-53;
+          u = picker->Pick(uniform01);
+        } else {
+          u = static_cast<NodeId>((state >> 33) % n);
+        }
         body.clear();
         const char* target;
         if (endpoint == "topk") {
@@ -171,34 +283,106 @@ int main(int argc, char** argv) {
           errors.fetch_add(1);
           continue;
         }
-        latencies[c].push_back(request_timer.ElapsedSeconds());
+        const bool hit =
+            response->body.find("\"cached\":true") != std::string::npos;
+        (hit ? hit_latencies : computed_latencies)[c].push_back(
+            request_timer.ElapsedSeconds());
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
   const double elapsed = wall.ElapsedSeconds();
 
-  std::vector<double> merged;
-  for (const auto& client_latencies : latencies) {
-    merged.insert(merged.end(), client_latencies.begin(),
-                  client_latencies.end());
+  std::vector<double> hits_sorted, computed_sorted, merged;
+  for (size_t c = 0; c < clients; ++c) {
+    hits_sorted.insert(hits_sorted.end(), hit_latencies[c].begin(),
+                       hit_latencies[c].end());
+    computed_sorted.insert(computed_sorted.end(),
+                           computed_latencies[c].begin(),
+                           computed_latencies[c].end());
   }
+  merged = hits_sorted;
+  merged.insert(merged.end(), computed_sorted.begin(), computed_sorted.end());
+  std::sort(hits_sorted.begin(), hits_sorted.end());
+  std::sort(computed_sorted.begin(), computed_sorted.end());
   std::sort(merged.begin(), merged.end());
 
   const size_t total_ok = merged.size();
+  const double hit_rate =
+      total_ok > 0 ? static_cast<double>(hits_sorted.size()) / total_ok : 0.0;
   std::printf("\nclient side (closed loop, %zu ok / %zu errors, %.2fs):\n",
               total_ok, errors.load(), elapsed);
   std::printf("  throughput   %.1f req/s\n", total_ok / elapsed);
-  std::printf("  latency p50  %.2f ms\n", Percentile(&merged, 0.50) * 1e3);
-  std::printf("  latency p90  %.2f ms\n", Percentile(&merged, 0.90) * 1e3);
-  std::printf("  latency p99  %.2f ms\n", Percentile(&merged, 0.99) * 1e3);
+  std::printf("  latency p50  %.2f ms\n", Percentile(merged, 0.50) * 1e3);
+  std::printf("  latency p90  %.2f ms\n", Percentile(merged, 0.90) * 1e3);
+  std::printf("  latency p99  %.2f ms\n", Percentile(merged, 0.99) * 1e3);
   std::printf("  latency max  %.2f ms\n",
               merged.empty() ? 0.0 : merged.back() * 1e3);
+  std::printf("  cache        %.1f%% hit rate (%zu hits / %zu computed)\n",
+              hit_rate * 100.0, hits_sorted.size(), computed_sorted.size());
+  if (!hits_sorted.empty()) {
+    std::printf("  hit p50      %.3f ms   p99 %.3f ms\n",
+                Percentile(hits_sorted, 0.50) * 1e3,
+                Percentile(hits_sorted, 0.99) * 1e3);
+  }
+  if (!computed_sorted.empty()) {
+    std::printf("  computed p50 %.3f ms   p99 %.3f ms\n",
+                Percentile(computed_sorted, 0.50) * 1e3,
+                Percentile(computed_sorted, 0.99) * 1e3);
+  }
+  const double allocs_per_hit = MeasureAllocsPerHit(n);
+  std::printf("  allocs/hit   %.3f (in-process ResultCache::Get microcheck)\n",
+              allocs_per_hit);
 
   serve::HttpClient stats_client("127.0.0.1", server.port());
   auto stats = stats_client.Get("/v1/stats");
   if (stats.ok() && stats->status == 200) {
     std::printf("\nserver side (/v1/stats):\n%s", stats->body.c_str());
+  }
+
+  if (!json_path.empty()) {
+    // One trajectory record per latency bucket; counters carry the
+    // scalars repro.sh / CI assert on (hit_rate, allocs/hit, errors).
+    std::map<std::string, bench::BenchSamples> results;
+    auto to_ms = [](const std::vector<double>& seconds) {
+      std::vector<double> ms;
+      ms.reserve(seconds.size());
+      for (const double s : seconds) ms.push_back(s * 1e3);
+      return ms;
+    };
+    bench::BenchSamples overall;
+    overall.per_iter_ms = to_ms(merged);
+    overall.counters["requests"] = static_cast<double>(total_ok);
+    overall.counters["errors"] = static_cast<double>(errors.load());
+    overall.counters["qps"] = elapsed > 0 ? total_ok / elapsed : 0.0;
+    overall.counters["hit_rate"] = hit_rate;
+    results["serve_overall"] = std::move(overall);
+    bench::BenchSamples hit_bucket;
+    hit_bucket.per_iter_ms = to_ms(hits_sorted);
+    hit_bucket.counters["hits"] = static_cast<double>(hits_sorted.size());
+    hit_bucket.counters["allocs/hit"] = allocs_per_hit;
+    results["serve_hit"] = std::move(hit_bucket);
+    bench::BenchSamples computed_bucket;
+    computed_bucket.per_iter_ms = to_ms(computed_sorted);
+    computed_bucket.counters["computed"] =
+        static_cast<double>(computed_sorted.size());
+    results["serve_computed"] = std::move(computed_bucket);
+
+    std::map<std::string, std::string> meta;
+    char config_line[256];
+    std::snprintf(config_line, sizeof(config_line),
+                  "n=%u m=%llu eps=%g zipf_s=%g hot_fraction=%g "
+                  "cache_bytes=%zu clients=%zu requests=%zu endpoint=%s",
+                  graph->num_nodes(),
+                  static_cast<unsigned long long>(graph->num_edges()),
+                  epsilon, zipf_s, hot_fraction, cache_bytes, clients,
+                  requests, endpoint.c_str());
+    meta["config"] = config_line;
+    if (!bench::WriteTrajectoryJson(json_path, "bench_serve", results,
+                                    meta)) {
+      return 1;
+    }
+    std::printf("trajectory written to %s\n", json_path.c_str());
   }
 
   server.Shutdown();

@@ -7,13 +7,31 @@
 namespace simpush {
 namespace serve {
 
+namespace {
+
+std::unique_ptr<ResultCache> MakeCache(
+    uint64_t generation_id, size_t cache_bytes,
+    std::shared_ptr<ResultCacheMetrics> metrics) {
+  if (cache_bytes == 0) return nullptr;
+  ResultCacheConfig config;
+  config.byte_budget = cache_bytes;
+  config.generation = generation_id;
+  config.metrics = std::move(metrics);
+  return std::make_unique<ResultCache>(config);
+}
+
+}  // namespace
+
 GraphGeneration::GraphGeneration(
     uint64_t id, Graph graph, const SimPushOptions& options,
-    size_t pool_capacity, std::shared_ptr<std::atomic<int64_t>> live_counter)
+    size_t pool_capacity, std::shared_ptr<std::atomic<int64_t>> live_counter,
+    size_t cache_bytes, std::shared_ptr<ResultCacheMetrics> cache_metrics)
     : id_(id),
       graph_(std::move(graph)),
       core_(graph_, options),
       workspaces_(pool_capacity),
+      options_fingerprint_(OptionsFingerprint(options)),
+      cache_(MakeCache(id, cache_bytes, std::move(cache_metrics))),
       live_(std::move(live_counter)) {
   if (live_ != nullptr) live_->fetch_add(1);
 }
@@ -39,13 +57,15 @@ GraphRegistry::GraphRegistry(const RegistryOptions& options)
       live_generations_(std::make_shared<std::atomic<int64_t>>(0)) {}
 
 GenerationLease GraphRegistry::BuildGeneration(
-    Graph graph, const SimPushOptions& options) {
+    Graph graph, const SimPushOptions& options,
+    std::shared_ptr<ResultCacheMetrics> cache_metrics) {
   const size_t capacity = options_.pool_capacity != 0
                               ? options_.pool_capacity
                               : thread_pool_.num_threads();
   return std::make_shared<const GraphGeneration>(
       next_generation_id_.fetch_add(1), std::move(graph), options,
-      capacity, live_generations_);
+      capacity, live_generations_, options_.cache_bytes,
+      std::move(cache_metrics));
 }
 
 Status GraphRegistry::Add(const std::string& name, Graph graph) {
@@ -61,14 +81,19 @@ Status GraphRegistry::Add(const std::string& name, Graph graph,
   // Reject bad options before the O(n+m) bundle build; the core
   // repeats the check, but failing early keeps Add cheap on bad input.
   SIMPUSH_RETURN_NOT_OK(options.Validate());
+  // The tenant's lifetime cache counters exist before its first
+  // generation so every generation (including this one) shares them.
+  auto cache_metrics = std::make_shared<ResultCacheMetrics>();
   // Build the full bundle before touching the map, so a validation
   // failure (or a long CSR copy) never holds map_mu_.
-  GenerationLease generation = BuildGeneration(std::move(graph), options);
+  GenerationLease generation =
+      BuildGeneration(std::move(graph), options, cache_metrics);
   const Status& options_status = generation->core().options_status();
   if (!options_status.ok()) return options_status;
 
   auto tenant = std::make_shared<Tenant>();
   tenant->master = DynamicGraph::FromGraph(generation->graph());
+  tenant->cache_metrics = std::move(cache_metrics);
   tenant->options = options;
   tenant->options_generation = generation->id();
   tenant->swap_count.store(1);
@@ -144,7 +169,8 @@ Status GraphRegistry::RebuildLocked(Tenant* tenant) {
     std::lock_guard<std::mutex> lock(tenant->options_mu);
     options = tenant->options;
   }
-  GenerationLease next = BuildGeneration(*std::move(snapshot), options);
+  GenerationLease next =
+      BuildGeneration(*std::move(snapshot), options, tenant->cache_metrics);
   SIMPUSH_RETURN_NOT_OK(next->core().options_status());
   // Chaos hook: failure after the (expensive) build but before the
   // publish — the fully-built `next` must unwind cleanly through the
@@ -234,7 +260,8 @@ StatusOr<UpdateOutcome> GraphRegistry::UpdateOptions(
   }
   // Re-publish the CURRENT generation's graph, not a master snapshot:
   // an options change must not smuggle in pending edge updates.
-  GenerationLease next = BuildGeneration(Graph(current->graph()), options);
+  GenerationLease next = BuildGeneration(Graph(current->graph()), options,
+                                         tenant->cache_metrics);
   SIMPUSH_RETURN_NOT_OK(next->core().options_status());
   SIMPUSH_FAILPOINT("registry.publish");
   {
@@ -277,6 +304,22 @@ StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
     stats.pool_capacity = current->workspaces().capacity();
     stats.pool_created = current->workspaces().created();
     stats.pool_outstanding = current->workspaces().outstanding();
+    if (const ResultCache* cache = current->cache()) {
+      stats.cache_budget_bytes = cache->budget_bytes();
+      stats.cache_entries = cache->entries();
+      stats.cache_bytes = cache->bytes();
+    }
+  }
+  if (tenant->cache_metrics != nullptr) {
+    const ResultCacheMetrics& m = *tenant->cache_metrics;
+    stats.cache_hits = m.hits.load(std::memory_order_relaxed);
+    stats.cache_misses = m.misses.load(std::memory_order_relaxed);
+    stats.cache_inserts = m.inserts.load(std::memory_order_relaxed);
+    stats.cache_evictions = m.evictions.load(std::memory_order_relaxed);
+    stats.cache_admission_rejects =
+        m.admission_rejects.load(std::memory_order_relaxed);
+    stats.cache_insert_failures =
+        m.insert_failures.load(std::memory_order_relaxed);
   }
   return stats;
 }

@@ -50,6 +50,7 @@
 #include "common/thread_pool.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "serve/result_cache.h"
 #include "simpush/engine_core.h"
 #include "simpush/options.h"
 #include "simpush/workspace_pool.h"
@@ -73,6 +74,11 @@ struct RegistryOptions {
   size_t swap_threshold = 0;
   /// Maximum number of tenants (Add beyond this fails).
   size_t max_graphs = 64;
+  /// Per-tenant result-cache byte budget. Each published generation
+  /// carries its own cache bounded by this budget; 0 disables caching.
+  /// Entries are keyed by (generation, source, options fingerprint)
+  /// and die with their generation — swaps need no invalidation.
+  size_t cache_bytes = 64u << 20;
 };
 
 /// One immutable, published graph generation: snapshot + core + scratch
@@ -83,10 +89,15 @@ struct RegistryOptions {
 class GraphGeneration {
  public:
   /// `live_counter` (may be null) is decremented on destruction — the
-  /// registry's generation-leak gauge.
+  /// registry's generation-leak gauge. `cache_bytes` bounds this
+  /// generation's result cache (0 = no cache); `cache_metrics` (may be
+  /// null) carries the owning tenant's lifetime hit/miss counters
+  /// across swaps.
   GraphGeneration(uint64_t id, Graph graph, const SimPushOptions& options,
                   size_t pool_capacity,
-                  std::shared_ptr<std::atomic<int64_t>> live_counter);
+                  std::shared_ptr<std::atomic<int64_t>> live_counter,
+                  size_t cache_bytes = 0,
+                  std::shared_ptr<ResultCacheMetrics> cache_metrics = nullptr);
   ~GraphGeneration();
 
   GraphGeneration(const GraphGeneration&) = delete;
@@ -102,12 +113,21 @@ class GraphGeneration {
   /// Per-generation scratch pool (internally synchronized; const
   /// because leasing scratch does not mutate the published graph).
   WorkspacePool& workspaces() const { return workspaces_; }
+  /// This generation's result cache, or nullptr when caching is off.
+  /// Internally synchronized, like the workspace pool; dying with the
+  /// generation is what makes cache invalidation unnecessary.
+  ResultCache* cache() const { return cache_.get(); }
+  /// Fingerprint of the options this generation was built from —
+  /// precomputed so the no-override query path hashes nothing.
+  uint64_t options_fingerprint() const { return options_fingerprint_; }
 
  private:
   const uint64_t id_;
   const Graph graph_;
   const EngineCore core_;          // References graph_.
   mutable WorkspacePool workspaces_;
+  const uint64_t options_fingerprint_;
+  const std::unique_ptr<ResultCache> cache_;
   std::shared_ptr<std::atomic<int64_t>> live_;
 };
 
@@ -134,6 +154,17 @@ struct TenantStats {
   size_t pool_capacity = 0;       ///< Generation workspace pool cap.
   size_t pool_created = 0;
   size_t pool_outstanding = 0;
+  // Result-cache stats. Counters are tenant-lifetime (they survive
+  // swaps); occupancy is the current generation's cache.
+  size_t cache_budget_bytes = 0;  ///< 0 when caching is disabled.
+  size_t cache_entries = 0;
+  size_t cache_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_admission_rejects = 0;
+  uint64_t cache_insert_failures = 0;
 };
 
 /// Result of an ApplyUpdates/Swap call.
@@ -241,6 +272,11 @@ class GraphRegistry {
     std::atomic<uint64_t> swap_count{0};
     std::atomic<uint64_t> master_edges{0};
 
+    // Tenant-lifetime cache counters, threaded into every generation's
+    // cache so hit rates survive swaps (set once in Add, then
+    // read-only).
+    std::shared_ptr<ResultCacheMetrics> cache_metrics;
+
     // Guards only the `current` pointer; held for a load or store.
     mutable std::mutex current_mu;
     GenerationLease current;
@@ -252,8 +288,11 @@ class GraphRegistry {
   };
 
   // Builds a generation bundle around `graph` with the given engine
-  // options (outside any lock).
-  GenerationLease BuildGeneration(Graph graph, const SimPushOptions& options);
+  // options (outside any lock). `cache_metrics` carries the owning
+  // tenant's counters into the new generation's cache.
+  GenerationLease BuildGeneration(
+      Graph graph, const SimPushOptions& options,
+      std::shared_ptr<ResultCacheMetrics> cache_metrics);
   // Snapshots tenant->master and publishes the result. Caller holds
   // tenant->update_mu.
   Status RebuildLocked(Tenant* tenant);

@@ -1,0 +1,197 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace simpush {
+namespace serve {
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mixing.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t h, uint64_t v) { return Mix64(h ^ Mix64(v)); }
+
+// Bit pattern of a double with -0.0 collapsed onto +0.0, so the two
+// zero encodings (both possible outputs of a JSON parse) cannot split
+// one semantic option value into two cache keys.
+uint64_t CanonicalBits(double d) {
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t OptionsFingerprint(const SimPushOptions& options) {
+  // Exactly the score-affecting fields, in a fixed order.
+  // walk_wave_size is EXCLUDED: it is a scheduling knob that is
+  // bit-invisible to results (walk/walk_batch.h determinism contract).
+  uint64_t h = 0x53696D5075736821ULL;  // "SimPush!"
+  h = HashCombine(h, CanonicalBits(options.decay));
+  h = HashCombine(h, CanonicalBits(options.epsilon));
+  h = HashCombine(h, CanonicalBits(options.delta));
+  h = HashCombine(h, options.seed);
+  h = HashCombine(h, options.walk_budget_cap);
+  h = HashCombine(h, (options.use_level_detection ? 2u : 0u) |
+                         (options.use_gamma_correction ? 1u : 0u));
+  return h;
+}
+
+void ResultCache::Sketch::Touch(uint64_t hash) {
+  if (++touches >= kAgePeriod) {
+    touches = 0;
+    for (auto& row : counters) {
+      for (auto& c : row) c = static_cast<uint8_t>(c >> 1);
+    }
+  }
+  for (size_t row = 0; row < kRows; ++row) {
+    uint8_t& c = counters[row][Mix64(hash + row) & (kWidth - 1)];
+    if (c < 255) ++c;
+  }
+}
+
+uint32_t ResultCache::Sketch::Estimate(uint64_t hash) const {
+  uint32_t estimate = 255;
+  for (size_t row = 0; row < kRows; ++row) {
+    estimate = std::min<uint32_t>(
+        estimate, counters[row][Mix64(hash + row) & (kWidth - 1)]);
+  }
+  return estimate;
+}
+
+uint64_t ResultCache::KeyHash(NodeId source, uint64_t fingerprint) {
+  return HashCombine(fingerprint, static_cast<uint64_t>(source));
+}
+
+size_t ResultCache::EntryBytes(size_t num_scores) {
+  // Scores dominate; kOverhead approximates the Entry struct, the LRU
+  // list node and the index slot. The budget is enforced against this
+  // estimate, not malloc's exact accounting — what matters is that it
+  // is a hard monotone bound proportional to what is stored.
+  constexpr size_t kOverhead = 160;
+  return num_scores * sizeof(double) + sizeof(Entry) + kOverhead;
+}
+
+ResultCache::ResultCache(const ResultCacheConfig& config)
+    : budget_(config.byte_budget),
+      generation_(config.generation),
+      metrics_(config.metrics != nullptr
+                   ? config.metrics
+                   : std::make_shared<ResultCacheMetrics>()) {
+  const size_t shard_count = std::max<size_t>(1, config.shards);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->budget = budget_ / shard_count;
+  }
+}
+
+bool ResultCache::Get(NodeId source, uint64_t fingerprint,
+                      SimPushResult* out) {
+  const uint64_t hash = KeyHash(source, fingerprint);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Sketch sees every access, so a source that keeps missing accrues
+  // the frequency it needs to win a later admission duel.
+  shard.sketch.Touch(hash);
+  const auto it = shard.index.find(Key{source, fingerprint});
+  if (it == shard.index.end()) {
+    metrics_->misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Refresh LRU position (splice: pointer relink, no allocation).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  const Entry& entry = *it->second;
+  // assign() reuses out->scores' capacity; a warm caller buffer makes
+  // the whole hit path allocation-free.
+  out->scores.assign(entry.scores.begin(), entry.scores.end());
+  out->stats = entry.stats;
+  metrics_->hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ResultCache::Insert(NodeId source, uint64_t fingerprint,
+                         const SimPushResult& result) {
+  if (budget_ == 0) return false;
+  // Failure injection: a failed insert must degrade to "computed
+  // answer served, nothing cached" — the macro's early error return
+  // does not fit a bool API, so the modes are handled inline.
+  static Failpoint* insert_fp =
+      FailpointRegistry::Get().Register("result_cache.insert");
+  if (insert_fp->active()) {
+    const Failpoint::Mode mode = insert_fp->mode();
+    const Status fired = insert_fp->Fire();
+    if (!fired.ok() || mode == Failpoint::Mode::kAllocFail) {
+      metrics_->insert_failures.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+
+  const uint64_t hash = KeyHash(source, fingerprint);
+  const size_t entry_bytes = EntryBytes(result.scores.size());
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (entry_bytes > shard.budget) {
+    metrics_->admission_rejects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const Key key{source, fingerprint};
+  if (shard.index.find(key) != shard.index.end()) {
+    // A concurrent request computed and inserted the same key; by the
+    // determinism contract its bits equal ours, so keep it.
+    return true;
+  }
+  // Evict until the entry fits — but only past victims it outranks.
+  // A cold one-shot source must not displace a hot entry: if the LRU
+  // victim is accessed at least as often as the candidate, the insert
+  // loses the duel and the cache keeps what it has.
+  const uint32_t candidate_freq = shard.sketch.Estimate(hash);
+  while (shard.bytes + entry_bytes > shard.budget) {
+    Entry& victim = shard.lru.back();
+    const uint64_t victim_hash = KeyHash(victim.key.source,
+                                         victim.key.fingerprint);
+    if (shard.sketch.Estimate(victim_hash) >= candidate_freq) {
+      metrics_->admission_rejects.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    metrics_->evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, entry_bytes, result.scores, result.stats});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += entry_bytes;
+  metrics_->inserts.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t ResultCache::entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace simpush

@@ -1,0 +1,201 @@
+// Generation-keyed result cache for skewed query traffic.
+//
+// Production SimRank query streams are Zipfian: a small set of hot
+// source nodes dominates. Because generations are immutable and every
+// score vector is a bit-exact function of (graph snapshot, effective
+// options, source node) — the determinism contract locked in by the
+// counter-based walk streams — a cached result can be served verbatim
+// with zero invalidation logic. The cache is owned by its
+// GraphGeneration: when a swap publishes, the old generation (and its
+// cache with it) dies as soon as the last lease drops. There is no
+// invalidation path because there is nothing to invalidate — entries
+// can never outlive the snapshot they were computed on.
+//
+// Keying. An entry is identified by (generation id, source node,
+// options fingerprint). The generation id is implicit — a cache
+// belongs to exactly one generation and is only reachable through a
+// lease on it — but it is carried for stats and self-description. The
+// fingerprint canonicalizes the *effective* options: the tenant's
+// options merged with any per-request ε override, hashed over exactly
+// the score-affecting fields (ε, c, δ, seed, walk cap, level
+// detection, gamma correction). walk_wave_size is deliberately
+// excluded: it is a scheduling knob that is bit-invisible to results
+// (see walk/walk_batch.h), so two requests differing only in wave
+// size MUST share an entry. A request that explicitly passes the
+// tenant's own ε fingerprints identically to one that passes none —
+// default-vs-explicit options are the same key by construction.
+//
+// Admission (TinyLFU-style). Every lookup — hit or miss — bumps the
+// key in a count-min frequency sketch with periodic halving, so the
+// sketch remembers which sources are hot even before they are cached.
+// An insert that fits in the byte budget is admitted outright. An
+// insert that would require eviction must *earn* its slot: the
+// candidate's sketch frequency has to exceed the LRU victim's,
+// otherwise the insert is rejected (admission_rejects). This is what
+// keeps a scan of one-shot sources from flushing the hot set.
+//
+// Budget. A hard per-tenant byte budget, split evenly across shards.
+// Entries larger than a shard's budget are never admitted.
+//
+// Thread-safety: all methods safe from any thread. The cache is
+// sharded by key hash; each shard has its own mutex, LRU list and
+// sketch, so concurrent hot-path lookups on different sources do not
+// contend. Get() performs no heap allocation when the caller's result
+// buffers are warm — the serving steady state stays at zero
+// allocations per request even when it is served from cache.
+
+#ifndef SIMPUSH_SERVE_RESULT_CACHE_H_
+#define SIMPUSH_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "simpush/options.h"
+#include "simpush/query_runner.h"
+
+namespace simpush {
+namespace serve {
+
+/// Canonical fingerprint of the score-affecting engine options.
+/// Two option sets with the same fingerprint produce bit-identical
+/// score vectors on the same generation; option sets differing in any
+/// score-affecting field fingerprint differently (up to 64-bit hash
+/// collisions, which the bit-reproducibility tests would surface).
+/// walk_wave_size is excluded on purpose: it is bit-invisible.
+uint64_t OptionsFingerprint(const SimPushOptions& options);
+
+/// Lifetime cache counters, shared across a tenant's generations so
+/// hit-rate statistics survive hot swaps (each swap starts an empty
+/// cache, but the tenant's counters keep accumulating).
+struct ResultCacheMetrics {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> admission_rejects{0};
+  std::atomic<uint64_t> insert_failures{0};
+};
+
+/// Configuration for one ResultCache instance.
+struct ResultCacheConfig {
+  /// Hard byte budget across all shards (0 disables the cache).
+  size_t byte_budget = 0;
+  /// Shard count (clamped to >= 1). Tests use 1 for deterministic
+  /// LRU order; the registry uses the default.
+  size_t shards = 8;
+  /// Generation id this cache serves (stats/self-description only;
+  /// isolation comes from per-generation ownership, not the key).
+  uint64_t generation = 0;
+  /// Shared tenant counters (may be null; counters are then local).
+  std::shared_ptr<ResultCacheMetrics> metrics;
+};
+
+/// Sharded LRU of full SimPushResult score vectors with TinyLFU-style
+/// admission and a hard byte budget. See file comment for the model.
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheConfig& config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Looks up (source, fingerprint). On a hit, copies the stored
+  /// scores + stats into `*out` (no allocation when out->scores is
+  /// already at capacity) and refreshes LRU position. Records the
+  /// access in the frequency sketch either way, so repeated misses
+  /// build up the admission credit that lets the source displace a
+  /// colder entry later.
+  bool Get(NodeId source, uint64_t fingerprint, SimPushResult* out);
+
+  /// Inserts a computed result. Best-effort: returns false (and the
+  /// computed answer is simply served uncached) when the entry is
+  /// over budget, loses the admission duel against the LRU victim, or
+  /// the `result_cache.insert` failpoint injects a failure. A result
+  /// already present is left in place — by the determinism contract a
+  /// concurrent computation of the same key produced the same bits.
+  bool Insert(NodeId source, uint64_t fingerprint,
+              const SimPushResult& result);
+
+  /// Point-in-time occupancy across shards.
+  size_t entries() const;
+  size_t bytes() const;
+
+  size_t budget_bytes() const { return budget_; }
+  uint64_t generation() const { return generation_; }
+  const std::shared_ptr<ResultCacheMetrics>& metrics() const {
+    return metrics_;
+  }
+
+  /// Bytes one cached entry for an n-node score vector accounts for
+  /// (scores + bookkeeping overhead). Exposed for budget math in
+  /// tests and capacity planning.
+  static size_t EntryBytes(size_t num_scores);
+
+ private:
+  struct Key {
+    NodeId source = 0;
+    uint64_t fingerprint = 0;
+    bool operator==(const Key& other) const {
+      return source == other.source && fingerprint == other.fingerprint;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(KeyHash(key.source, key.fingerprint));
+    }
+  };
+
+  struct Entry {
+    Key key;
+    size_t bytes = 0;
+    std::vector<double> scores;
+    SimPushQueryStats stats;
+  };
+  using LruList = std::list<Entry>;
+
+  // Count-min sketch with saturating 8-bit counters and periodic
+  // halving (aging), one per shard so sketch updates ride the shard
+  // mutex. Width is a fixed small power of two — the sketch only has
+  // to rank hot vs cold, not count precisely.
+  struct Sketch {
+    static constexpr size_t kRows = 4;
+    static constexpr size_t kWidth = 1024;  // Power of two.
+    static constexpr uint64_t kAgePeriod = 10 * kWidth;
+    uint8_t counters[kRows][kWidth] = {};
+    uint64_t touches = 0;
+
+    void Touch(uint64_t hash);
+    uint32_t Estimate(uint64_t hash) const;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // Front = most recent, back = eviction victim.
+    std::unordered_map<Key, LruList::iterator, KeyHasher> index;
+    Sketch sketch;
+    size_t bytes = 0;
+    size_t budget = 0;
+  };
+
+  static uint64_t KeyHash(NodeId source, uint64_t fingerprint);
+  Shard& ShardFor(uint64_t key_hash) {
+    return *shards_[key_hash % shards_.size()];
+  }
+
+  const size_t budget_;
+  const uint64_t generation_;
+  std::shared_ptr<ResultCacheMetrics> metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace simpush
+
+#endif  // SIMPUSH_SERVE_RESULT_CACHE_H_

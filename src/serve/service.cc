@@ -4,6 +4,7 @@
 #include <chrono>
 #include <csignal>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/memory.h"
@@ -394,6 +395,7 @@ RegistryOptions ToRegistryOptions(const ServiceOptions& options) {
   registry_options.pool_capacity = options.pool_capacity;
   registry_options.swap_threshold = options.swap_threshold;
   registry_options.max_graphs = options.max_graphs;
+  registry_options.cache_bytes = options.cache_bytes;
   return registry_options;
 }
 
@@ -534,18 +536,43 @@ Status SimPushService::RunWithEpsilonOverride(
 
 StatusOr<double> SimPushService::RunQueryRequest(
     const JsonValue& doc, const GraphGeneration& generation, NodeId u,
-    SimPushResult* result, const CancelToken* cancel) {
+    SimPushResult* result, const CancelToken* cancel,
+    bool* served_from_cache) {
+  if (served_from_cache != nullptr) *served_from_cache = false;
   bool has_override = false;
   double override_epsilon = 0.0;
   SIMPUSH_RETURN_NOT_OK(ReadEpsilonOverride(
       doc, options_.min_request_epsilon, &has_override, &override_epsilon));
+  // Cache key: the fingerprint of the MERGED effective options. With
+  // no override this is the generation's precomputed fingerprint; an
+  // override re-fingerprints the tenant options with the request's ε,
+  // so an override that merely restates the tenant's own ε
+  // canonicalizes onto the same entry, while a different ε keys
+  // separately. Either way a hit is sound: scores are a bit-exact
+  // function of (generation, effective options, node), independent of
+  // which execution path would have computed them.
+  ResultCache* const cache = generation.cache();
+  uint64_t fingerprint = generation.options_fingerprint();
+  if (has_override) {
+    SimPushOptions merged = generation.core().options();
+    merged.epsilon = override_epsilon;
+    fingerprint = OptionsFingerprint(merged);
+  }
+  const double effective_epsilon =
+      has_override ? override_epsilon : generation.core().options().epsilon;
+  if (cache != nullptr && cache->Get(u, fingerprint, result)) {
+    if (served_from_cache != nullptr) *served_from_cache = true;
+    return effective_epsilon;
+  }
   SIMPUSH_RETURN_NOT_OK(has_override
                             ? RunWithEpsilonOverride(generation, u,
                                                      override_epsilon, result,
                                                      cancel)
                             : RunOnGeneration(generation, u, result, cancel));
-  return has_override ? override_epsilon
-                      : generation.core().options().epsilon;
+  // Best-effort: a rejected insert (budget, admission duel, injected
+  // failure) just means this computed answer is served uncached.
+  if (cache != nullptr) cache->Insert(u, fingerprint, *result);
+  return effective_epsilon;
 }
 
 HttpResponse SimPushService::QueryErrorResponse(
@@ -576,7 +603,15 @@ Status SimPushService::RunQuery(std::string_view graph_name, NodeId u,
                                 SimPushResult* result) {
   auto lease = registry_.Lease(graph_name);
   if (!lease.ok()) return lease.status();
-  return RunOnGeneration(**lease, u, result);
+  const GraphGeneration& generation = **lease;
+  ResultCache* const cache = generation.cache();
+  const uint64_t fingerprint = generation.options_fingerprint();
+  if (cache != nullptr && cache->Get(u, fingerprint, result)) {
+    return Status::OK();
+  }
+  SIMPUSH_RETURN_NOT_OK(RunOnGeneration(generation, u, result));
+  if (cache != nullptr) cache->Insert(u, fingerprint, *result);
+  return Status::OK();
 }
 
 Status SimPushService::RunQuery(NodeId u, SimPushResult* result) {
@@ -654,8 +689,9 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   // Override requests run off this hot path by design (fresh core +
   // private workspace) and may allocate.
   static thread_local SimPushResult result;
+  bool cached = false;
   const StatusOr<double> effective_epsilon = RunQueryRequest(
-      *doc, **lease, static_cast<NodeId>(*node), &result, &token);
+      *doc, **lease, static_cast<NodeId>(*node), &result, &token, &cached);
   if (!effective_epsilon.ok()) {
     return QueryErrorResponse(effective_epsilon.status(),
                               wall.ElapsedSeconds() * 1e3, *deadline_ms,
@@ -680,6 +716,12 @@ HttpResponse SimPushService::HandleQuery(const HttpRequest& request) {
   // tenant options (never the process-wide default).
   writer.Key("epsilon");
   writer.Double(*effective_epsilon);
+  // Stamped only when served from the result cache; the scores are
+  // byte-identical to a computed response either way.
+  if (cached) {
+    writer.Key("cached");
+    writer.Bool(true);
+  }
   if (*top_k > 0) {
     writer.Key("top");
     WriteTopEntries(&writer, result.scores, *top_k,
@@ -745,8 +787,9 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
   // the identical entries (self and zero scores excluded, ties to the
   // smaller id).
   static thread_local SimPushResult result;
+  bool cached = false;
   const StatusOr<double> effective_epsilon = RunQueryRequest(
-      *doc, **lease, static_cast<NodeId>(*node), &result, &token);
+      *doc, **lease, static_cast<NodeId>(*node), &result, &token, &cached);
   if (!effective_epsilon.ok()) {
     return QueryErrorResponse(effective_epsilon.status(),
                               wall.ElapsedSeconds() * 1e3, *deadline_ms,
@@ -769,6 +812,10 @@ HttpResponse SimPushService::HandleTopK(const HttpRequest& request) {
   writer.Uint((*lease)->id());
   writer.Key("epsilon");
   writer.Double(*effective_epsilon);
+  if (cached) {
+    writer.Key("cached");
+    writer.Bool(true);
+  }
   writer.Key("k");
   writer.Uint(*k);
   writer.Key("top");
@@ -833,6 +880,25 @@ HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
   const auto watch = watcher_.Watch(request.client_fd, &token);
   const auto metrics = FindMetrics(graph_name);
 
+  // Deduplicate repeated sources: each distinct node is scored once
+  // and its result fanned back to every position that asked for it —
+  // sound for the same reason the cache is (scores are a pure function
+  // of (generation, options, node)). slot[i] maps input position i to
+  // its entry in unique_nodes, which preserves first-occurrence order.
+  std::vector<NodeId> unique_nodes;
+  std::vector<size_t> slot(nodes.size());
+  {
+    std::unordered_map<NodeId, size_t> first_index;
+    first_index.reserve(nodes.size());
+    unique_nodes.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const auto [it, inserted] =
+          first_index.emplace(nodes[i], unique_nodes.size());
+      if (inserted) unique_nodes.push_back(nodes[i]);
+      slot[i] = it->second;
+    }
+  }
+
   // Fan out across the registry's shared thread pool; one workspace
   // from this generation's pool per chunk (ForEachQueryChunked),
   // results in input order. The lease pins the generation for the
@@ -842,7 +908,7 @@ HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
   ParallelBatchStats batch_stats;
   auto results = ParallelQueryBatchTopK(
       (*lease)->core(), registry_.thread_pool(), (*lease)->workspaces(),
-      nodes, *k, &batch_stats, &token);
+      unique_nodes, *k, &batch_stats, &token);
   if (!results.ok()) {
     if (results.status().code() == StatusCode::kCancelled ||
         results.status().code() == StatusCode::kDeadlineExceeded) {
@@ -872,9 +938,16 @@ HttpResponse SimPushService::HandleBatch(const HttpRequest& request) {
   writer.Uint(*k);
   writer.Key("wall_ms");
   writer.Double(batch_stats.wall_seconds * 1e3);
+  // How much the dedup saved is visible per response: M ≤ N distinct
+  // sources were actually scored for the N requested positions.
+  writer.Key("nodes");
+  writer.Uint(nodes.size());
+  writer.Key("unique_nodes");
+  writer.Uint(unique_nodes.size());
   writer.Key("results");
   writer.BeginArray();
-  for (const BatchTopKResult& result : *results) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const BatchTopKResult& result = (*results)[slot[i]];
     writer.BeginObject();
     writer.Key("node");
     writer.Uint(result.query);
@@ -927,6 +1000,31 @@ void SimPushService::WriteTenantSection(JsonWriter* writer,
     writer->Key("master_edges");
     writer->Uint(stats->master_edges);
     WritePoolGauges(writer, *stats);
+    // Result-cache stats: counters are tenant-lifetime (they survive
+    // swaps), occupancy is the current generation's cache.
+    writer->Key("cache");
+    writer->BeginObject();
+    writer->Key("enabled");
+    writer->Bool(stats->cache_budget_bytes > 0);
+    writer->Key("budget_bytes");
+    writer->Uint(stats->cache_budget_bytes);
+    writer->Key("bytes");
+    writer->Uint(stats->cache_bytes);
+    writer->Key("entries");
+    writer->Uint(stats->cache_entries);
+    writer->Key("hits");
+    writer->Uint(stats->cache_hits);
+    writer->Key("misses");
+    writer->Uint(stats->cache_misses);
+    writer->Key("inserts");
+    writer->Uint(stats->cache_inserts);
+    writer->Key("evictions");
+    writer->Uint(stats->cache_evictions);
+    writer->Key("admission_rejects");
+    writer->Uint(stats->cache_admission_rejects);
+    writer->Key("insert_failures");
+    writer->Uint(stats->cache_insert_failures);
+    writer->EndObject();
   }
   if (const auto metrics = FindMetrics(name)) {
     writer->Key("requests");

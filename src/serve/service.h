@@ -118,6 +118,12 @@ struct ServiceOptions {
   /// values get a 400). The field is network-controlled; without a cap
   /// a client could pin a worker for an arbitrary time.
   int max_deadline_ms = 60000;
+  /// Per-tenant result-cache byte budget (0 disables caching). Each
+  /// published generation owns a cache bounded by this budget, keyed
+  /// by (generation, source node, effective-options fingerprint);
+  /// entries die with their generation on swap, so there is no
+  /// invalidation path. See docs/serving.md, "Result cache".
+  size_t cache_bytes = 64u << 20;
   /// Tenant served when a request has no "graph" field.
   std::string default_graph = "default";
   /// Latency ring-buffer size for the /v1/stats percentiles (global
@@ -175,10 +181,12 @@ class SimPushService {
 
   /// The serve hot path: runs one single-source query against the
   /// named graph's current generation, into caller-owned reused result
-  /// buffers. Blocks only while that generation's workspace pool is
-  /// exhausted — never on a hot swap. Zero heap allocations in steady
-  /// state (warm workspace + warm result), verified by serve_test and
-  /// registry_test.
+  /// buffers. Consults the generation's result cache first (a hit is
+  /// bit-identical to a fresh run by the determinism contract). Blocks
+  /// only while that generation's workspace pool is exhausted — never
+  /// on a hot swap. Zero heap allocations in steady state (warm
+  /// workspace + warm result; cache hits copy into the warm result),
+  /// verified by serve_test and registry_test.
   Status RunQuery(std::string_view graph_name, NodeId u,
                   SimPushResult* result);
   /// Default-graph convenience overload.
@@ -246,15 +254,22 @@ class SimPushService {
                                 double epsilon, SimPushResult* result,
                                 const CancelToken* cancel = nullptr);
   /// Shared body of the query/topk handlers: reads the optional
-  /// bounded "epsilon" override from `doc`, runs the query on the
-  /// pooled hot path (no override) or the fresh-core override path,
-  /// and returns the ε that actually produced `result` (override >
-  /// tenant). Parse errors map to 400 in the caller; kDeadlineExceeded
-  /// and kCancelled map to 504 and 499.
+  /// bounded "epsilon" override from `doc`, consults the generation's
+  /// result cache under the caller's lease (keyed by the fingerprint
+  /// of the MERGED effective options, so an override equal to the
+  /// tenant's own ε shares the no-override entry while a different ε
+  /// keys separately), and on a miss runs the query on the pooled hot
+  /// path (no override) or the fresh-core override path, then inserts
+  /// the computed result best-effort. Returns the ε that actually
+  /// produced `result` (override > tenant); `served_from_cache`
+  /// (nullable) reports whether the scores came from the cache so the
+  /// caller can stamp `"cached": true`. Parse errors map to 400 in the
+  /// caller; kDeadlineExceeded and kCancelled map to 504 and 499.
   StatusOr<double> RunQueryRequest(const JsonValue& doc,
                                    const GraphGeneration& generation,
                                    NodeId u, SimPushResult* result,
-                                   const CancelToken* cancel = nullptr);
+                                   const CancelToken* cancel = nullptr,
+                                   bool* served_from_cache = nullptr);
   /// Maps a failed query status onto the HTTP vocabulary and bumps the
   /// matching counters: kDeadlineExceeded → 504, kCancelled → 499
   /// (both with partial timing in the body), anything else → 400.

@@ -683,13 +683,71 @@ TEST(ChaosTest, CancellationSoakSurvivorsBitIdentical) {
   EXPECT_EQ(service.registry().live_generations(), live_baseline);
 }
 
+// The result cache degrades, never poisons: with result_cache.insert
+// failing (allocation failure or injected error), every query still
+// answers 200 with the computed scores, nothing is ever stamped
+// "cached", no partial entry is left behind, and caching resumes the
+// moment the failpoint lifts — with the exact same bytes it would have
+// served during the chaos.
+TEST(ChaosTest, ResultCacheInsertFailureDegradesToComputed) {
+  FailpointSweeper sweeper;
+  Graph graph = testing_util::MakeFixtureGraph();
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.num_threads = 2;
+  SimPushService service(graph, options);
+  const HttpRequest query = MakeRequest("POST", "/v1/query", "{\"node\": 3}");
+
+  std::string healthy_body;
+  for (const char* spec : {"alloc_fail", "error:cache oom"}) {
+    ASSERT_TRUE(
+        FailpointRegistry::Get().Activate("result_cache.insert", spec).ok());
+    for (int i = 0; i < 3; ++i) {
+      const HttpResponse response = service.HandleQuery(query);
+      ASSERT_EQ(response.status, 200) << spec << ": " << response.body;
+      EXPECT_EQ(response.body.find("\"cached\""), std::string::npos)
+          << spec << " must suppress caching: " << response.body;
+      if (healthy_body.empty()) {
+        healthy_body = response.body;
+      } else {
+        EXPECT_EQ(response.body, healthy_body)
+            << spec << ": degraded answers must stay deterministic";
+      }
+    }
+  }
+  auto stats = service.registry().Stats("default");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->cache_insert_failures, 6u);
+  EXPECT_EQ(stats->cache_inserts, 0u);
+  EXPECT_EQ(stats->cache_entries, 0u) << "no poisoned entry left behind";
+  EXPECT_EQ(stats->cache_hits, 0u);
+
+  // Lift the failpoint: the next miss inserts, the one after hits, and
+  // the cached response is byte-identical to the degraded ones.
+  FailpointRegistry::Get().DeactivateAll();
+  EXPECT_EQ(service.HandleQuery(query).body, healthy_body);
+  const HttpResponse cached = service.HandleQuery(query);
+  ASSERT_EQ(cached.status, 200);
+  std::string body = cached.body;
+  const std::string stamp = ",\"cached\":true";
+  const size_t at = body.find(stamp);
+  ASSERT_NE(at, std::string::npos) << "caching must resume: " << body;
+  body.erase(at, stamp.size());
+  EXPECT_EQ(body, healthy_body);
+  stats = service.registry().Stats("default");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache_inserts, 1u);
+  EXPECT_GE(stats->cache_hits, 1u);
+}
+
 // Must run last: asserts the suite above actually reached every
 // instrumented seam (a renamed failpoint or dead instrumentation would
 // otherwise rot silently).
 TEST(ChaosTest, AllInstrumentedFailpointsFired) {
   for (const char* name :
        {"graph_io.load", "registry.rebuild", "registry.publish",
-        "workspace_pool.alloc", "workspace_pool.acquire", "http.write"}) {
+        "workspace_pool.alloc", "workspace_pool.acquire", "http.write",
+        "result_cache.insert"}) {
     EXPECT_GE(HitsFor(name), 1u) << "failpoint never fired: " << name;
   }
 }

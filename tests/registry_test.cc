@@ -618,6 +618,85 @@ TEST(RegistryZeroAlloc, LeaseAndQuerySteadyState) {
       << "steady-state registry query path allocated";
 }
 
+// Result-cache lifecycle through the registry: each generation owns
+// its cache, entries die with their generation on a swap, tenant
+// counters survive the swap, and Remove + lease-drop leaks nothing.
+TEST(RegistryTest, GenerationOwnedCacheLifecycle) {
+  GraphRegistry registry(FastRegistryOptions());
+  ASSERT_TRUE(registry.Add("web", testing_util::MakeFixtureGraph()).ok());
+
+  auto lease = registry.Lease("web");
+  ASSERT_TRUE(lease.ok());
+  ResultCache* cache = (*lease)->cache();
+  ASSERT_NE(cache, nullptr) << "cache_bytes default must enable the cache";
+  EXPECT_EQ(cache->generation(), (*lease)->id());
+  EXPECT_EQ(cache->budget_bytes(), registry.options().cache_bytes);
+
+  // Serve-shape flow: miss, compute on the generation, insert, hit.
+  const uint64_t fingerprint = (*lease)->options_fingerprint();
+  EXPECT_EQ(fingerprint, OptionsFingerprint(FastOptions()));
+  SimPushResult result;
+  EXPECT_FALSE(cache->Get(3, fingerprint, &result));
+  result.scores = PooledScores(*lease, 3);
+  EXPECT_TRUE(cache->Insert(3, fingerprint, result));
+  SimPushResult served;
+  ASSERT_TRUE(cache->Get(3, fingerprint, &served));
+  EXPECT_EQ(served.scores, result.scores);
+
+  // Stats report occupancy (current generation) and tenant counters.
+  auto stats = registry.Stats("web");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache_budget_bytes, registry.options().cache_bytes);
+  EXPECT_EQ(stats->cache_entries, 1u);
+  EXPECT_GT(stats->cache_bytes, 0u);
+  EXPECT_EQ(stats->cache_hits, 1u);
+  EXPECT_EQ(stats->cache_misses, 1u);
+  EXPECT_EQ(stats->cache_inserts, 1u);
+
+  // Swap: the new generation starts with an EMPTY cache (old entries
+  // die with the old generation — there is no invalidation to get
+  // wrong), while the tenant's counters keep accumulating.
+  ASSERT_TRUE(registry.Swap("web").ok());
+  auto fresh = registry.Lease("web");
+  ASSERT_TRUE(fresh.ok());
+  ResultCache* fresh_cache = (*fresh)->cache();
+  ASSERT_NE(fresh_cache, nullptr);
+  EXPECT_NE(fresh_cache, cache);
+  EXPECT_EQ(fresh_cache->entries(), 0u);
+  EXPECT_FALSE(fresh_cache->Get(3, fingerprint, &served))
+      << "old generation's entry must not resurface after a swap";
+  stats = registry.Stats("web");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache_entries, 0u) << "occupancy is the current gen's";
+  EXPECT_EQ(stats->cache_hits, 1u) << "counters survive the swap";
+  EXPECT_EQ(stats->cache_misses, 2u);
+
+  // The old lease still serves its (cached) generation until dropped.
+  ASSERT_TRUE(cache->Get(3, fingerprint, &served));
+  EXPECT_EQ(served.scores, result.scores);
+
+  // Remove + drop all leases: every generation (and its cache) dies.
+  ASSERT_TRUE(registry.Remove("web").ok());
+  lease->reset();
+  fresh->reset();
+  EXPECT_EQ(registry.live_generations(), 0);
+}
+
+// cache_bytes = 0 disables the cache registry-wide.
+TEST(RegistryTest, CacheDisabledWhenBudgetZero) {
+  RegistryOptions options = FastRegistryOptions();
+  options.cache_bytes = 0;
+  GraphRegistry registry(options);
+  ASSERT_TRUE(registry.Add("web", testing_util::MakeFixtureGraph()).ok());
+  auto lease = registry.Lease("web");
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ((*lease)->cache(), nullptr);
+  auto stats = registry.Stats("web");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache_budget_bytes, 0u);
+  EXPECT_EQ(stats->cache_entries, 0u);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace simpush

@@ -1,0 +1,312 @@
+// ResultCache tests: the generation-keyed result cache must be
+// provably safe to serve from — LRU eviction order, hard byte-budget
+// enforcement, TinyLFU admission (one-shot sources cannot flush hot
+// entries), zero steady-state allocations on the hit path (this binary
+// links simpush_alloc_hook), and an 8-thread hammer where every hit is
+// bitwise-identical to a fresh serial engine run. Runs under the
+// `concurrency` ctest label so the TSan CI job covers the shard races.
+
+#include "serve/result_cache.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/memory.h"
+#include "gtest/gtest.h"
+#include "simpush/engine_core.h"
+#include "simpush/query_runner.h"
+#include "simpush/workspace.h"
+#include "test_util.h"
+
+namespace simpush {
+namespace serve {
+namespace {
+
+SimPushOptions FastOptions() {
+  SimPushOptions options;
+  options.epsilon = 0.1;
+  options.walk_budget_cap = 20000;
+  options.seed = 42;
+  return options;
+}
+
+// A cache sized (single shard, deterministic LRU order) to hold
+// exactly `capacity` entries of `num_scores`-sized results.
+ResultCacheConfig SmallConfig(size_t capacity, size_t num_scores) {
+  ResultCacheConfig config;
+  config.byte_budget = capacity * ResultCache::EntryBytes(num_scores);
+  config.shards = 1;
+  return config;
+}
+
+SimPushResult MakeResult(size_t num_scores, double fill) {
+  SimPushResult result;
+  result.scores.assign(num_scores, fill);
+  result.stats.walks_sampled = static_cast<uint64_t>(fill * 1000);
+  return result;
+}
+
+// The service flow: every lookup touches the sketch, so simulate
+// `accesses` requests for `node` (misses included) before the insert
+// that follows the last miss.
+void AccessThenInsert(ResultCache* cache, NodeId node, uint64_t fingerprint,
+                      const SimPushResult& result, int accesses) {
+  SimPushResult scratch;
+  for (int i = 0; i < accesses; ++i) {
+    cache->Get(node, fingerprint, &scratch);
+  }
+  cache->Insert(node, fingerprint, result);
+}
+
+TEST(OptionsFingerprint, CanonicalizesExactlyTheScoreAffectingFields) {
+  const SimPushOptions base = FastOptions();
+  // walk_wave_size is a scheduling knob, bit-invisible to results: it
+  // MUST NOT split the key space.
+  SimPushOptions wave = base;
+  wave.walk_wave_size = 1;
+  EXPECT_EQ(OptionsFingerprint(base), OptionsFingerprint(wave));
+  wave.walk_wave_size = 4096;
+  EXPECT_EQ(OptionsFingerprint(base), OptionsFingerprint(wave));
+
+  // Every score-affecting field must split it.
+  SimPushOptions changed = base;
+  changed.epsilon = 0.2;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+  changed = base;
+  changed.decay = 0.5;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+  changed = base;
+  changed.delta = 1e-5;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+  changed = base;
+  changed.seed = 43;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+  changed = base;
+  changed.walk_budget_cap = 12345;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+  changed = base;
+  changed.use_level_detection = !base.use_level_detection;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+  changed = base;
+  changed.use_gamma_correction = !base.use_gamma_correction;
+  EXPECT_NE(OptionsFingerprint(base), OptionsFingerprint(changed));
+}
+
+TEST(ResultCacheTest, HitReturnsStoredScoresAndStats) {
+  ResultCache cache(SmallConfig(4, 16));
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  const SimPushResult stored = MakeResult(16, 0.5);
+  AccessThenInsert(&cache, 3, fp, stored, 1);
+
+  SimPushResult out;
+  ASSERT_TRUE(cache.Get(3, fp, &out));
+  EXPECT_EQ(out.scores, stored.scores);
+  EXPECT_EQ(out.stats.walks_sampled, stored.stats.walks_sampled);
+  // Different node / different fingerprint miss.
+  EXPECT_FALSE(cache.Get(4, fp, &out));
+  EXPECT_FALSE(cache.Get(3, fp ^ 1, &out));
+}
+
+TEST(ResultCacheTest, LruEvictionOrder) {
+  // Room for exactly 3 entries, one shard.
+  ResultCache cache(SmallConfig(3, 16));
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  AccessThenInsert(&cache, 0, fp, MakeResult(16, 0.0), 1);  // A
+  AccessThenInsert(&cache, 1, fp, MakeResult(16, 0.1), 1);  // B
+  AccessThenInsert(&cache, 2, fp, MakeResult(16, 0.2), 1);  // C
+  EXPECT_EQ(cache.entries(), 3u);
+
+  // Touch A so B becomes the LRU victim, then insert D with enough
+  // sketch frequency (2 accesses) to win the admission duel against
+  // B's 1.
+  SimPushResult out;
+  ASSERT_TRUE(cache.Get(0, fp, &out));
+  AccessThenInsert(&cache, 3, fp, MakeResult(16, 0.3), 2);  // D
+
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_TRUE(cache.Get(0, fp, &out));   // A survived (recently used).
+  EXPECT_FALSE(cache.Get(1, fp, &out));  // B was the LRU victim.
+  EXPECT_TRUE(cache.Get(2, fp, &out));   // C survived.
+  EXPECT_TRUE(cache.Get(3, fp, &out));   // D was admitted.
+  EXPECT_GE(cache.metrics()->evictions.load(), 1u);
+}
+
+TEST(ResultCacheTest, ByteBudgetIsAHardBound) {
+  const size_t budget = 3 * ResultCache::EntryBytes(64);
+  ResultCacheConfig config;
+  config.byte_budget = budget;
+  config.shards = 1;
+  ResultCache cache(config);
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  for (NodeId u = 0; u < 50; ++u) {
+    // Ramp accesses so later inserts win their admission duels — the
+    // budget must hold even when every insert is admitted.
+    AccessThenInsert(&cache, u, fp, MakeResult(64, 0.01 * u),
+                     1 + static_cast<int>(u));
+    EXPECT_LE(cache.bytes(), budget);
+    EXPECT_LE(cache.entries(), 3u);
+  }
+  EXPECT_GT(cache.metrics()->evictions.load(), 0u);
+}
+
+TEST(ResultCacheTest, OneShotSourceCannotEvictHotEntries) {
+  ResultCache cache(SmallConfig(2, 16));
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  // Two hot entries: many sketch touches each.
+  AccessThenInsert(&cache, 0, fp, MakeResult(16, 0.0), 8);
+  AccessThenInsert(&cache, 1, fp, MakeResult(16, 0.1), 8);
+  ASSERT_EQ(cache.entries(), 2u);
+
+  // A sweep of one-shot sources (single access each, the scan shape):
+  // none may displace the hot pair.
+  const uint64_t rejects_before = cache.metrics()->admission_rejects.load();
+  for (NodeId u = 100; u < 120; ++u) {
+    AccessThenInsert(&cache, u, fp, MakeResult(16, 0.5), 1);
+  }
+  SimPushResult out;
+  EXPECT_TRUE(cache.Get(0, fp, &out));
+  EXPECT_TRUE(cache.Get(1, fp, &out));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_GE(cache.metrics()->admission_rejects.load(), rejects_before + 20);
+}
+
+TEST(ResultCacheTest, OversizedEntryIsRejectedOutright) {
+  ResultCache cache(SmallConfig(2, 16));
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  EXPECT_FALSE(cache.Insert(0, fp, MakeResult(100000, 0.5)));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_GE(cache.metrics()->admission_rejects.load(), 1u);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesInserts) {
+  ResultCacheConfig config;
+  config.byte_budget = 0;
+  ResultCache cache(config);
+  EXPECT_FALSE(cache.Insert(0, 1, MakeResult(16, 0.5)));
+  SimPushResult out;
+  EXPECT_FALSE(cache.Get(0, 1, &out));
+}
+
+TEST(ResultCacheTest, DistinctInstancesNeverCrossTalk) {
+  // Tenant/generation isolation is structural: each generation owns
+  // its own instance, so an entry in one can never answer for another
+  // even with identical (node, fingerprint).
+  ResultCache cache_a(SmallConfig(4, 16));
+  ResultCache cache_b(SmallConfig(4, 16));
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  AccessThenInsert(&cache_a, 3, fp, MakeResult(16, 0.5), 1);
+  SimPushResult out;
+  EXPECT_TRUE(cache_a.Get(3, fp, &out));
+  EXPECT_FALSE(cache_b.Get(3, fp, &out));
+}
+
+TEST(ResultCacheTest, SharedMetricsSurviveInstanceTurnover) {
+  // The registry threads one metrics object through every generation:
+  // hit counters must accumulate across cache instances.
+  auto metrics = std::make_shared<ResultCacheMetrics>();
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  for (int generation = 0; generation < 3; ++generation) {
+    ResultCacheConfig config = SmallConfig(4, 16);
+    config.generation = static_cast<uint64_t>(generation + 1);
+    config.metrics = metrics;
+    ResultCache cache(config);
+    AccessThenInsert(&cache, 3, fp, MakeResult(16, 0.5), 1);
+    SimPushResult out;
+    EXPECT_TRUE(cache.Get(3, fp, &out));
+  }
+  EXPECT_EQ(metrics->hits.load(), 3u);
+  EXPECT_EQ(metrics->misses.load(), 3u);
+  EXPECT_EQ(metrics->inserts.load(), 3u);
+}
+
+TEST(ResultCacheZeroAlloc, HitPathSteadyState) {
+  ResultCacheConfig config;
+  config.byte_budget = 8u << 20;
+  ResultCache cache(config);
+  const uint64_t fp = OptionsFingerprint(FastOptions());
+  cache.Insert(7, fp, MakeResult(4096, 0.25));
+
+  SimPushResult out;
+  ASSERT_TRUE(cache.Get(7, fp, &out));  // Warm the output buffers.
+
+  const AllocationStats before = GetAllocationStats();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache.Get(7, fp, &out));
+  }
+  const AllocationStats after = GetAllocationStats();
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "cache hits must not allocate in steady state";
+}
+
+// The headline concurrency test: 8 threads hammer a shared cache over
+// a hot node set with the real engine computing misses. Afterwards —
+// and on every hit in flight — the scores must be bitwise-identical
+// to a fresh serial engine run at the same options. TSan-clean.
+TEST(ResultCacheConcurrency, EightThreadHammerHitsAreBitIdentical) {
+  const Graph graph = testing_util::RandomGraph(200, 1200, /*seed=*/9);
+  const SimPushOptions options = FastOptions();
+  const EngineCore core(graph, options);
+  ASSERT_TRUE(core.options_status().ok());
+  const uint64_t fp = OptionsFingerprint(options);
+
+  // Serial reference, computed up front on a private runner.
+  constexpr NodeId kHotNodes = 10;
+  std::vector<std::vector<double>> reference(kHotNodes);
+  {
+    QueryWorkspace workspace;
+    QueryRunner runner(core, &workspace);
+    SimPushResult result;
+    for (NodeId u = 0; u < kHotNodes; ++u) {
+      ASSERT_TRUE(runner.QueryInto(u, &result).ok());
+      reference[u] = result.scores;
+    }
+  }
+
+  ResultCacheConfig config;
+  config.byte_budget = 4u << 20;
+  ResultCache cache(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  std::atomic<uint64_t> observed_hits{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryWorkspace workspace;
+      QueryRunner runner(core, &workspace);
+      SimPushResult result;
+      uint64_t state = 0x9E3779B97F4A7C15ull ^ (t * 0x100000001B3ull);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const NodeId u = static_cast<NodeId>((state >> 33) % kHotNodes);
+        const bool hit = cache.Get(u, fp, &result);
+        if (!hit) {
+          if (!runner.QueryInto(u, &result).ok()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          cache.Insert(u, fp, result);
+        } else {
+          observed_hits.fetch_add(1);
+        }
+        // Bitwise comparison against the serial reference — a cache
+        // that ever served stale, torn, or wrong-key scores fails
+        // here.
+        if (result.scores != reference[u]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(observed_hits.load(), 0u);
+  EXPECT_EQ(cache.metrics()->hits.load(), observed_hits.load());
+  EXPECT_LE(cache.entries(), static_cast<size_t>(kHotNodes));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simpush

@@ -13,10 +13,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -1034,6 +1038,281 @@ TEST(ServeZeroAlloc, QueryPathSteadyState) {
   const AllocationStats after = GetAllocationStats();
   EXPECT_EQ(after.allocations - before.allocations, 0u)
       << "steady-state serve query path allocated";
+}
+
+// ---------------------------------------------------------------------------
+// Generation-keyed result cache, end to end.
+// ---------------------------------------------------------------------------
+
+// Repeat query: the second response is served from the cache, stamped
+// "cached": true, and — modulo that stamp — byte-identical to the
+// computed response. Stats surface the hit.
+TEST(ServeCache, CachedResponseIsByteIdenticalPlusStamp) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  auto first = client.Post("/v1/query", "{\"node\": 4}");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status, 200) << first->body;
+  EXPECT_EQ(first->body.find("\"cached\""), std::string::npos)
+      << "first request computed, must not be stamped: " << first->body;
+
+  auto second = client.Post("/v1/query", "{\"node\": 4}");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->status, 200) << second->body;
+  std::string body = second->body;
+  const std::string stamp = ",\"cached\":true";
+  const size_t at = body.find(stamp);
+  ASSERT_NE(at, std::string::npos) << body;
+  body.erase(at, stamp.size());
+  EXPECT_EQ(body, first->body)
+      << "cached response must be byte-identical modulo the stamp";
+
+  // /v1/topk serves from the same entry and stamps too.
+  auto topk = client.Post("/v1/topk", "{\"node\": 4, \"k\": 3}");
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->status, 200) << topk->body;
+  EXPECT_NE(topk->body.find("\"cached\":true"), std::string::npos)
+      << topk->body;
+
+  // The tenant stats section reports the hits.
+  auto stats = client.Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  auto doc = ParseJson(stats->body);
+  ASSERT_TRUE(doc.ok()) << stats->body;
+  const JsonValue* cache =
+      doc->Find("graphs")->Find("default")->Find("cache");
+  ASSERT_NE(cache, nullptr) << stats->body;
+  EXPECT_TRUE(cache->Find("enabled")->bool_value());
+  EXPECT_GE(cache->Find("hits")->AsIndex().value(), 2u);
+  EXPECT_GE(cache->Find("inserts")->AsIndex().value(), 1u);
+  EXPECT_GE(cache->Find("entries")->AsIndex().value(), 1u);
+  EXPECT_GT(cache->Find("bytes")->AsIndex().value(), 0u);
+}
+
+// The ε override participates in keying: an explicit ε equal to the
+// tenant's canonicalizes to the tenant entry; a different ε keys its
+// own entry and never contaminates the tenant's.
+TEST(ServeCache, EpsilonOverrideKeysSeparately) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  // Warm the tenant-options entry for node 3.
+  auto baseline = client.Post("/v1/query", "{\"node\": 3}");
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->status, 200) << baseline->body;
+  const std::vector<double> base_scores = ScoresFromBody(baseline->body);
+
+  // Explicit ε == tenant ε (FastOptions: 0.1) is the same key —
+  // default-vs-explicit must hit the shared entry, not recompute.
+  auto explicit_eps =
+      client.Post("/v1/query", "{\"node\": 3, \"epsilon\": 0.1}");
+  ASSERT_TRUE(explicit_eps.ok());
+  ASSERT_EQ(explicit_eps->status, 200) << explicit_eps->body;
+  EXPECT_NE(explicit_eps->body.find("\"cached\":true"), std::string::npos)
+      << explicit_eps->body;
+  EXPECT_EQ(ScoresFromBody(explicit_eps->body), base_scores);
+
+  // A different ε misses (computed), then hits its own entry.
+  auto coarse1 = client.Post("/v1/query", "{\"node\": 3, \"epsilon\": 0.25}");
+  ASSERT_TRUE(coarse1.ok());
+  ASSERT_EQ(coarse1->status, 200) << coarse1->body;
+  EXPECT_EQ(coarse1->body.find("\"cached\""), std::string::npos)
+      << coarse1->body;
+  SimPushOptions coarse_options = FastOptions();
+  coarse_options.epsilon = 0.25;
+  EXPECT_EQ(ScoresFromBody(coarse1->body),
+            DirectScoresWith(fixture.graph(), coarse_options, 3));
+
+  auto coarse2 = client.Post("/v1/query", "{\"node\": 3, \"epsilon\": 0.25}");
+  ASSERT_TRUE(coarse2.ok());
+  ASSERT_EQ(coarse2->status, 200) << coarse2->body;
+  EXPECT_NE(coarse2->body.find("\"cached\":true"), std::string::npos)
+      << coarse2->body;
+  EXPECT_EQ(ScoresFromBody(coarse2->body), ScoresFromBody(coarse1->body));
+
+  // The tenant entry is untouched by the override traffic.
+  auto after = client.Post("/v1/query", "{\"node\": 3}");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->body.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(ScoresFromBody(after->body), base_scores);
+}
+
+// /v1/batch deduplicates repeated sources: N positions, M ≤ N distinct
+// nodes scored, every position's entries bit-identical to the
+// no-duplicate request.
+TEST(ServeCache, BatchDeduplicatesRepeatedSources) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+
+  auto deduped = client.Post("/v1/batch",
+                             "{\"nodes\": [3, 5, 3, 3, 5, 7], \"k\": 3}");
+  ASSERT_TRUE(deduped.ok());
+  ASSERT_EQ(deduped->status, 200) << deduped->body;
+  auto doc = ParseJson(deduped->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("nodes")->AsIndex().value(), 6u);
+  EXPECT_EQ(doc->Find("unique_nodes")->AsIndex().value(), 3u);
+  const JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array_items().size(), 6u);
+
+  const NodeId nodes[] = {3, 5, 3, 3, 5, 7};
+  for (size_t i = 0; i < 6; ++i) {
+    const JsonValue& result = results->array_items()[i];
+    EXPECT_EQ(result.Find("node")->AsIndex().value(), nodes[i]) << i;
+    const TopKResult direct = fixture.DirectTopK(nodes[i], 3);
+    const JsonValue* top = result.Find("top");
+    ASSERT_NE(top, nullptr);
+    ASSERT_EQ(top->array_items().size(), direct.entries.size()) << i;
+    for (size_t j = 0; j < direct.entries.size(); ++j) {
+      EXPECT_EQ(top->array_items()[j].Find("node")->AsIndex().value(),
+                direct.entries[j].node)
+          << "position " << i << " rank " << j;
+      EXPECT_EQ(top->array_items()[j].Find("score")->number_value(),
+                direct.entries[j].score)
+          << "position " << i << " rank " << j;
+    }
+  }
+}
+
+// --cache-off equivalent: cache_bytes = 0 disables caching — repeat
+// queries recompute (never stamped) and stats say so.
+TEST(ServeCache, DisabledCacheNeverStamps) {
+  Graph graph = testing_util::MakeFixtureGraph();
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.num_threads = 2;
+  options.cache_bytes = 0;
+  SimPushService service(graph, options);
+
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/query";
+  request.body = "{\"node\": 3}";
+  const HttpResponse first = service.HandleQuery(request);
+  ASSERT_EQ(first.status, 200) << first.body;
+  const HttpResponse second = service.HandleQuery(request);
+  ASSERT_EQ(second.status, 200) << second.body;
+  EXPECT_EQ(second.body.find("\"cached\""), std::string::npos) << second.body;
+  EXPECT_EQ(second.body, first.body);  // Still deterministic.
+
+  auto stats = service.registry().Stats("default");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cache_budget_bytes, 0u);
+  EXPECT_EQ(stats->cache_hits, 0u);
+  EXPECT_EQ(stats->cache_inserts, 0u);
+}
+
+// The headline lifecycle test: hammer a hot node while another thread
+// hot-swaps the graph underneath it. Every response must carry scores
+// bit-identical to a direct engine run on the exact graph its
+// generation id names — a cache that ever resurfaced a dead
+// generation's entry fails the replay. Runs under the concurrency
+// label (TSan in CI).
+TEST(ServeCache, CacheUnderHotSwapServesOnlyItsGeneration) {
+  // A 60-node ring; each swap adds a chord (10+k -> 3), changing node
+  // 3's in-neighborhood and therefore its score vector.
+  constexpr NodeId kRing = 60;
+  std::vector<std::pair<NodeId, NodeId>> base_edges;
+  for (NodeId i = 0; i < kRing; ++i) {
+    base_edges.push_back({i, (i + 1) % kRing});
+  }
+  Graph graph = testing_util::MakeGraph(kRing, base_edges);
+
+  ServiceOptions options;
+  options.query = FastOptions();
+  options.num_threads = 2;
+  SimPushService service(graph, options);
+
+  constexpr int kSwaps = 6;
+  constexpr int kHammerThreads = 4;
+  constexpr int kItersPerThread = 120;
+
+  std::mutex mu;
+  std::map<uint64_t, std::vector<double>> first_seen;  // gen -> scores
+  std::atomic<int> mismatches{0};
+  std::atomic<int> cached_responses{0};
+  std::atomic<bool> swapping{true};
+
+  std::thread swapper([&] {
+    for (int k = 0; k < kSwaps; ++k) {
+      const std::vector<EdgeUpdate> updates = {
+          {EdgeUpdate::Kind::kInsert, static_cast<NodeId>(10 + k), 3}};
+      auto outcome = service.registry().ApplyUpdates("default", updates,
+                                                     /*force_swap=*/true);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ASSERT_TRUE(outcome->swapped);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    swapping.store(false);
+  });
+
+  std::vector<std::thread> hammers;
+  hammers.reserve(kHammerThreads);
+  for (int t = 0; t < kHammerThreads; ++t) {
+    hammers.emplace_back([&] {
+      HttpRequest request;
+      request.method = "POST";
+      request.target = "/v1/query";
+      request.body = "{\"node\": 3}";
+      for (int i = 0; i < kItersPerThread || swapping.load(); ++i) {
+        const HttpResponse response = service.HandleQuery(request);
+        if (response.status != 200) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        auto doc = ParseJson(response.body);
+        if (!doc.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const uint64_t generation =
+            doc->Find("generation")->AsIndex().value();
+        const std::vector<double> scores = ScoresFromBody(response.body);
+        if (doc->Find("cached") != nullptr) cached_responses.fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        const auto [it, inserted] = first_seen.emplace(generation, scores);
+        // Within one generation every response is identical — cached
+        // or computed, before or after later swaps.
+        if (!inserted && it->second != scores) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& hammer : hammers) hammer.join();
+  swapper.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(cached_responses.load(), 0);
+  ASSERT_GE(first_seen.size(), 2u) << "hammer must straddle >= 2 swaps";
+
+  // Replay: the single tenant publishes sequential generation ids
+  // (1 = the base ring, id g carries chords k < g - 1). Each observed
+  // vector must be bit-identical to a fresh engine on that graph.
+  std::set<std::vector<double>> distinct;
+  for (const auto& [generation, scores] : first_seen) {
+    ASSERT_GE(generation, 1u);
+    ASSERT_LE(generation, static_cast<uint64_t>(kSwaps) + 1);
+    std::vector<std::pair<NodeId, NodeId>> edges = base_edges;
+    for (uint64_t k = 0; k + 1 < generation; ++k) {
+      edges.push_back({static_cast<NodeId>(10 + k), 3});
+    }
+    std::sort(edges.begin(), edges.end());
+    const Graph replica = testing_util::MakeGraph(kRing, edges);
+    EXPECT_EQ(scores, DirectScoresOn(replica, 3))
+        << "generation " << generation
+        << " served scores that do not match its own graph";
+    distinct.insert(scores);
+  }
+  // The swaps genuinely changed the answer — otherwise the replay
+  // proves nothing about isolation.
+  EXPECT_GE(distinct.size(), 2u);
+
+  // No generation leaked: only the current one is alive afterwards.
+  EXPECT_EQ(service.registry().live_generations(), 1);
+  auto stats = service.registry().Stats("default");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->cache_hits, static_cast<uint64_t>(cached_responses.load()));
+  EXPECT_GE(stats->cache_inserts, first_seen.size());
 }
 
 }  // namespace

@@ -67,6 +67,14 @@ curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
     | grep -q '"epsilon":0.1' || {
   echo "per-request epsilon override not honored" >&2; exit 1; }
 
+echo "== repeat query is served from the generation-keyed result cache"
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "top_k": 5}' > /dev/null
+curl -sf -X POST "http://127.0.0.1:$PORT/v1/query" \
+    -d '{"node": 42, "top_k": 5}' \
+    | grep -q '"cached":true' || {
+  echo "repeat query was not served from the result cache" >&2; exit 1; }
+
 echo "== POST /v1/topk"
 curl -sf -X POST "http://127.0.0.1:$PORT/v1/topk" -d '{"node": 42, "k": 5}'
 
@@ -107,7 +115,7 @@ if [[ -x "$BUILD_DIR/bench_serve" ]]; then
       --clients 4 --requests 10
 fi
 
-echo "== record perf trajectory (BENCH_serial.json / BENCH_parallel.json)"
+echo "== record perf trajectory (BENCH_serial.json / BENCH_parallel.json / BENCH_serve.json)"
 # Every PR re-records machine-readable numbers at the repo root so the
 # perf trajectory is part of the history, not terminal scrollback.
 SIMPUSH_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -123,6 +131,36 @@ if [[ -x "$BUILD_DIR/bench_parallel" ]]; then
   SIMPUSH_BENCH_SCALE=quick "$BUILD_DIR/bench_parallel" \
       --json BENCH_parallel.json > /dev/null
   echo "   wrote BENCH_parallel.json"
+fi
+if [[ -x "$BUILD_DIR/bench_serve" ]]; then
+  # Zipfian skew (s = 1.1) over the same graph: the run records the
+  # result-cache contract — hit rate, hit-vs-computed latency split,
+  # allocs on the hit path — and the asserts below keep it honest.
+  "$BUILD_DIR/bench_serve" --nodes 2000 --edges 16000 \
+      --clients 4 --requests 250 --zipf-s 1.1 \
+      --json BENCH_serve.json > /dev/null
+  echo "   wrote BENCH_serve.json"
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_serve.json") as f:
+    doc = json.load(f)
+rows = {r["name"]: r for r in doc["results"]}
+overall, hit, computed = (rows.get(k) for k in
+                          ("serve_overall", "serve_hit", "serve_computed"))
+assert overall and hit and computed, "bench_serve rows missing"
+assert overall["counters"]["errors"] == 0, "serve errors during bench"
+hit_rate = overall["counters"]["hit_rate"]
+allocs = hit["counters"]["allocs/hit"]
+if allocs > 0:
+    sys.exit(f"cache-hit path allocates: {allocs}/hit")
+if hit_rate < 0.6:
+    sys.exit(f"Zipf(1.1) hit rate below 60%: {hit_rate:.3f}")
+if hit["p50_ms"] * 10 > computed["p50_ms"]:
+    sys.exit(f"cache hits not >=10x faster: hit p50 {hit['p50_ms']:.3f}ms "
+             f"vs computed p50 {computed['p50_ms']:.3f}ms")
+print(f"   hit_rate {hit_rate:.1%}, hit p50 {hit['p50_ms']:.3f}ms, "
+      f"computed p50 {computed['p50_ms']:.3f}ms, allocs/hit {allocs}")
+EOF
 fi
 
 echo "repro.sh: all documented commands ran green"
