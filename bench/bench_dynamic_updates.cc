@@ -22,8 +22,12 @@
 // index-based methods' end-to-end latency under updates is dominated by
 // rebuilds, while SimPush's stays flat.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <set>
@@ -32,10 +36,12 @@
 #include "baselines/reads.h"
 #include "baselines/sling.h"
 #include "bench_common.h"
+#include "bench_json.h"
 #include "common/timer.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "graph/dynamic_graph.h"
+#include "graph/generators.h"
 #include "simpush/simpush.h"
 
 namespace simpush {
@@ -166,20 +172,156 @@ void RunDataset(const DatasetSpec& spec) {
   }
 }
 
+// Full-vs-delta publish cost across a dirty-fraction sweep: the swap
+// cost the registry actually pays. A ≥1M-edge Chung-Lu graph is the
+// base generation; for each dirty fraction we damage that share of the
+// master's vertices with an update stream, then time SnapshotDelta
+// against the base (the registry's delta publish) vs a full canonical
+// Snapshot(). Bit-identity of the two outputs is verified per fraction.
+void RunDeltaSweep(const std::string& json_path) {
+  const NodeId n = 200000;
+  const EdgeId m = 1600000;
+  const int reps = QuickMode() ? 3 : 5;
+  auto base_or = GenerateChungLu(n, m, /*exponent=*/2.5, /*seed=*/7);
+  if (!base_or.ok()) {
+    std::fprintf(stderr, "FATAL: Chung-Lu generation failed\n");
+    std::exit(1);
+  }
+  const Graph& base = *base_or;
+
+  std::printf("\n== delta publish sweep: Chung-Lu n=%u m=%llu ==\n", n,
+              static_cast<unsigned long long>(base.num_edges()));
+  std::printf("%-12s %12s %14s %14s %10s\n", "dirty_frac", "dirty_verts",
+              "full(ms)", "delta(ms)", "speedup");
+
+  std::map<std::string, BenchSamples> trajectory;
+  for (const double fraction : {0.0001, 0.001, 0.01, 0.05, 0.2}) {
+    DynamicGraph dynamic = DynamicGraph::FromGraph(base);
+    // Each insert dirties ~2 distinct vertices; deletes overlap the
+    // stream's own inserts, so aim with update count ≈ target/2 and
+    // report the dirty share actually reached.
+    const size_t target = static_cast<size_t>(fraction * n);
+    const size_t updates = target > 1 ? target / 2 : 1;
+    auto stream = GenerateUpdateStream(base, updates,
+                                       /*delete_fraction=*/0.2,
+                                       /*seed=*/1000 + updates);
+    if (!dynamic.Apply(stream).ok()) {
+      std::fprintf(stderr, "FATAL: sweep stream failed to apply\n");
+      std::exit(1);
+    }
+    const double dirty_fraction =
+        static_cast<double>(dynamic.dirty_vertices()) / n;
+
+    // Bit-identity first (untimed): the delta output must equal the
+    // full canonical snapshot, which also warms both code paths before
+    // the measured reps.
+    {
+      auto full = dynamic.Snapshot();
+      auto delta = dynamic.SnapshotDelta(base);
+      if (!full.ok() || !delta.ok()) {
+        std::fprintf(stderr, "FATAL: sweep snapshot failed\n");
+        std::exit(1);
+      }
+      bool identical = full->num_nodes() == delta->num_nodes() &&
+                       full->num_edges() == delta->num_edges();
+      for (NodeId v = 0; identical && v < full->num_nodes(); ++v) {
+        const auto out_a = full->OutNeighbors(v);
+        const auto out_b = delta->OutNeighbors(v);
+        const auto in_a = full->InNeighbors(v);
+        const auto in_b = delta->InNeighbors(v);
+        identical = std::equal(out_a.begin(), out_a.end(), out_b.begin(),
+                               out_b.end()) &&
+                    std::equal(in_a.begin(), in_a.end(), in_b.begin(),
+                               in_b.end());
+      }
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: delta snapshot diverged from full at "
+                     "fraction %g\n",
+                     fraction);
+        std::exit(1);
+      }
+    }
+
+    // Time each path in its own loop: interleaving them makes the full
+    // rebuild's ~5x larger working set (counting-sort scatter included)
+    // bleed cache/TLB pressure into the delta measurement.
+    BenchSamples full_samples, delta_samples;
+    for (int rep = -1; rep < reps; ++rep) {  // rep -1 warms, untimed.
+      Timer timer;
+      auto full = dynamic.Snapshot();
+      if (!full.ok()) std::exit(1);
+      if (rep >= 0) {
+        full_samples.per_iter_ms.push_back(timer.ElapsedSeconds() * 1e3);
+      }
+    }
+    for (int rep = -1; rep < reps; ++rep) {
+      Timer timer;
+      auto delta = dynamic.SnapshotDelta(base);
+      if (!delta.ok()) std::exit(1);
+      if (rep >= 0) {
+        delta_samples.per_iter_ms.push_back(timer.ElapsedSeconds() * 1e3);
+      }
+    }
+
+    const double full_med = QuantileMs(full_samples.per_iter_ms, 0.5);
+    const double delta_med = QuantileMs(delta_samples.per_iter_ms, 0.5);
+    const double speedup = delta_med > 0 ? full_med / delta_med : 0;
+    for (BenchSamples* samples : {&full_samples, &delta_samples}) {
+      samples->counters["nodes"] = n;
+      samples->counters["edges"] = static_cast<double>(dynamic.num_edges());
+      samples->counters["dirty_vertices"] =
+          static_cast<double>(dynamic.dirty_vertices());
+      samples->counters["dirty_fraction"] = dirty_fraction;
+    }
+    delta_samples.counters["speedup_vs_full"] = speedup;
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.4f", fraction);
+    trajectory["full_dirty_" + std::string(label)] = full_samples;
+    trajectory["delta_dirty_" + std::string(label)] = delta_samples;
+    std::printf("%-12.4f %12zu %14.2f %14.2f %9.1fx\n", dirty_fraction,
+                dynamic.dirty_vertices(), full_med, delta_med, speedup);
+    std::fflush(stdout);
+  }
+
+  if (!json_path.empty()) {
+    if (!WriteTrajectoryJson(json_path, "bench_dynamic", trajectory,
+                             {{"sweep_graph", "chung_lu n=200000 m=1.6M"}})) {
+      std::exit(1);
+    }
+    std::printf("trajectory written to %s\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace simpush
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simpush;
   using namespace simpush::bench;
-  std::printf("== Dynamic updates: index-free vs rebuild-per-update ==\n");
-  std::printf(
-      "(paper §1 motivation: SimPush pays only an O(m) snapshot per "
-      "update batch; index methods pay a full rebuild, or serve stale "
-      "results)\n");
-  for (const DatasetSpec& spec : SmallDatasets()) {
-    RunDataset(spec);
+  std::string json_path;
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      sweep_only = true;
+    }
+  }
+  if (!sweep_only) {
+    std::printf("== Dynamic updates: index-free vs rebuild-per-update ==\n");
+    std::printf(
+        "(paper §1 motivation: SimPush pays only an O(m) snapshot per "
+        "update batch; index methods pay a full rebuild, or serve stale "
+        "results)\n");
+    for (const DatasetSpec& spec : SmallDatasets()) {
+      RunDataset(spec);
+    }
+  }
+  if (sweep_only || !json_path.empty()) {
+    RunDeltaSweep(json_path);
   }
   return 0;
 }

@@ -94,6 +94,42 @@ StatusOr<Graph> Graph::FromSortedCsr(NodeId num_nodes,
   return g;
 }
 
+StatusOr<Graph> Graph::FromSortedCsrPair(NodeId num_nodes,
+                                         std::vector<EdgeId> out_offsets,
+                                         std::vector<NodeId> out_targets,
+                                         std::vector<EdgeId> in_offsets,
+                                         std::vector<NodeId> in_sources,
+                                         bool symmetric) {
+  if (out_offsets.size() != static_cast<size_t>(num_nodes) + 1 ||
+      out_offsets.front() != 0 || out_offsets.back() != out_targets.size()) {
+    return Status::InvalidArgument("malformed out-CSR offsets");
+  }
+  if (in_offsets.size() != static_cast<size_t>(num_nodes) + 1 ||
+      in_offsets.front() != 0 || in_offsets.back() != in_sources.size()) {
+    return Status::InvalidArgument("malformed in-CSR offsets");
+  }
+  if (out_targets.size() != in_sources.size()) {
+    return Status::InvalidArgument("out/in edge counts differ");
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (out_offsets[v] > out_offsets[v + 1] ||
+        in_offsets[v] > in_offsets[v + 1]) {
+      return Status::InvalidArgument("CSR offsets not monotone");
+    }
+  }
+  // Deliberately no per-edge pass: re-verifying every target/source
+  // would reinstate exactly the O(m) cost the delta-publish caller just
+  // avoided. See the header comment for the caller's obligations.
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.is_symmetric_ = symmetric;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_sources_ = std::move(in_sources);
+  return g;
+}
+
 Graph::DegreeStats Graph::ComputeDegreeStats() const {
   DegreeStats stats;
   if (num_nodes_ == 0) return stats;

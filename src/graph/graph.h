@@ -60,8 +60,15 @@ class Graph {
 
   /// First in-CSR index of v's row: v's in-edges occupy
   /// [InRowBegin(v), InRowBegin(v) + InDegree(v)). Exposed so samplers
-  /// can keep per-in-edge state flattened parallel to the CSR.
+  /// can keep per-in-edge state flattened parallel to the CSR. Valid
+  /// for v in [0, n]: InRowBegin(n) == m, so clean-run lengths can be
+  /// computed as InRowBegin(w) - InRowBegin(v).
   EdgeId InRowBegin(NodeId v) const { return in_offsets_[v]; }
+
+  /// Out-CSR analogue of InRowBegin, same [0, n] domain. Used by
+  /// DynamicGraph::SnapshotDelta to bulk-copy runs of untouched rows
+  /// straight out of a previous generation's arrays.
+  EdgeId OutRowBegin(NodeId v) const { return out_offsets_[v]; }
 
   /// In-CSR entry at flat index e (the source of in-edge e).
   NodeId InSourceAt(EdgeId e) const { return in_sources_[e]; }
@@ -112,6 +119,24 @@ class Graph {
                                        std::vector<EdgeId> out_offsets,
                                        std::vector<NodeId> out_targets,
                                        bool symmetric = false);
+
+  /// Builds a graph from BOTH adjacency directions at once, skipping
+  /// the O(m) in-CSR counting sort and per-edge validation that
+  /// FromSortedCsr pays. Only O(n) structural invariants are checked
+  /// (array sizes, offset endpoints, monotonicity, equal edge counts);
+  /// row contents — per-node sortedness, targets in range, and out/in
+  /// consistency — are the caller's proof obligation. This is the
+  /// delta-publish fast path: DynamicGraph::SnapshotDelta guarantees
+  /// those properties by construction (clean rows are copied from an
+  /// already-canonical base, dirty rows are re-sorted locally), and the
+  /// randomized snapshot-delta property suite pins the result to be
+  /// byte-identical to a full Snapshot().
+  static StatusOr<Graph> FromSortedCsrPair(NodeId num_nodes,
+                                           std::vector<EdgeId> out_offsets,
+                                           std::vector<NodeId> out_targets,
+                                           std::vector<EdgeId> in_offsets,
+                                           std::vector<NodeId> in_sources,
+                                           bool symmetric = false);
 
  private:
   friend class GraphBuilder;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/timer.h"
 
 namespace simpush {
 namespace serve {
@@ -160,7 +161,23 @@ Status GraphRegistry::RebuildLocked(Tenant* tenant) {
   // Chaos hook: a rebuild that fails (snapshot OOM, bad state) must
   // leave the tenant serving its old generation with nothing leaked.
   SIMPUSH_FAILPOINT("registry.rebuild");
-  StatusOr<Graph> snapshot = tenant->master.Snapshot();
+  Timer timer;
+  // Delta fast path: patch only the rows dirtied since the last publish
+  // into a copy of the live generation's CSR arrays. SnapshotDelta
+  // rejects a mismatched base (e.g. a failed publish left the dirty set
+  // spanning two generations, or there is no published generation yet),
+  // in which case we fall back to the full O(n+m) snapshot — the result
+  // is byte-identical either way, only the build cost differs.
+  bool used_delta = false;
+  StatusOr<Graph> snapshot = Status::FailedPrecondition("no base");
+  {
+    const GenerationLease base = tenant->Current();
+    if (base != nullptr) {
+      snapshot = tenant->master.SnapshotDelta(base->graph());
+      used_delta = snapshot.ok();
+    }
+  }
+  if (!snapshot.ok()) snapshot = tenant->master.Snapshot();
   if (!snapshot.ok()) return snapshot.status();
   // The tenant's own options, not the registry default — a hot swap
   // must never silently reset a tenant's ε/c/δ/seed.
@@ -174,10 +191,17 @@ Status GraphRegistry::RebuildLocked(Tenant* tenant) {
   SIMPUSH_RETURN_NOT_OK(next->core().options_status());
   // Chaos hook: failure after the (expensive) build but before the
   // publish — the fully-built `next` must unwind cleanly through the
-  // live_generations gauge.
+  // live_generations gauge. MarkClean() must stay BELOW this point: a
+  // failed publish keeps the dirty set, so the next rebuild still
+  // deltas correctly against the still-live old generation.
   SIMPUSH_FAILPOINT("registry.publish");
+  tenant->master.MarkClean();
   tenant->pending.store(0);
+  tenant->dirty_vertices.store(0);
   tenant->swap_count.fetch_add(1);
+  if (used_delta) tenant->delta_swaps.fetch_add(1);
+  tenant->last_swap_us.store(
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
   std::lock_guard<std::mutex> lock(tenant->current_mu);
   tenant->current = std::move(next);
   return Status::OK();
@@ -192,21 +216,25 @@ StatusOr<UpdateOutcome> GraphRegistry::ApplyUpdates(
   }
   std::lock_guard<std::mutex> lock(tenant->update_mu);
   UpdateOutcome outcome;
-  Status apply_status = Status::OK();
-  for (const EdgeUpdate& update : updates) {
-    apply_status = update.kind == EdgeUpdate::Kind::kInsert
-                       ? tenant->master.AddEdge(update.src, update.dst)
-                       : tenant->master.RemoveEdge(update.src, update.dst);
-    if (!apply_status.ok()) break;
-    ++outcome.applied;
+  const Status apply_status = tenant->master.Apply(updates);
+  if (!apply_status.ok()) {
+    // Atomic batch semantics (DynamicGraph::Apply): nothing was
+    // applied, the master is byte-identical to before the call, and no
+    // swap happens — the next publish serves exactly the pre-batch
+    // graph. Rewrap as InvalidArgument so an edge-level failure (e.g.
+    // removing an absent edge) cannot be confused with the tenant
+    // itself being missing.
+    outcome.pending = tenant->pending.load();
+    const GenerationLease current = tenant->Current();
+    outcome.generation = current != nullptr ? current->id() : 0;
+    return Status::InvalidArgument("batch rejected: " +
+                                   std::string(apply_status.message()));
   }
+  outcome.applied = updates.size();
   tenant->pending.fetch_add(outcome.applied);
   tenant->updates_applied.fetch_add(outcome.applied);
   tenant->master_edges.store(tenant->master.num_edges());
-  // Earlier updates stay applied even when one fails (replay
-  // semantics, matching DynamicGraph::Apply) — so a failed batch still
-  // swaps if it crossed the threshold, keeping master and serving
-  // state from drifting apart silently.
+  tenant->dirty_vertices.store(tenant->master.dirty_vertices());
   const bool threshold_hit =
       options_.swap_threshold != 0 &&
       tenant->pending.load() >= options_.swap_threshold;
@@ -218,13 +246,6 @@ StatusOr<UpdateOutcome> GraphRegistry::ApplyUpdates(
   {
     const GenerationLease current = tenant->Current();
     outcome.generation = current != nullptr ? current->id() : 0;
-  }
-  if (!apply_status.ok()) {
-    // Rewrap so an edge-level failure (e.g. removing an absent edge)
-    // cannot be confused with the tenant itself being missing.
-    return Status::InvalidArgument(
-        "update " + std::to_string(outcome.applied) + " rejected: " +
-        apply_status.message());
   }
   return outcome;
 }
@@ -295,7 +316,11 @@ StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
   stats.pending_updates = tenant->pending.load();
   stats.updates_applied = tenant->updates_applied.load();
   stats.swap_count = tenant->swap_count.load();
+  stats.delta_swaps = tenant->delta_swaps.load();
+  stats.last_swap_ms =
+      static_cast<double>(tenant->last_swap_us.load()) / 1000.0;
   stats.master_edges = tenant->master_edges.load();
+  stats.dirty_vertices = static_cast<size_t>(tenant->dirty_vertices.load());
   const GenerationLease current = tenant->Current();
   if (current != nullptr) {
     stats.generation = current->id();

@@ -14,8 +14,10 @@
 //
 // Queries take a lease (a shared_ptr copy) on the current generation
 // and run entirely against that bundle; a swap builds the next
-// generation from DynamicGraph::Snapshot() in the background and then
-// publishes it with one pointer store. In-flight queries keep serving
+// generation in the background — DynamicGraph::SnapshotDelta patches
+// the rows dirtied since the last publish into a copy of the live
+// generation's CSR arrays, falling back to a full Snapshot() when no
+// valid base exists — and then publishes it with one pointer store. In-flight queries keep serving
 // from the generation they leased — they never block on a swap, never
 // observe a half-updated graph, and the old generation is freed
 // automatically when the last lease drops (classic RCU via shared_ptr
@@ -148,6 +150,12 @@ struct TenantStats {
   uint64_t pending_updates = 0;   ///< Master edits not yet snapshotted.
   uint64_t updates_applied = 0;   ///< Lifetime accepted edge updates.
   uint64_t swap_count = 0;        ///< Generations published (incl. first).
+  uint64_t delta_swaps = 0;       ///< Swaps that used the delta fast path.
+  /// Wall time of the most recent publish (snapshot + rebuild), ms.
+  double last_swap_ms = 0;
+  /// Master vertices dirtied since the last publish — the delta cost
+  /// the next swap will pay.
+  size_t dirty_vertices = 0;
   NodeId num_nodes = 0;           ///< Nodes in the current generation.
   EdgeId num_edges = 0;           ///< Edges in the current generation.
   EdgeId master_edges = 0;        ///< Edges in the master (incl. pending).
@@ -208,11 +216,12 @@ class GraphRegistry {
   /// contention with rebuilds — swaps publish with one pointer store.
   StatusOr<GenerationLease> Lease(std::string_view name) const;
 
-  /// Applies `updates` to the tenant's master in order, stopping at the
-  /// first invalid update (earlier ones stay applied, as in
-  /// DynamicGraph::Apply). Triggers a swap when the pending count
-  /// reaches options.swap_threshold (if nonzero) or `force_swap` is
-  /// set. Serialized per tenant; never blocks queries.
+  /// Applies `updates` to the tenant's master ATOMICALLY: the whole
+  /// batch is validated first (DynamicGraph::Apply), so a non-OK return
+  /// means the master — and therefore anything a later swap publishes —
+  /// is byte-identical to before the call. Triggers a swap when the
+  /// pending count reaches options.swap_threshold (if nonzero) or
+  /// `force_swap` is set. Serialized per tenant; never blocks queries.
   StatusOr<UpdateOutcome> ApplyUpdates(std::string_view name,
                                        const std::vector<EdgeUpdate>& updates,
                                        bool force_swap = false);
@@ -271,6 +280,9 @@ class GraphRegistry {
     std::atomic<uint64_t> updates_applied{0};
     std::atomic<uint64_t> swap_count{0};
     std::atomic<uint64_t> master_edges{0};
+    std::atomic<uint64_t> dirty_vertices{0};
+    std::atomic<uint64_t> delta_swaps{0};
+    std::atomic<uint64_t> last_swap_us{0};
 
     // Tenant-lifetime cache counters, threaded into every generation's
     // cache so hit rates survive swaps (set once in Add, then

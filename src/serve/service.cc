@@ -989,6 +989,15 @@ void SimPushService::WriteTenantSection(JsonWriter* writer,
     writer->Uint(stats->options_generation);
     writer->Key("swap_count");
     writer->Uint(stats->swap_count);
+    // Delta-publish observability: how many swaps took the incremental
+    // path, how long the last publish took, and the dirty-row cost the
+    // next one will pay.
+    writer->Key("delta_swaps");
+    writer->Uint(stats->delta_swaps);
+    writer->Key("last_swap_ms");
+    writer->Double(stats->last_swap_ms);
+    writer->Key("dirty_vertices");
+    writer->Uint(stats->dirty_vertices);
     writer->Key("pending_updates");
     writer->Uint(stats->pending_updates);
     writer->Key("updates_applied");

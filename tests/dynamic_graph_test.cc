@@ -3,12 +3,36 @@
 #include "graph/dynamic_graph.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 
 namespace simpush {
 namespace {
+
+// Asserts two CSR graphs are bit-identical: same node/edge counts and
+// element-wise equal adjacency in BOTH directions. This is the
+// canonical-bytes contract SnapshotDelta must uphold against a full
+// Snapshot().
+void ExpectBitIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    auto out_a = a.OutNeighbors(v);
+    auto out_b = b.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(out_a.begin(), out_a.end(), out_b.begin(),
+                           out_b.end()))
+        << "out-adjacency of node " << v;
+    auto in_a = a.InNeighbors(v);
+    auto in_b = b.InNeighbors(v);
+    ASSERT_TRUE(
+        std::equal(in_a.begin(), in_a.end(), in_b.begin(), in_b.end()))
+        << "in-adjacency of node " << v;
+  }
+}
 
 TEST(DynamicGraphTest, EmptyGraphHasNoEdges) {
   DynamicGraph graph(5);
@@ -188,16 +212,172 @@ TEST(DynamicGraphTest, SnapshotAdjacencySortedAfterRandomStream) {
   }
 }
 
-TEST(DynamicGraphTest, ApplyStopsAtFirstInvalidUpdate) {
+// The headline atomicity contract: a batch with any invalid update is
+// rejected whole — not even the updates BEFORE the bad one are applied.
+TEST(DynamicGraphTest, ApplyRejectsWholeBatchOnInvalidUpdate) {
   DynamicGraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(2, 1).ok());
   std::vector<EdgeUpdate> updates = {
       {EdgeUpdate::Kind::kInsert, 0, 1},
       {EdgeUpdate::Kind::kDelete, 2, 0},  // not present
       {EdgeUpdate::Kind::kInsert, 1, 2},
   };
-  EXPECT_EQ(graph.Apply(updates).code(), StatusCode::kNotFound);
-  EXPECT_TRUE(graph.HasEdge(0, 1)) << "earlier updates stay applied";
-  EXPECT_FALSE(graph.HasEdge(1, 2)) << "later updates not applied";
+  const Status status = graph.Apply(updates);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("update 1"), std::string::npos)
+      << "status should name the offending update: " << status.message();
+  EXPECT_FALSE(graph.HasEdge(0, 1)) << "earlier updates must NOT apply";
+  EXPECT_FALSE(graph.HasEdge(1, 2)) << "later updates must NOT apply";
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_EQ(graph.dirty_vertices(), 2u)
+      << "a rejected batch must not grow the dirty set";
+}
+
+// A rejected batch leaves the snapshot bytes untouched, not just the
+// edge counts — the property the registry's swap path depends on.
+TEST(DynamicGraphTest, RejectedApplyLeavesSnapshotBytesUnchanged) {
+  auto base = GenerateErdosRenyi(30, 120, /*seed=*/21);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph = DynamicGraph::FromGraph(*base);
+  auto before = graph.Snapshot();
+  ASSERT_TRUE(before.ok());
+
+  std::vector<EdgeUpdate> updates =
+      GenerateUpdateStream(*base, 40, 0.3, /*seed=*/9);
+  updates.push_back({EdgeUpdate::Kind::kInsert, 0, 99});  // out of range
+  EXPECT_EQ(graph.Apply(updates).code(), StatusCode::kInvalidArgument);
+
+  auto after = graph.Snapshot();
+  ASSERT_TRUE(after.ok());
+  ExpectBitIdentical(*before, *after);
+}
+
+// Intra-batch dependencies count: an insert earlier in the batch can
+// satisfy a later delete of the same edge even when the live graph
+// lacks it, and deleting both copies of a single live edge fails.
+TEST(DynamicGraphTest, ApplyValidatesIntraBatchEffects) {
+  DynamicGraph graph(3);
+  // Insert-then-delete of an edge the live graph does not hold: valid.
+  EXPECT_TRUE(graph
+                  .Apply({{EdgeUpdate::Kind::kInsert, 0, 1},
+                          {EdgeUpdate::Kind::kDelete, 0, 1}})
+                  .ok());
+  EXPECT_EQ(graph.num_edges(), 0u);
+
+  // One live copy, two deletes: the second delete must sink the batch.
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  const Status status = graph.Apply({{EdgeUpdate::Kind::kDelete, 1, 2},
+                                     {EdgeUpdate::Kind::kDelete, 1, 2}});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(graph.HasEdge(1, 2)) << "rejected batch applies nothing";
+
+  // Two live parallel copies: two deletes are fine.
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  EXPECT_TRUE(graph
+                  .Apply({{EdgeUpdate::Kind::kDelete, 1, 2},
+                          {EdgeUpdate::Kind::kDelete, 1, 2}})
+                  .ok());
+  EXPECT_FALSE(graph.HasEdge(1, 2));
+}
+
+TEST(DynamicGraphTest, SnapshotDeltaMatchesFullSnapshotSimpleCase) {
+  auto base_graph = GenerateErdosRenyi(50, 300, /*seed=*/13);
+  ASSERT_TRUE(base_graph.ok());
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*base_graph);
+  auto base = dynamic.Snapshot();
+  ASSERT_TRUE(base.ok());
+  dynamic.MarkClean();
+
+  ASSERT_TRUE(dynamic.AddEdge(3, 7).ok());
+  ASSERT_TRUE(dynamic.AddEdge(3, 7).ok());  // Parallel edge.
+  ASSERT_TRUE(dynamic.RemoveEdge(3, 7).ok());
+  const NodeId fresh = dynamic.AddNode();
+  ASSERT_TRUE(dynamic.AddEdge(fresh, 0).ok());
+  EXPECT_GT(dynamic.dirty_vertices(), 0u);
+
+  auto delta = dynamic.SnapshotDelta(*base);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(delta->Validate().ok());
+  auto full = dynamic.Snapshot();
+  ASSERT_TRUE(full.ok());
+  ExpectBitIdentical(*full, *delta);
+}
+
+TEST(DynamicGraphTest, SnapshotDeltaRejectsMismatchedBase) {
+  auto small = GenerateErdosRenyi(10, 30, /*seed=*/2);
+  auto other = GenerateErdosRenyi(40, 200, /*seed=*/3);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(other.ok());
+  DynamicGraph dynamic = DynamicGraph::FromGraph(*small);
+  EXPECT_EQ(dynamic.SnapshotDelta(*other).status().code(),
+            StatusCode::kFailedPrecondition);
+  // The matching base still works (zero dirty rows → pure copy).
+  auto delta = dynamic.SnapshotDelta(*small);
+  ASSERT_TRUE(delta.ok());
+  ExpectBitIdentical(*small, *delta);
+}
+
+// Randomized property: for arbitrary insert/delete/add-node histories
+// (parallel edges included), SnapshotDelta against the previous publish
+// point is bit-identical to a full Snapshot() at EVERY publish point.
+// The next round then deltas against the delta's own output, so drift
+// would compound and be caught.
+TEST(DynamicGraphTest, SnapshotDeltaBitIdenticalAcrossRandomHistories) {
+  for (const uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Rng rng(seed);
+    const NodeId start_nodes = 20 + static_cast<NodeId>(rng.NextBounded(40));
+    auto seeded = GenerateErdosRenyi(
+        start_nodes, start_nodes * 6, /*seed=*/seed * 31 + 1);
+    ASSERT_TRUE(seeded.ok());
+    DynamicGraph dynamic = DynamicGraph::FromGraph(*seeded);
+    auto base = dynamic.Snapshot();
+    ASSERT_TRUE(base.ok());
+    dynamic.MarkClean();
+
+    for (int publish = 0; publish < 8; ++publish) {
+      const size_t ops = 1 + rng.NextBounded(60);
+      for (size_t i = 0; i < ops; ++i) {
+        const double roll = rng.NextDouble();
+        if (roll < 0.10) {
+          dynamic.AddNode();
+        } else if (roll < 0.45 && dynamic.num_edges() > 0) {
+          // Delete a uniformly random live edge.
+          NodeId v = static_cast<NodeId>(
+              rng.NextBounded(dynamic.num_nodes()));
+          while (dynamic.OutDegree(v) == 0) {
+            v = (v + 1) % dynamic.num_nodes();
+          }
+          const auto out = dynamic.OutNeighbors(v);
+          const NodeId w = out[rng.NextBounded(out.size())];
+          ASSERT_TRUE(dynamic.RemoveEdge(v, w).ok());
+        } else {
+          // Insert, with a bias toward repeating an existing edge so
+          // parallel edges show up regularly.
+          const NodeId src = static_cast<NodeId>(
+              rng.NextBounded(dynamic.num_nodes()));
+          NodeId dst = static_cast<NodeId>(
+              rng.NextBounded(dynamic.num_nodes()));
+          if (rng.NextDouble() < 0.3 && dynamic.OutDegree(src) > 0) {
+            const auto out = dynamic.OutNeighbors(src);
+            dst = out[rng.NextBounded(out.size())];
+          }
+          ASSERT_TRUE(dynamic.AddEdge(src, dst).ok());
+        }
+      }
+      auto delta = dynamic.SnapshotDelta(*base);
+      ASSERT_TRUE(delta.ok()) << "seed " << seed << " publish " << publish;
+      ASSERT_TRUE(delta->Validate().ok());
+      auto full = dynamic.Snapshot();
+      ASSERT_TRUE(full.ok());
+      {
+        SCOPED_TRACE("seed " + std::to_string(seed) + " publish " +
+                     std::to_string(publish));
+        ExpectBitIdentical(*full, *delta);
+      }
+      base = std::move(delta);
+      dynamic.MarkClean();
+    }
+  }
 }
 
 TEST(DynamicGraphTest, MemoryBytesGrowsWithEdges) {
@@ -242,6 +422,28 @@ TEST_P(UpdateStreamTest, StreamRepaysAgainstLiveEdgeSet) {
 
 INSTANTIATE_TEST_SUITE_P(DeleteFractions, UpdateStreamTest,
                          ::testing::Values(0.0, 0.2, 0.5));
+
+// n == 1: no non-self-loop insert exists, so the stream must degrade
+// to deletions of the pre-existing edges and end short — never emit a
+// self-loop insert (the redraw loop would otherwise spin forever or,
+// in the old guarded form, emit src == dst).
+TEST(UpdateStreamTest, SingleNodeGraphNeverEmitsSelfLoop) {
+  // A 1-node graph with two self-loop edges already present (built
+  // directly: GenerateUpdateStream only reads the CSR).
+  auto loops = Graph::FromSortedCsr(1, {0, 2}, {0, 0});
+  ASSERT_TRUE(loops.ok());
+  const auto stream = GenerateUpdateStream(*loops, 50, 0.5, /*seed=*/4);
+  EXPECT_LE(stream.size(), 2u) << "stream ends once no live edge remains";
+  for (const auto& update : stream) {
+    EXPECT_EQ(update.kind, EdgeUpdate::Kind::kDelete)
+        << "single-node streams can only delete";
+  }
+
+  // Edgeless single node: nothing to delete, nothing insertable.
+  auto lone = Graph::FromSortedCsr(1, {0, 0}, {});
+  ASSERT_TRUE(lone.ok());
+  EXPECT_TRUE(GenerateUpdateStream(*lone, 50, 0.5, /*seed=*/4).empty());
+}
 
 TEST(UpdateStreamTest, DeterministicInSeed) {
   auto base = GenerateErdosRenyi(30, 100, /*seed=*/1);

@@ -9,6 +9,7 @@
 
 #include "serve/registry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -299,7 +300,7 @@ TEST(RegistryTest, AutoSwapAtThreshold) {
   EXPECT_GT(outcome->generation, gen1);
 }
 
-TEST(RegistryTest, InvalidUpdateKeepsEarlierOnesAndReports) {
+TEST(RegistryTest, InvalidUpdateRejectsWholeBatch) {
   GraphRegistry registry(FastRegistryOptions());
   ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
   auto outcome = registry.ApplyUpdates(
@@ -309,8 +310,97 @@ TEST(RegistryTest, InvalidUpdateKeepsEarlierOnesAndReports) {
   EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
   auto stats = registry.Stats("g");
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->updates_applied, 1u) << "earlier updates stay applied";
-  EXPECT_EQ(stats->pending_updates, 1u);
+  EXPECT_EQ(stats->updates_applied, 0u)
+      << "atomic batches: a rejected batch applies nothing";
+  EXPECT_EQ(stats->pending_updates, 0u);
+  EXPECT_EQ(stats->dirty_vertices, 0u);
+}
+
+// The headline atomicity bug: a rejected edges batch must leave the
+// master untouched, so a swap right after publishes the PRE-batch
+// bytes — never a half-applied prefix.
+TEST(RegistryTest, RejectedBatchThenSwapPublishesPreBatchBytes) {
+  GraphRegistry registry(FastRegistryOptions());
+  ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
+  auto before = registry.Lease("g");
+  ASSERT_TRUE(before.ok());
+
+  auto outcome = registry.ApplyUpdates(
+      "g", {{EdgeUpdate::Kind::kInsert, 0, 4},
+            {EdgeUpdate::Kind::kInsert, 1, 5},
+            {EdgeUpdate::Kind::kDelete, 7, 9}});  // Not present.
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+
+  auto swap = registry.Swap("g");
+  ASSERT_TRUE(swap.ok());
+  auto after = registry.Lease("g");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT((*after)->id(), (*before)->id());
+
+  const Graph& pre = (*before)->graph();
+  const Graph& post = (*after)->graph();
+  ASSERT_EQ(post.num_nodes(), pre.num_nodes());
+  ASSERT_EQ(post.num_edges(), pre.num_edges())
+      << "swap after a rejected batch must not publish any of its edges";
+  for (NodeId v = 0; v < pre.num_nodes(); ++v) {
+    auto out_a = pre.OutNeighbors(v);
+    auto out_b = post.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(out_a.begin(), out_a.end(), out_b.begin(),
+                           out_b.end()))
+        << "out-adjacency of node " << v;
+    auto in_a = pre.InNeighbors(v);
+    auto in_b = post.InNeighbors(v);
+    ASSERT_TRUE(
+        std::equal(in_a.begin(), in_a.end(), in_b.begin(), in_b.end()))
+        << "in-adjacency of node " << v;
+  }
+}
+
+// Swaps after the first take the delta fast path, and the stats
+// surface it: delta_swaps counts them, dirty_vertices tracks pending
+// master damage and resets on publish, last_swap_ms records the cost.
+TEST(RegistryTest, DeltaSwapPathAndStats) {
+  GraphRegistry registry(FastRegistryOptions());
+  ASSERT_TRUE(registry.Add("g", testing_util::MakeFixtureGraph()).ok());
+  auto stats = registry.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->delta_swaps, 0u);
+  EXPECT_EQ(stats->dirty_vertices, 0u);
+
+  auto outcome =
+      registry.ApplyUpdates("g", {{EdgeUpdate::Kind::kInsert, 0, 4},
+                                  {EdgeUpdate::Kind::kInsert, 2, 6}});
+  ASSERT_TRUE(outcome.ok());
+  stats = registry.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dirty_vertices, 4u)
+      << "each insert dirties its two endpoints";
+
+  ASSERT_TRUE(registry.Swap("g").ok());
+  stats = registry.Stats("g");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->delta_swaps, 1u) << "rebuild with a live base deltas";
+  EXPECT_EQ(stats->dirty_vertices, 0u) << "publish resets the dirty set";
+  EXPECT_EQ(stats->swap_count, 2u);
+
+  // The delta-published generation matches a canonical full snapshot
+  // of the same edge multiset.
+  DynamicGraph replica =
+      DynamicGraph::FromGraph(testing_util::MakeFixtureGraph());
+  ASSERT_TRUE(replica.AddEdge(0, 4).ok());
+  ASSERT_TRUE(replica.AddEdge(2, 6).ok());
+  auto expect = replica.Snapshot();
+  ASSERT_TRUE(expect.ok());
+  auto lease = registry.Lease("g");
+  ASSERT_TRUE(lease.ok());
+  const Graph& published = (*lease)->graph();
+  ASSERT_EQ(published.num_edges(), expect->num_edges());
+  for (NodeId v = 0; v < published.num_nodes(); ++v) {
+    auto a = expect->OutNeighbors(v);
+    auto b = published.OutNeighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "node " << v;
+  }
 }
 
 // The headline stress: four threads hammer one tenant while the main
@@ -441,6 +531,11 @@ TEST(RegistryStress, SwapUnderLoadBitIdentity) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->pool_outstanding, 0u);
   EXPECT_EQ(stats->swap_count, static_cast<uint64_t>(kSwaps) + 1);
+  // Every forced swap had a live base with a matching dirty set, so
+  // the whole storm ran on the delta fast path — and the bit-identity
+  // replay above already proved each delta-published generation equals
+  // the replica's canonical full Snapshot().
+  EXPECT_EQ(stats->delta_swaps, static_cast<uint64_t>(kSwaps));
 }
 
 // Acceptance stress for per-tenant options: two tenants serve the SAME

@@ -578,6 +578,59 @@ TEST(ServeMultiGraph, CreateQuerySwapDeleteEndToEnd) {
             201);
 }
 
+// Atomic edges batches over the wire: a 4xx batch whose valid prefix
+// would have applied must leave the master untouched, so a swap right
+// after serves the PRE-batch graph bit-identically — never half a
+// batch. Also pins the delta-publish stats keys in the tenant section.
+TEST(ServeMultiGraph, RejectedEdgesBatchIsAtomicThroughSwap) {
+  ServeFixture fixture;
+  HttpClient client("127.0.0.1", fixture.port());
+  ASSERT_EQ(client
+                .Post("/v1/graphs",
+                      "{\"name\":\"ring\",\"nodes\":6,"
+                      "\"edges\":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]}")
+                ->status,
+            201);
+
+  // Valid adds up front, an absent-edge remove at the end: 400, and
+  // the response says no updates were applied.
+  auto rejected = client.Post(
+      "/v1/graphs/ring/edges",
+      "{\"add\":[[2,0],[0,3]],\"remove\":[[1,5]]}");  // (1,5) absent.
+  ASSERT_TRUE(rejected.ok());
+  ASSERT_EQ(rejected->status, 400) << rejected->body;
+  EXPECT_NE(rejected->body.find("no updates applied"), std::string::npos)
+      << rejected->body;
+
+  // A swap after the rejected batch publishes the pre-batch bytes:
+  // scores match a direct engine on the ORIGINAL ring.
+  ASSERT_EQ(client.Post("/v1/graphs/ring/swap", "")->status, 200);
+  Graph ring = testing_util::MakeGraph(6, RingEdges());
+  EXPECT_EQ(ScoresFromBody(
+                client.Post("/v1/query", "{\"node\":2,\"graph\":\"ring\"}")
+                    ->body),
+            DirectScoresOn(ring, 2))
+      << "swap after a rejected batch must serve pre-batch bytes";
+
+  auto graph_stats = client.Get("/v1/graphs/ring");
+  ASSERT_TRUE(graph_stats.ok());
+  auto stats_doc = ParseJson(graph_stats->body);
+  ASSERT_TRUE(stats_doc.ok());
+  const JsonValue* section = stats_doc->Find("stats");
+  ASSERT_NE(section, nullptr);
+  EXPECT_EQ(section->Find("updates_applied")->AsIndex().value(), 0u);
+  EXPECT_EQ(section->Find("edges")->AsIndex().value(), 6u);
+  // Delta-publish observability keys: the forced swap above had a live
+  // base and a clean master, so it counted as a delta swap, and the
+  // publish timing is recorded.
+  ASSERT_NE(section->Find("delta_swaps"), nullptr);
+  EXPECT_EQ(section->Find("delta_swaps")->AsIndex().value(), 1u);
+  ASSERT_NE(section->Find("dirty_vertices"), nullptr);
+  EXPECT_EQ(section->Find("dirty_vertices")->AsIndex().value(), 0u);
+  ASSERT_NE(section->Find("last_swap_ms"), nullptr);
+  EXPECT_GE(section->Find("last_swap_ms")->number_value(), 0.0);
+}
+
 TEST(ServeMultiGraph, AdminErrorResponses) {
   ServeFixture fixture;
   HttpClient client("127.0.0.1", fixture.port());

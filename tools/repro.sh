@@ -163,4 +163,41 @@ print(f"   hit_rate {hit_rate:.1%}, hit p50 {hit['p50_ms']:.3f}ms, "
 EOF
 fi
 
+if [[ -x "$BUILD_DIR/bench_dynamic_updates" ]]; then
+  # Full-vs-delta publish cost across a dirty-fraction sweep on a
+  # 1.6M-edge Chung-Lu graph. The asserts pin the delta-generations
+  # contract: at <=1% dirty vertices a delta publish always beats a full
+  # rebuild, and at the low-dirty end it is >=10x cheaper.
+  SIMPUSH_BENCH_SCALE=quick "$BUILD_DIR/bench_dynamic_updates" \
+      --sweep-only --json BENCH_dynamic.json > /dev/null
+  echo "   wrote BENCH_dynamic.json"
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_dynamic.json") as f:
+    doc = json.load(f)
+rows = {r["name"]: r for r in doc["results"]}
+pairs = []
+for name, row in rows.items():
+    if not name.startswith("delta_dirty_"):
+        continue
+    full = rows.get("full_" + name[len("delta_"):])
+    assert full, f"missing full row for {name}"
+    assert row["counters"]["edges"] >= 1_000_000, "sweep graph below 1M edges"
+    pairs.append((row["counters"]["dirty_fraction"],
+                  full["median_ms"] / row["median_ms"]))
+assert pairs, "no delta rows in BENCH_dynamic.json"
+at_most_1pct = [(f, s) for f, s in pairs if f <= 0.01]
+assert at_most_1pct, "no sweep rows at <=1% dirty"
+for frac, speedup in at_most_1pct:
+    if speedup <= 1.0:
+        sys.exit(f"delta publish slower than full at {frac:.2%} dirty: "
+                 f"{speedup:.1f}x")
+best = max(s for _, s in at_most_1pct)
+if best < 10.0:
+    sys.exit(f"delta publish under 10x at <=1% dirty (best {best:.1f}x)")
+print("   delta-vs-full speedups at <=1% dirty: " +
+      ", ".join(f"{s:.1f}x@{f:.2%}" for f, s in sorted(at_most_1pct)))
+EOF
+fi
+
 echo "repro.sh: all documented commands ran green"
