@@ -43,8 +43,8 @@ double TimeSeparateReversePush(const Graph& graph, NodeId u, double eps,
     single.set_max_level(w.level);
     single.AddAttentionNode(w.node, w.level, w.hitting_prob);
     std::vector<double> single_gamma{gamma[id]};
-    ReversePush(graph, single, single_gamma, params.sqrt_c, params.eps_h,
-                &workspace, &scores, nullptr);
+    (void)ReversePush(graph, single, single_gamma, params.sqrt_c,
+                      params.eps_h, &workspace, &scores, nullptr);
   }
   const double seconds = timer.ElapsedSeconds();
   scores[u] = 1.0;

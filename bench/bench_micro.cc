@@ -199,8 +199,8 @@ void BM_ReversePushStage(benchmark::State& state) {
   std::vector<double> scores(g.num_nodes(), 0.0);
   for (auto _ : state) {
     std::fill(scores.begin(), scores.end(), 0.0);
-    ReversePush(g, *gu, gamma, params.sqrt_c, params.eps_h, &workspace,
-                &scores, nullptr);
+    (void)ReversePush(g, *gu, gamma, params.sqrt_c, params.eps_h, &workspace,
+                      &scores, nullptr);
     benchmark::DoNotOptimize(scores);
   }
 }

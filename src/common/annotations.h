@@ -1,0 +1,161 @@
+// Clang thread-safety annotations + capability-annotated lock wrappers.
+//
+// The serving stack documents its lock discipline in comments ("Stats()
+// never blocks on a rebuild", "Lease() never takes map_mu_", "RebuildLocked
+// requires update_mu") and proves interleavings only as far as TSan happens
+// to see them. This header turns those contracts into compiler-checked
+// facts: every mutex in src/common, src/simpush and src/serve is a
+// `simpush::Mutex` (a `capability`), every field it protects is
+// `SIMPUSH_GUARDED_BY` it, and every `*Locked` method carries
+// `SIMPUSH_REQUIRES`. Building with clang and `-Wthread-safety
+// -Werror=thread-safety` (the `clang-analyze` CMake preset / the CI
+// static-analysis job) then rejects any access outside the documented
+// discipline at compile time. tests/thread_safety_compile proves the
+// analysis is live — an unguarded access genuinely fails to build — so the
+// annotations cannot silently rot into comments with extra syntax.
+//
+// Under GCC (or any compiler without the attributes) every macro expands
+// to nothing and the wrappers are exactly std::mutex /
+// std::condition_variable / std::lock_guard in behavior and size: zero
+// overhead, bit-invisible to Release and TSan builds.
+//
+// Annotation vocabulary (mirrors the Clang thread-safety attribute set):
+//   SIMPUSH_CAPABILITY(x)       class is a lockable capability named x
+//   SIMPUSH_SCOPED_CAPABILITY   RAII class acquiring/releasing in ctor/dtor
+//   SIMPUSH_GUARDED_BY(mu)      field may only be touched holding mu
+//   SIMPUSH_PT_GUARDED_BY(mu)   pointee may only be touched holding mu
+//   SIMPUSH_REQUIRES(mu, ...)   caller must hold mu (the *Locked contract)
+//   SIMPUSH_ACQUIRE(mu, ...)    function acquires mu and does not release
+//   SIMPUSH_RELEASE(mu, ...)    function releases mu
+//   SIMPUSH_TRY_ACQUIRE(b, mu)  acquires mu when returning b
+//   SIMPUSH_EXCLUDES(mu, ...)   caller must NOT hold mu (deadlock guard)
+//   SIMPUSH_ASSERT_CAPABILITY(mu) runtime assertion that mu is held; tells
+//                                 the analysis to trust it from here on
+//   SIMPUSH_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   SIMPUSH_NO_THREAD_SAFETY_ANALYSIS opt one function out (last resort;
+//                                 every use needs a comment saying why)
+
+#ifndef SIMPUSH_COMMON_ANNOTATIONS_H_
+#define SIMPUSH_COMMON_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SIMPUSH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SIMPUSH_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define SIMPUSH_CAPABILITY(x) SIMPUSH_THREAD_ANNOTATION(capability(x))
+#define SIMPUSH_SCOPED_CAPABILITY SIMPUSH_THREAD_ANNOTATION(scoped_lockable)
+#define SIMPUSH_GUARDED_BY(x) SIMPUSH_THREAD_ANNOTATION(guarded_by(x))
+#define SIMPUSH_PT_GUARDED_BY(x) SIMPUSH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SIMPUSH_REQUIRES(...) \
+  SIMPUSH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SIMPUSH_ACQUIRE(...) \
+  SIMPUSH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SIMPUSH_RELEASE(...) \
+  SIMPUSH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SIMPUSH_TRY_ACQUIRE(...) \
+  SIMPUSH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SIMPUSH_EXCLUDES(...) \
+  SIMPUSH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SIMPUSH_ASSERT_CAPABILITY(x) \
+  SIMPUSH_THREAD_ANNOTATION(assert_capability(x))
+#define SIMPUSH_RETURN_CAPABILITY(x) \
+  SIMPUSH_THREAD_ANNOTATION(lock_returned(x))
+#define SIMPUSH_NO_THREAD_SAFETY_ANALYSIS \
+  SIMPUSH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace simpush {
+
+/// std::mutex as a Clang capability. Same size, same cost — the
+/// annotations exist only at compile time.
+class SIMPUSH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SIMPUSH_ACQUIRE() { mu_.lock(); }
+  void Unlock() SIMPUSH_RELEASE() { mu_.unlock(); }
+  bool TryLock() SIMPUSH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (and, under analysis, establishes) that the calling
+  /// context holds this mutex. Purely a compile-time fact; generates no
+  /// code. Use where the analysis cannot follow the acquisition (e.g.
+  /// a callback invoked by a locked caller).
+  void AssertHeld() const SIMPUSH_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for the scope of a block — std::lock_guard with a
+/// scoped-capability annotation so the analysis tracks the critical
+/// section's extent:
+///
+///   MutexLock lock(&mu_);
+///   guarded_field_ = ...;   // OK: mu_ held until end of scope.
+class SIMPUSH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SIMPUSH_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() SIMPUSH_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// std::condition_variable over simpush::Mutex. Wait() declares (and the
+/// analysis enforces) that the caller already holds the mutex — the
+/// precondition std::condition_variable leaves to the programmer.
+///
+/// Predicate waits are spelled as explicit loops at the call site
+///     while (!pred) cv.Wait(mu);
+/// rather than a lambda-predicate overload: the analysis does not
+/// propagate capabilities into lambdas, so a `[this] { return guarded_; }`
+/// predicate would (correctly, per the analyzer's model) fail to build.
+/// The explicit loop keeps the guarded reads inside the annotated scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and reacquires before returning.
+  void Wait(Mutex& mu) SIMPUSH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when the duration
+  /// elapsed without a notification.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      SIMPUSH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace simpush
+
+#endif  // SIMPUSH_COMMON_ANNOTATIONS_H_

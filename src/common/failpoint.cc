@@ -26,7 +26,7 @@ Status Failpoint::Fire() {
   std::string message;
   int sleep_ms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     mode = mode_;
     message = message_;
     sleep_ms = sleep_ms_;
@@ -52,13 +52,13 @@ Status Failpoint::Fire() {
 }
 
 Failpoint::Mode Failpoint::mode() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return mode_;
 }
 
 void Failpoint::Configure(Mode mode, std::string message, int sleep_ms) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     mode_ = mode;
     message_ = std::move(message);
     sleep_ms_ = sleep_ms;
@@ -74,7 +74,7 @@ FailpointRegistry& FailpointRegistry::Get() {
 }
 
 Failpoint* FailpointRegistry::Register(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_
@@ -120,7 +120,7 @@ Status FailpointRegistry::Activate(std::string_view name,
 }
 
 void FailpointRegistry::Deactivate(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   if (it != points_.end()) {
     it->second->Configure(Failpoint::Mode::kOff, std::string(), 0);
@@ -128,7 +128,7 @@ void FailpointRegistry::Deactivate(std::string_view name) {
 }
 
 void FailpointRegistry::DeactivateAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, point] : points_) {
     point->Configure(Failpoint::Mode::kOff, std::string(), 0);
   }
@@ -160,7 +160,7 @@ Status FailpointRegistry::ActivateFromEnv(const char* env_var) {
 std::vector<std::pair<std::string, uint64_t>> FailpointRegistry::Hits()
     const {
   std::vector<std::pair<std::string, uint64_t>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.reserve(points_.size());
   for (const auto& [name, point] : points_) {
     out.emplace_back(name, point->hits());

@@ -33,12 +33,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace simpush {
@@ -80,10 +80,10 @@ class Failpoint {
   const std::string name_;
   std::atomic<bool> active_{false};
   std::atomic<uint64_t> hits_{0};
-  mutable std::mutex mu_;  // Guards mode_/message_/sleep_ms_.
-  Mode mode_ = Mode::kOff;
-  std::string message_;
-  int sleep_ms_ = 0;
+  mutable Mutex mu_;
+  Mode mode_ SIMPUSH_GUARDED_BY(mu_) = Mode::kOff;
+  std::string message_ SIMPUSH_GUARDED_BY(mu_);
+  int sleep_ms_ SIMPUSH_GUARDED_BY(mu_) = 0;
 };
 
 /// Process-wide catalog of failpoints.
@@ -118,8 +118,9 @@ class FailpointRegistry {
  private:
   FailpointRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_
+      SIMPUSH_GUARDED_BY(mu_);
 };
 
 /// Instruments a seam in Status-returning code:

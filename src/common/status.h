@@ -28,7 +28,11 @@ enum class StatusCode {
 };
 
 /// Lightweight status object: OK carries no allocation.
-class Status {
+///
+/// [[nodiscard]] at class level: ignoring a returned Status silently
+/// swallows the error, so every deliberate discard must say so with a
+/// (void) cast — the compiler flags the rest.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -80,8 +84,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Mirrors arrow::Result.
+/// [[nodiscard]] for the same reason as Status: a discarded StatusOr
+/// drops both the error and the computed value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (success).
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT

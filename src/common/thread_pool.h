@@ -6,13 +6,13 @@
 #ifndef SIMPUSH_COMMON_THREAD_POOL_H_
 #define SIMPUSH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace simpush {
 
@@ -45,12 +45,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ SIMPUSH_GUARDED_BY(mu_);
+  // queued + currently executing
+  size_t in_flight_ SIMPUSH_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ SIMPUSH_GUARDED_BY(mu_) = false;
+  // Written once by the constructor before any concurrent access;
+  // num_threads() reads it lock-free thereafter.
   std::vector<std::thread> workers_;
 };
 

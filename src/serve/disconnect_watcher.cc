@@ -29,10 +29,10 @@ DisconnectWatcher::DisconnectWatcher(int poll_interval_ms)
 
 DisconnectWatcher::~DisconnectWatcher() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -41,21 +41,21 @@ DisconnectWatcher::WatchGuard DisconnectWatcher::Watch(int fd,
   if (fd < 0 || token == nullptr) return WatchGuard();
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     id = next_id_++;
     entries_.push_back(Entry{id, fd, token});
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   return WatchGuard(this, id);
 }
 
 size_t DisconnectWatcher::watched() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 void DisconnectWatcher::Unwatch(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [id](const Entry& e) { return e.id == id; }),
                  entries_.end());
@@ -66,9 +66,9 @@ void DisconnectWatcher::PollLoop() {
   std::vector<uint64_t> ids;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       // Sleep (instead of spinning on poll) while nothing is watched.
-      wake_.wait(lock, [this] { return stopping_ || !entries_.empty(); });
+      while (!stopping_ && entries_.empty()) wake_.Wait(mu_);
       if (stopping_) return;
       pfds.clear();
       ids.clear();
@@ -81,7 +81,7 @@ void DisconnectWatcher::PollLoop() {
     const int ready =
         ::poll(pfds.data(), pfds.size(), poll_interval_ms_);
     if (ready <= 0) continue;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (size_t i = 0; i < pfds.size(); ++i) {
       // POLLRDHUP: orderly shutdown from the peer (half-close counts —
       // a client that shut down its write side has abandoned the

@@ -22,12 +22,11 @@
 #ifndef SIMPUSH_SERVE_DISCONNECT_WATCHER_H_
 #define SIMPUSH_SERVE_DISCONNECT_WATCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 
 namespace simpush {
@@ -84,11 +83,11 @@ class DisconnectWatcher {
   void PollLoop();
 
   const int poll_interval_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  std::vector<Entry> entries_;
-  uint64_t next_id_ = 1;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar wake_;
+  std::vector<Entry> entries_ SIMPUSH_GUARDED_BY(mu_);
+  uint64_t next_id_ SIMPUSH_GUARDED_BY(mu_) = 1;
+  bool stopping_ SIMPUSH_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

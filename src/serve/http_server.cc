@@ -127,7 +127,7 @@ void HttpServer::Shutdown() {
   accept_stopping_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
   stopping_.store(true);
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -148,7 +148,7 @@ HttpServerCounters HttpServer::counters() const {
 }
 
 size_t HttpServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   return pending_.size();
 }
 
@@ -177,11 +177,11 @@ void HttpServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(&queue_mu_);
       if (pending_.size() < options_.max_queued_connections) {
         pending_.push_back(fd);
         accepted_.fetch_add(1);
-        queue_cv_.notify_one();
+        queue_cv_.NotifyOne();
         continue;
       }
     }
@@ -206,10 +206,8 @@ void HttpServer::WorkerLoop() {
   while (true) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return !pending_.empty() || stopping_.load();
-      });
+      MutexLock lock(&queue_mu_);
+      while (pending_.empty() && !stopping_.load()) queue_cv_.Wait(queue_mu_);
       if (pending_.empty()) return;  // stopping_ && drained.
       fd = pending_.front();
       pending_.pop_front();

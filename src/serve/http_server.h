@@ -27,17 +27,16 @@
 #define SIMPUSH_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace simpush {
@@ -169,9 +168,10 @@ class HttpServer {
   std::atomic<bool> accept_stopping_{false};
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // Accepted fds awaiting a worker.
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  // Accepted fds awaiting a worker.
+  std::deque<int> pending_ SIMPUSH_GUARDED_BY(queue_mu_);
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

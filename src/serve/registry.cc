@@ -93,20 +93,30 @@ Status GraphRegistry::Add(const std::string& name, Graph graph,
   if (!options_status.ok()) return options_status;
 
   auto tenant = std::make_shared<Tenant>();
-  tenant->master = DynamicGraph::FromGraph(generation->graph());
-  tenant->cache_metrics = std::move(cache_metrics);
-  tenant->options = options;
-  tenant->options_generation = generation->id();
-  tenant->swap_count.store(1);
-  tenant->master_edges.store(tenant->master.num_edges());
-  tenant->current = std::move(generation);
+  {
+    // The tenant is not yet reachable from the map, so these locks are
+    // uncontended; the analysis has no notion of "not yet shared" for a
+    // heap object, so the guarded fields are initialized under their
+    // mutexes like any other write.
+    Tenant* const t = tenant.get();
+    MutexLock update_lock(&t->update_mu);
+    MutexLock options_lock(&t->options_mu);
+    MutexLock current_lock(&t->current_mu);
+    t->master = DynamicGraph::FromGraph(generation->graph());
+    t->cache_metrics = std::move(cache_metrics);
+    t->options = options;
+    t->options_generation = generation->id();
+    t->swap_count.store(1);
+    t->master_edges.store(t->master.num_edges());
+    t->current = std::move(generation);
+  }
 
   // Rejections return with `tenant` still owned locally: it was
-  // constructed before the lock_guard, so the guard unlocks first and
+  // constructed before the MutexLock, so the guard unlocks first and
   // the O(n+m) bundle (graph + core + pool) is freed OUTSIDE map_mu_ —
   // a losing duplicate create must not stall every tenant's Lease()
   // for the duration of a large deallocation.
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(&map_mu_);
   if (tenants_.find(name) != tenants_.end()) {
     return Status::FailedPrecondition("graph \"" + name +
                                       "\" already exists");
@@ -122,7 +132,7 @@ Status GraphRegistry::Add(const std::string& name, Graph graph,
 Status GraphRegistry::Remove(std::string_view name) {
   std::shared_ptr<Tenant> tenant;
   {
-    std::lock_guard<std::mutex> lock(map_mu_);
+    MutexLock lock(&map_mu_);
     const auto it = tenants_.find(name);
     if (it == tenants_.end()) {
       return Status::NotFound("no graph named \"" + std::string(name) +
@@ -133,14 +143,15 @@ Status GraphRegistry::Remove(std::string_view name) {
   }
   // Drop the published generation eagerly; in-flight leases keep it
   // alive until they finish, after which it frees.
-  std::lock_guard<std::mutex> lock(tenant->current_mu);
-  tenant->current.reset();
+  Tenant* const t = tenant.get();
+  MutexLock lock(&t->current_mu);
+  t->current.reset();
   return Status::OK();
 }
 
 std::shared_ptr<GraphRegistry::Tenant> GraphRegistry::FindTenant(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(&map_mu_);
   const auto it = tenants_.find(name);
   return it == tenants_.end() ? nullptr : it->second;
 }
@@ -183,7 +194,7 @@ Status GraphRegistry::RebuildLocked(Tenant* tenant) {
   // must never silently reset a tenant's ε/c/δ/seed.
   SimPushOptions options;
   {
-    std::lock_guard<std::mutex> lock(tenant->options_mu);
+    MutexLock lock(&tenant->options_mu);
     options = tenant->options;
   }
   GenerationLease next =
@@ -202,7 +213,7 @@ Status GraphRegistry::RebuildLocked(Tenant* tenant) {
   if (used_delta) tenant->delta_swaps.fetch_add(1);
   tenant->last_swap_us.store(
       static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
-  std::lock_guard<std::mutex> lock(tenant->current_mu);
+  MutexLock lock(&tenant->current_mu);
   tenant->current = std::move(next);
   return Status::OK();
 }
@@ -214,9 +225,12 @@ StatusOr<UpdateOutcome> GraphRegistry::ApplyUpdates(
   if (tenant == nullptr) {
     return Status::NotFound("no graph named \"" + std::string(name) + "\"");
   }
-  std::lock_guard<std::mutex> lock(tenant->update_mu);
+  // Raw pointer so the held capability (t->update_mu) syntactically
+  // matches RebuildLocked's REQUIRES(tenant->update_mu).
+  Tenant* const t = tenant.get();
+  MutexLock lock(&t->update_mu);
   UpdateOutcome outcome;
-  const Status apply_status = tenant->master.Apply(updates);
+  const Status apply_status = t->master.Apply(updates);
   if (!apply_status.ok()) {
     // Atomic batch semantics (DynamicGraph::Apply): nothing was
     // applied, the master is byte-identical to before the call, and no
@@ -224,27 +238,26 @@ StatusOr<UpdateOutcome> GraphRegistry::ApplyUpdates(
     // graph. Rewrap as InvalidArgument so an edge-level failure (e.g.
     // removing an absent edge) cannot be confused with the tenant
     // itself being missing.
-    outcome.pending = tenant->pending.load();
-    const GenerationLease current = tenant->Current();
+    outcome.pending = t->pending.load();
+    const GenerationLease current = t->Current();
     outcome.generation = current != nullptr ? current->id() : 0;
     return Status::InvalidArgument("batch rejected: " +
                                    std::string(apply_status.message()));
   }
   outcome.applied = updates.size();
-  tenant->pending.fetch_add(outcome.applied);
-  tenant->updates_applied.fetch_add(outcome.applied);
-  tenant->master_edges.store(tenant->master.num_edges());
-  tenant->dirty_vertices.store(tenant->master.dirty_vertices());
-  const bool threshold_hit =
-      options_.swap_threshold != 0 &&
-      tenant->pending.load() >= options_.swap_threshold;
-  if ((force_swap || threshold_hit) && tenant->pending.load() > 0) {
-    SIMPUSH_RETURN_NOT_OK(RebuildLocked(tenant.get()));
+  t->pending.fetch_add(outcome.applied);
+  t->updates_applied.fetch_add(outcome.applied);
+  t->master_edges.store(t->master.num_edges());
+  t->dirty_vertices.store(t->master.dirty_vertices());
+  const bool threshold_hit = options_.swap_threshold != 0 &&
+                             t->pending.load() >= options_.swap_threshold;
+  if ((force_swap || threshold_hit) && t->pending.load() > 0) {
+    SIMPUSH_RETURN_NOT_OK(RebuildLocked(t));
     outcome.swapped = true;
   }
-  outcome.pending = tenant->pending.load();
+  outcome.pending = t->pending.load();
   {
-    const GenerationLease current = tenant->Current();
+    const GenerationLease current = t->Current();
     outcome.generation = current != nullptr ? current->id() : 0;
   }
   return outcome;
@@ -255,12 +268,13 @@ StatusOr<UpdateOutcome> GraphRegistry::Swap(std::string_view name) {
   if (tenant == nullptr) {
     return Status::NotFound("no graph named \"" + std::string(name) + "\"");
   }
-  std::lock_guard<std::mutex> lock(tenant->update_mu);
-  SIMPUSH_RETURN_NOT_OK(RebuildLocked(tenant.get()));
+  Tenant* const t = tenant.get();
+  MutexLock lock(&t->update_mu);
+  SIMPUSH_RETURN_NOT_OK(RebuildLocked(t));
   UpdateOutcome outcome;
   outcome.swapped = true;
-  outcome.pending = tenant->pending.load();
-  const GenerationLease current = tenant->Current();
+  outcome.pending = t->pending.load();
+  const GenerationLease current = t->Current();
   outcome.generation = current != nullptr ? current->id() : 0;
   return outcome;
 }
@@ -274,29 +288,30 @@ StatusOr<UpdateOutcome> GraphRegistry::UpdateOptions(
   }
   // update_mu serializes against rebuilds so the generation we re-wrap
   // cannot be swapped out from under us mid-build.
-  std::lock_guard<std::mutex> lock(tenant->update_mu);
-  const GenerationLease current = tenant->Current();
+  Tenant* const t = tenant.get();
+  MutexLock lock(&t->update_mu);
+  const GenerationLease current = t->Current();
   if (current == nullptr) {  // Raced with Remove().
     return Status::NotFound("no graph named \"" + std::string(name) + "\"");
   }
   // Re-publish the CURRENT generation's graph, not a master snapshot:
   // an options change must not smuggle in pending edge updates.
-  GenerationLease next = BuildGeneration(Graph(current->graph()), options,
-                                         tenant->cache_metrics);
+  GenerationLease next =
+      BuildGeneration(Graph(current->graph()), options, t->cache_metrics);
   SIMPUSH_RETURN_NOT_OK(next->core().options_status());
   SIMPUSH_FAILPOINT("registry.publish");
   {
-    std::lock_guard<std::mutex> olock(tenant->options_mu);
-    tenant->options = options;
-    tenant->options_generation = next->id();
+    MutexLock olock(&t->options_mu);
+    t->options = options;
+    t->options_generation = next->id();
   }
-  tenant->swap_count.fetch_add(1);
+  t->swap_count.fetch_add(1);
   UpdateOutcome outcome;
   outcome.swapped = true;
-  outcome.pending = tenant->pending.load();
+  outcome.pending = t->pending.load();
   outcome.generation = next->id();
-  std::lock_guard<std::mutex> clock(tenant->current_mu);
-  tenant->current = std::move(next);
+  MutexLock clock(&t->current_mu);
+  t->current = std::move(next);
   return outcome;
 }
 
@@ -309,7 +324,7 @@ StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
   // never wait out a rebuild holding the lock across its O(m) snapshot.
   TenantStats stats;
   {
-    std::lock_guard<std::mutex> lock(tenant->options_mu);
+    MutexLock lock(&tenant->options_mu);
     stats.options = tenant->options;
     stats.options_generation = tenant->options_generation;
   }
@@ -351,14 +366,14 @@ StatusOr<TenantStats> GraphRegistry::Stats(std::string_view name) const {
 
 std::vector<std::string> GraphRegistry::Names() const {
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(&map_mu_);
   names.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) names.push_back(name);
   return names;  // std::map iterates sorted.
 }
 
 size_t GraphRegistry::size() const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(&map_mu_);
   return tenants_.size();
 }
 

@@ -43,11 +43,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "graph/dynamic_graph.h"
@@ -263,16 +263,16 @@ class GraphRegistry {
   struct Tenant {
     // Serializes master mutation + snapshot + rebuild for this tenant.
     // Never held while executing queries; Lease() does not take it.
-    std::mutex update_mu;
-    DynamicGraph master;
+    Mutex update_mu;
+    DynamicGraph master SIMPUSH_GUARDED_BY(update_mu);
     // The tenant's engine options and the generation they took effect
     // in. Written in Add() before the tenant reaches the map, then
     // only by UpdateOptions; options_mu guards them because Stats()
     // reads without update_mu (which rebuilds hold across an O(m)
     // snapshot).
-    mutable std::mutex options_mu;
-    SimPushOptions options;
-    uint64_t options_generation = 0;
+    mutable Mutex options_mu;
+    SimPushOptions options SIMPUSH_GUARDED_BY(options_mu);
+    uint64_t options_generation SIMPUSH_GUARDED_BY(options_mu) = 0;
     // Gauges mirrored as atomics (written under update_mu, read
     // anywhere) so Stats() never waits out a rebuild, which holds
     // update_mu across the whole O(m) snapshot.
@@ -290,11 +290,11 @@ class GraphRegistry {
     std::shared_ptr<ResultCacheMetrics> cache_metrics;
 
     // Guards only the `current` pointer; held for a load or store.
-    mutable std::mutex current_mu;
-    GenerationLease current;
+    mutable Mutex current_mu;
+    GenerationLease current SIMPUSH_GUARDED_BY(current_mu);
 
     GenerationLease Current() const {
-      std::lock_guard<std::mutex> lock(current_mu);
+      MutexLock lock(&current_mu);
       return current;
     }
   };
@@ -305,20 +305,24 @@ class GraphRegistry {
   GenerationLease BuildGeneration(
       Graph graph, const SimPushOptions& options,
       std::shared_ptr<ResultCacheMetrics> cache_metrics);
-  // Snapshots tenant->master and publishes the result. Caller holds
-  // tenant->update_mu.
-  Status RebuildLocked(Tenant* tenant);
-  std::shared_ptr<Tenant> FindTenant(std::string_view name) const;
+  // Snapshots tenant->master and publishes the result. The REQUIRES
+  // annotation is the compiler-checked form of "caller holds
+  // tenant->update_mu" — call sites must lock through a raw Tenant*
+  // so the capability expression matches.
+  Status RebuildLocked(Tenant* tenant) SIMPUSH_REQUIRES(tenant->update_mu);
+  std::shared_ptr<Tenant> FindTenant(std::string_view name) const
+      SIMPUSH_EXCLUDES(map_mu_);
 
   const RegistryOptions options_;
   ThreadPool thread_pool_;
   std::shared_ptr<std::atomic<int64_t>> live_generations_;
   std::atomic<uint64_t> next_generation_id_{1};
 
-  mutable std::mutex map_mu_;
+  mutable Mutex map_mu_;
   // Heterogeneous lookup (std::less<>) keeps Lease(string_view)
   // allocation-free.
-  std::map<std::string, std::shared_ptr<Tenant>, std::less<>> tenants_;
+  std::map<std::string, std::shared_ptr<Tenant>, std::less<>> tenants_
+      SIMPUSH_GUARDED_BY(map_mu_);
 };
 
 }  // namespace serve

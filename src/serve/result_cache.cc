@@ -99,7 +99,7 @@ bool ResultCache::Get(NodeId source, uint64_t fingerprint,
                       SimPushResult* out) {
   const uint64_t hash = KeyHash(source, fingerprint);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   // Sketch sees every access, so a source that keeps missing accrues
   // the frequency it needs to win a later admission duel.
   shard.sketch.Touch(hash);
@@ -139,7 +139,7 @@ bool ResultCache::Insert(NodeId source, uint64_t fingerprint,
   const uint64_t hash = KeyHash(source, fingerprint);
   const size_t entry_bytes = EntryBytes(result.scores.size());
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   if (entry_bytes > shard.budget) {
     metrics_->admission_rejects.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -178,7 +178,7 @@ bool ResultCache::Insert(NodeId source, uint64_t fingerprint,
 size_t ResultCache::entries() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->index.size();
   }
   return total;
@@ -187,7 +187,7 @@ size_t ResultCache::entries() const {
 size_t ResultCache::bytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->bytes;
   }
   return total;

@@ -52,10 +52,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "graph/graph.h"
 #include "simpush/options.h"
 #include "simpush/query_runner.h"
@@ -176,11 +176,15 @@ class ResultCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    LruList lru;  // Front = most recent, back = eviction victim.
-    std::unordered_map<Key, LruList::iterator, KeyHasher> index;
-    Sketch sketch;
-    size_t bytes = 0;
+    mutable Mutex mu;
+    // Front = most recent, back = eviction victim.
+    LruList lru SIMPUSH_GUARDED_BY(mu);
+    std::unordered_map<Key, LruList::iterator, KeyHasher> index
+        SIMPUSH_GUARDED_BY(mu);
+    Sketch sketch SIMPUSH_GUARDED_BY(mu);
+    size_t bytes SIMPUSH_GUARDED_BY(mu) = 0;
+    // Set once by the ResultCache constructor before the shard is
+    // shared; read-only thereafter, so deliberately not guarded.
     size_t budget = 0;
   };
 

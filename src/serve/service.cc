@@ -418,13 +418,13 @@ SimPushService::SimPushService(const Graph& graph,
   // simpush_serve does.
   const Status added = AddGraph(options_.default_graph, graph);
   if (!added.ok()) {
-    std::lock_guard<std::mutex> lock(startup_mu_);
+    MutexLock lock(&startup_mu_);
     startup_status_ = added;
   }
 }
 
 Status SimPushService::startup_status() const {
-  std::lock_guard<std::mutex> lock(startup_mu_);
+  MutexLock lock(&startup_mu_);
   return startup_status_;
 }
 
@@ -445,14 +445,14 @@ Status SimPushService::AddGraph(const std::string& name, Graph graph,
   SIMPUSH_RETURN_NOT_OK(registry_.Add(name, std::move(graph),
                                       tenant_options));
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    MutexLock lock(&metrics_mu_);
     tenant_metrics_.insert_or_assign(
         name, std::make_shared<TenantMetrics>(options_.latency_ring_size));
   }
   if (name == options_.default_graph) {
     // The default graph is installed: a startup failure (if any) is no
     // longer the serving truth, so /healthz may recover.
-    std::lock_guard<std::mutex> lock(startup_mu_);
+    MutexLock lock(&startup_mu_);
     startup_status_ = Status::OK();
   }
   return Status::OK();
@@ -461,7 +461,7 @@ Status SimPushService::AddGraph(const std::string& name, Graph graph,
 Status SimPushService::RemoveGraph(std::string_view name) {
   const std::shared_ptr<TenantMetrics> observed = FindMetrics(name);
   SIMPUSH_RETURN_NOT_OK(registry_.Remove(name));
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(&metrics_mu_);
   const auto it = tenant_metrics_.find(name);
   if (it != tenant_metrics_.end() && it->second == observed) {
     tenant_metrics_.erase(it);
@@ -494,7 +494,7 @@ void SimPushService::RegisterRoutes(HttpServer* server) {
 
 std::shared_ptr<SimPushService::TenantMetrics> SimPushService::FindMetrics(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(&metrics_mu_);
   const auto it = tenant_metrics_.find(name);
   return it == tenant_metrics_.end() ? nullptr : it->second;
 }
@@ -1511,7 +1511,7 @@ HttpResponse SimPushService::HandleGraphOp(const HttpRequest& request) {
 }
 
 void SimPushService::LatencyRing::Record(double seconds) {
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   ring[next] = seconds;
   next = (next + 1) % ring.size();
   filled = std::min(filled + 1, ring.size());
@@ -1520,7 +1520,7 @@ void SimPushService::LatencyRing::Record(double seconds) {
 LatencySnapshot SimPushService::LatencyRing::Snapshot() const {
   std::vector<double> sorted;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     sorted.assign(ring.begin(), ring.begin() + filled);
   }
   LatencySnapshot snapshot;

@@ -45,11 +45,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -214,10 +214,10 @@ class SimPushService {
   // Fixed-size preallocated latency ring; Record never allocates.
   struct LatencyRing {
     explicit LatencyRing(size_t size) : ring(size > 0 ? size : 1, 0.0) {}
-    mutable std::mutex mu;
-    std::vector<double> ring;
-    size_t next = 0;
-    size_t filled = 0;
+    mutable Mutex mu;
+    std::vector<double> ring SIMPUSH_GUARDED_BY(mu);
+    size_t next SIMPUSH_GUARDED_BY(mu) = 0;
+    size_t filled SIMPUSH_GUARDED_BY(mu) = 0;
     void Record(double seconds);
     LatencySnapshot Snapshot() const;
   };
@@ -294,8 +294,8 @@ class SimPushService {
   // failure is visible to probes instead of silently yielding 404s on
   // every query. Cleared when a later AddGraph installs the default
   // graph successfully.
-  mutable std::mutex startup_mu_;
-  Status startup_status_ = Status::OK();
+  mutable Mutex startup_mu_;
+  Status startup_status_ SIMPUSH_GUARDED_BY(startup_mu_) = Status::OK();
 
   std::atomic<uint64_t> query_requests_{0};
   std::atomic<uint64_t> topk_requests_{0};
@@ -317,9 +317,9 @@ class SimPushService {
   DisconnectWatcher watcher_;
 
   LatencyRing latency_;  // All requests, all graphs.
-  mutable std::mutex metrics_mu_;
+  mutable Mutex metrics_mu_;
   std::map<std::string, std::shared_ptr<TenantMetrics>, std::less<>>
-      tenant_metrics_;
+      tenant_metrics_ SIMPUSH_GUARDED_BY(metrics_mu_);
 };
 
 /// Installs SIGTERM/SIGINT handlers that mark shutdown as requested

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <functional>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "simpush/parallel.h"
 
 namespace simpush {
@@ -32,7 +32,7 @@ Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
                    const std::function<bool(NodeId, NodeId, double)>& emit) {
   std::atomic<bool> aborted{false};
   std::atomic<bool> invalid{false};
-  std::mutex emit_mu;
+  Mutex emit_mu;
   QueryExecutor executor(graph, options.query, options.num_threads);
   ForEachQueryChunked(
       executor, sources.size(),
@@ -53,7 +53,7 @@ Status ScanSources(const Graph& graph, const std::vector<NodeId>& sources,
             invalid.store(true);
             continue;
           }
-          std::lock_guard<std::mutex> lock(emit_mu);
+          MutexLock lock(&emit_mu);
           for (NodeId v = 0; v < graph.num_nodes(); ++v) {
             if (v == u) continue;
             const double score = result.scores[v];

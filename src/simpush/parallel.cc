@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/timer.h"
 #include "simpush/topk.h"
 
@@ -30,16 +29,16 @@ void ForEachQueryChunked(
   // Completion is tracked per call, not via ThreadPool::Wait (which
   // drains the WHOLE pool): concurrent batches on one executor must
   // only wait for their own chunks.
-  std::mutex done_mu;
-  std::condition_variable chunk_done;
-  size_t pending = 0;
+  Mutex done_mu;
+  CondVar chunk_done;
+  size_t pending = 0;  // Guarded by done_mu (locals cannot be annotated).
 
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = w * chunk;
     const size_t end = std::min(num_items, begin + chunk);
     if (begin >= end) break;
     {
-      std::lock_guard<std::mutex> lock(done_mu);
+      MutexLock lock(&done_mu);
       ++pending;
     }
     thread_pool.Submit(
@@ -54,12 +53,12 @@ void ForEachQueryChunked(
             QueryRunner runner(core, workspaces, cancel);
             run_chunk(runner, begin, end);
           }
-          std::lock_guard<std::mutex> lock(done_mu);
-          if (--pending == 0) chunk_done.notify_all();
+          MutexLock lock(&done_mu);
+          if (--pending == 0) chunk_done.NotifyAll();
         });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  chunk_done.wait(lock, [&pending] { return pending == 0; });
+  MutexLock lock(&done_mu);
+  while (pending != 0) chunk_done.Wait(done_mu);
 }
 
 void ForEachQueryChunked(
@@ -77,7 +76,7 @@ ParallelBatchStats ParallelQueryBatch(
   Timer wall;
   stats.num_threads = executor.num_threads();
 
-  std::mutex result_mu;
+  Mutex result_mu;
   std::atomic<size_t> ok{0};
   std::atomic<size_t> failed{0};
   std::atomic<uint64_t> cpu_nanos{0};
@@ -95,7 +94,7 @@ ParallelBatchStats ParallelQueryBatch(
           ok.fetch_add(1);
           cpu_nanos.fetch_add(
               static_cast<uint64_t>(result.stats.total_seconds * 1e9));
-          std::lock_guard<std::mutex> lock(result_mu);
+          MutexLock lock(&result_mu);
           on_result(u, result);
         }
       });

@@ -58,10 +58,10 @@ QueryWorkspace* WorkspacePool::TakeLocked() {
 }
 
 WorkspaceLease WorkspacePool::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   QueryWorkspace* workspace = TakeLocked();
   while (workspace == nullptr) {
-    workspace_returned_.wait(lock);
+    workspace_returned_.Wait(mu_);
     workspace = TakeLocked();
   }
   return WorkspaceLease(this, workspace);
@@ -77,20 +77,20 @@ WorkspaceLease WorkspacePool::Acquire(const CancelToken* cancel) {
   if (acquire_fp->active()) (void)acquire_fp->Fire();
 
   if (cancel == nullptr) return Acquire();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   QueryWorkspace* workspace = TakeLocked();
   while (workspace == nullptr) {
     if (cancel->ShouldStop()) return WorkspaceLease();
     // Bounded wait: a token with no waker (pure deadline) still gets
     // polled a few hundred times per second.
-    workspace_returned_.wait_for(lock, std::chrono::milliseconds(5));
+    (void)workspace_returned_.WaitFor(mu_, std::chrono::milliseconds(5));
     workspace = TakeLocked();
   }
   return WorkspaceLease(this, workspace);
 }
 
 WorkspaceLease WorkspacePool::TryAcquire() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   QueryWorkspace* workspace = TakeLocked();
   return workspace == nullptr ? WorkspaceLease()
                               : WorkspaceLease(this, workspace);
@@ -98,20 +98,20 @@ WorkspaceLease WorkspacePool::TryAcquire() {
 
 void WorkspacePool::Return(QueryWorkspace* workspace) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     idle_.push_back(workspace);
     --outstanding_;
   }
-  workspace_returned_.notify_one();
+  workspace_returned_.NotifyOne();
 }
 
 size_t WorkspacePool::outstanding() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return outstanding_;
 }
 
 size_t WorkspacePool::created() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return all_.size();
 }
 

@@ -17,13 +17,12 @@
 #ifndef SIMPUSH_SIMPUSH_WORKSPACE_POOL_H_
 #define SIMPUSH_SIMPUSH_WORKSPACE_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "simpush/workspace.h"
 
@@ -100,17 +99,19 @@ class WorkspacePool {
 
  private:
   friend class WorkspaceLease;
-  void Return(QueryWorkspace* workspace);
-  // Pops an idle workspace or creates one under `lock`; nullptr when
-  // the pool is exhausted.
-  QueryWorkspace* TakeLocked();
+  void Return(QueryWorkspace* workspace) SIMPUSH_EXCLUDES(mu_);
+  // Pops an idle workspace or creates one; nullptr when the pool is
+  // exhausted. The REQUIRES annotation is the machine-checked form of
+  // the "-Locked" naming convention: callers must hold mu_.
+  QueryWorkspace* TakeLocked() SIMPUSH_REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable workspace_returned_;
-  std::vector<std::unique_ptr<QueryWorkspace>> all_;  // Stable storage.
-  std::vector<QueryWorkspace*> idle_;
-  size_t outstanding_ = 0;
+  mutable Mutex mu_;
+  CondVar workspace_returned_;
+  // Stable storage.
+  std::vector<std::unique_ptr<QueryWorkspace>> all_ SIMPUSH_GUARDED_BY(mu_);
+  std::vector<QueryWorkspace*> idle_ SIMPUSH_GUARDED_BY(mu_);
+  size_t outstanding_ SIMPUSH_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace simpush

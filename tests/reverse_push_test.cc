@@ -44,8 +44,8 @@ TEST(ReversePushTest, ScoresNonNegativeAndBounded) {
   QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   ReversePushStats stats;
-  ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
-              &workspace, &scores, &stats);
+  ASSERT_TRUE(ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
+              &workspace, &scores, &stats).ok());
   for (double s : scores) {
     EXPECT_GE(s, 0.0);
     EXPECT_LE(s, 1.0 + 1e-9);
@@ -71,8 +71,8 @@ TEST(ReversePushTest, ZeroEpsHThresholdConservesResidueMass) {
   QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   const double sqrt_c = std::sqrt(0.6);
-  ReversePush(g, gu, gamma, sqrt_c, /*eps_h=*/0.0, &workspace, &scores,
-              nullptr);
+  ASSERT_TRUE(ReversePush(g, gu, gamma, sqrt_c, /*eps_h=*/0.0, &workspace, &scores,
+              nullptr).ok());
   // Node 5 (d_I = 2) and node 6 (d_I = 2) each get √c/2.
   EXPECT_NEAR(scores[5], sqrt_c / g.InDegree(5), 1e-12);
   EXPECT_NEAR(scores[6], sqrt_c / g.InDegree(6), 1e-12);
@@ -87,8 +87,8 @@ TEST(ReversePushTest, HighThresholdDropsEverything) {
   QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
   ReversePushStats stats;
-  ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, /*eps_h=*/10.0,
-              &workspace, &scores, &stats);
+  ASSERT_TRUE(ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, /*eps_h=*/10.0,
+              &workspace, &scores, &stats).ok());
   EXPECT_EQ(stats.pushes, 0u);
   for (double s : scores) EXPECT_EQ(s, 0.0);
 }
@@ -110,8 +110,8 @@ TEST(ReversePushTest, TwoLevelResidueCombination) {
   const double sqrt_c = std::sqrt(0.6);
   QueryWorkspace workspace;
   std::vector<double> scores(g.num_nodes(), 0.0);
-  ReversePush(g, gu, gamma, sqrt_c, /*eps_h=*/0.0, &workspace, &scores,
-              nullptr);
+  ASSERT_TRUE(ReversePush(g, gu, gamma, sqrt_c, /*eps_h=*/0.0, &workspace, &scores,
+              nullptr).ok());
   // Level 2: residue 0.4 at node 2 pushes to out-neighbors {0, 1}:
   //   node 1 (d_I=1): += √c·0.4 ; node 0 (d_I=2): +=  √c·0.4/2 but node 0
   //   is at level 1 -> becomes residue, not score.
@@ -127,11 +127,11 @@ TEST(ReversePushTest, WorkspaceReuseIsClean) {
   Fixture f = MakeFixture(g, 4, 0.05, 117);
   QueryWorkspace workspace;
   std::vector<double> first(g.num_nodes(), 0.0);
-  ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
-              &workspace, &first, nullptr);
+  ASSERT_TRUE(ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
+              &workspace, &first, nullptr).ok());
   std::vector<double> second(g.num_nodes(), 0.0);
-  ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
-              &workspace, &second, nullptr);
+  ASSERT_TRUE(ReversePush(f.graph, f.gu, f.gamma, f.params.sqrt_c, f.params.eps_h,
+              &workspace, &second, nullptr).ok());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_DOUBLE_EQ(first[v], second[v]) << "node " << v;
   }
@@ -149,11 +149,11 @@ TEST(ReversePushTest, GammaScalesContributions) {
 
   std::vector<double> full(g.num_nodes(), 0.0);
   std::vector<double> gamma_full{1.0};
-  ReversePush(g, gu, gamma_full, sqrt_c, 0.0, &workspace, &full, nullptr);
+  ASSERT_TRUE(ReversePush(g, gu, gamma_full, sqrt_c, 0.0, &workspace, &full, nullptr).ok());
 
   std::vector<double> half(g.num_nodes(), 0.0);
   std::vector<double> gamma_half{0.5};
-  ReversePush(g, gu, gamma_half, sqrt_c, 0.0, &workspace, &half, nullptr);
+  ASSERT_TRUE(ReversePush(g, gu, gamma_half, sqrt_c, 0.0, &workspace, &half, nullptr).ok());
 
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_NEAR(half[v], full[v] * 0.5, 1e-12);

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: calls
+// a REQUIRES-annotated (*Locked) method without holding the required
+// mutex — the machine-checked version of violating the "caller holds
+// update_mu" comment contract.
+
+#include "common/annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Rebuild() {
+    RebuildLocked();  // BAD: mu_ not held.
+  }
+
+ private:
+  void RebuildLocked() SIMPUSH_REQUIRES(mu_) { ++generation_; }
+
+  simpush::Mutex mu_;
+  int generation_ SIMPUSH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Rebuild();
+  return 0;
+}

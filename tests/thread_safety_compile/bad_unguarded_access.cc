@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety: writes
+// a GUARDED_BY field without holding its mutex. The harness asserts
+// the compiler rejects this file — if it ever compiles, the analysis
+// has silently rotted into a no-op (e.g. the macros expanded to
+// nothing under a compiler that was supposed to check them).
+
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BAD: mu_ not held.
+  }
+
+ private:
+  simpush::Mutex mu_;
+  int value_ SIMPUSH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Positive control for the negative-compile harness: a correctly
+// annotated class MUST compile under -Wthread-safety -Werror. If this
+// file fails, the harness is broken (or the wrappers regressed), and
+// the bad_*.cc rejections below prove nothing.
+
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    simpush::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() const {
+    simpush::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  // The *Locked contract, stated and honored.
+  void Reset() {
+    simpush::MutexLock lock(&mu_);
+    ResetLocked();
+  }
+
+ private:
+  void ResetLocked() SIMPUSH_REQUIRES(mu_) { value_ = 0; }
+
+  mutable simpush::Mutex mu_;
+  int value_ SIMPUSH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.Reset();
+  return counter.Get();
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the Clang thread-safety annotations.
+#
+# Usage: run_cases.sh <cxx-compiler> <compiler-id> <source-root>
+#
+# Proves the analysis is LIVE, not decorative: the correctly annotated
+# case must compile, and each bad_*.cc case must be rejected by
+# -Wthread-safety -Werror=thread-safety. Exits 77 (ctest SKIP, via
+# SKIP_RETURN_CODE) when the configured compiler is not Clang — the
+# annotations are defined to be no-ops there, so the cases would prove
+# nothing. The CI static-analysis job runs this under Clang.
+
+set -u
+
+CXX="$1"
+COMPILER_ID="$2"
+ROOT="$3"
+CASE_DIR="$ROOT/tests/thread_safety_compile"
+
+case "$COMPILER_ID" in
+  *Clang*) ;;
+  *)
+    echo "SKIP: thread-safety analysis needs Clang (compiler is" \
+         "$COMPILER_ID); run the clang-analyze preset"
+    exit 77
+    ;;
+esac
+
+FLAGS=(-std=c++20 -fsyntax-only -I "$ROOT/src"
+       -Wthread-safety -Werror=thread-safety)
+failures=0
+
+if "$CXX" "${FLAGS[@]}" "$CASE_DIR/ok_annotated.cc"; then
+  echo "OK: ok_annotated.cc accepted"
+else
+  echo "FAIL: ok_annotated.cc should compile cleanly (harness or" \
+       "wrapper regression)"
+  failures=$((failures + 1))
+fi
+
+for bad in bad_unguarded_access bad_missing_requires; do
+  if "$CXX" "${FLAGS[@]}" "$CASE_DIR/$bad.cc" 2>/dev/null; then
+    echo "FAIL: $bad.cc compiled — the thread-safety analysis is not live"
+    failures=$((failures + 1))
+  else
+    echo "OK: $bad.cc rejected"
+  fi
+done
+
+exit "$failures"

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: repo-specific rules the compiler can't check.
+
+Run from anywhere: paths are resolved relative to the repository root
+(two levels above this file). Exit 0 = clean, 1 = violations (each
+printed as path:line: [rule] message), 2 = usage/internal error.
+
+Rules
+-----
+R1 rng-determinism
+    The engine's bit-determinism contract pins every random decision to
+    counter-based streams keyed by (seed, node, walk) in common/rng.*.
+    Ambient randomness (std::rand, std::random_device, mt19937 seeded
+    from time, ...) anywhere else in src/ would silently break
+    reproducibility, so it is banned outside common/rng.* and an
+    explicit allowlist (http_client's backoff jitter, which is
+    documented as not the engine RNG).
+
+R2 zero-alloc-hot-path
+    Hot-path engine files (the walk kernel and the per-query SimPush
+    stages) must stay free of std::unordered_map and std::function:
+    both allocate on use and defeat the zero-alloc steady state the
+    bench_micro allocs/query == 0 gauge enforces. The batch/parallel/
+    join fan-out layer is deliberately NOT in this set — std::function
+    is its API.
+
+R3 failpoint-coverage
+    Every SIMPUSH_FAILPOINT / FailpointRegistry::Register name in src/
+    must appear in chaos_test's AllInstrumentedFailpointsFired list (a
+    renamed or new-but-untested seam fails the lint, not just rots),
+    and no name may be claimed by two different source files (one seam,
+    one owner; multiple sites within a file share a seam, e.g. the two
+    registry.publish publish points).
+
+R4 locked-suffix-requires
+    The *Locked naming convention ("caller must hold the mutex") must
+    be machine-checked: every method declaration whose name ends in
+    "Locked" carries a SIMPUSH_REQUIRES annotation on its declaration.
+
+R5 annotated-locks-only
+    src/ must not use std::mutex / std::condition_variable /
+    std::lock_guard / std::unique_lock / std::scoped_lock directly —
+    only the capability-annotated wrappers from common/annotations.h,
+    so every lock site is visible to -Wthread-safety. (annotations.h
+    itself wraps the std primitives and is exempt.)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src"
+CHAOS_TEST = REPO_ROOT / "tests" / "chaos_test.cc"
+
+# R1: files allowed to use ambient (non-engine) randomness.
+RNG_ALLOWLIST = {
+    "src/common/rng.h",
+    "src/common/rng.cc",
+    # Retry backoff jitter; explicitly "not the engine RNG" and never
+    # influences scores.
+    "src/serve/http_client.h",
+    "src/serve/http_client.cc",
+}
+RNG_BANNED = re.compile(
+    r"std::rand\b|\bsrand\s*\(|std::random_device|std::mt19937"
+    r"|std::default_random_engine|std::minstd_rand"
+)
+
+# R2: the hot-path engine set (per-query work; allocation-free once
+# warm). Fan-out layers (batch, parallel, join) are excluded by design.
+HOT_PATH_STEMS = [
+    "src/walk/",
+    "src/simpush/source_graph",
+    "src/simpush/source_push",
+    "src/simpush/reverse_push",
+    "src/simpush/hitting",
+    "src/simpush/last_meeting",
+    "src/simpush/single_pair",
+    "src/simpush/workspace.",
+    "src/simpush/query_runner",
+    "src/simpush/engine_core",
+    "src/simpush/topk",
+    "src/simpush/adaptive",
+]
+HOT_BANNED = re.compile(r"std::unordered_map|std::function")
+
+FAILPOINT_NAME = re.compile(
+    r'SIMPUSH_FAILPOINT\("([^"]+)"\)|Register\("([^"]+)"\)'
+)
+
+LOCKED_DECL = re.compile(r"\b(\w*Locked)\s*\(")
+
+RAW_LOCK = re.compile(
+    r"std::mutex\b|std::condition_variable\b|std::lock_guard\b"
+    r"|std::unique_lock\b|std::scoped_lock\b|std::shared_mutex\b"
+)
+RAW_LOCK_EXEMPT = {"src/common/annotations.h"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root: Path):
+    for path in sorted(root.rglob("*")):
+        if path.suffix in (".h", ".cc", ".hpp", ".cpp"):
+            yield path
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        rel = path.relative_to(REPO_ROOT)
+        self.violations.append(f"{rel}:{line}: [{rule}] {message}")
+
+    def check_file(self, path: Path, failpoints: dict[str, set[str]]) -> None:
+        rel = str(path.relative_to(REPO_ROOT))
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(raw)
+        code_lines = code.splitlines()
+        raw_lines = raw.splitlines()
+
+        # R1 — ambient randomness.
+        if rel not in RNG_ALLOWLIST:
+            for lineno, line in enumerate(code_lines, 1):
+                if RNG_BANNED.search(line):
+                    self.report(
+                        path, lineno, "rng-determinism",
+                        "ambient RNG outside common/rng.* breaks the "
+                        "(seed,node,walk) bit-determinism contract",
+                    )
+
+        # R2 — hot-path containers.
+        if any(rel.startswith(stem) for stem in HOT_PATH_STEMS):
+            for lineno, line in enumerate(code_lines, 1):
+                if HOT_BANNED.search(line):
+                    self.report(
+                        path, lineno, "zero-alloc-hot-path",
+                        "std::unordered_map/std::function allocate on the "
+                        "query hot path (allocs/query must stay 0)",
+                    )
+
+        # R3 (collection) — failpoint names live in string literals, so
+        # scan the raw text but still skip commented-out code.
+        no_comments = re.sub(r"//[^\n]*", "", raw)
+        for lineno, line in enumerate(no_comments.splitlines(), 1):
+            for match in FAILPOINT_NAME.finditer(line):
+                name = match.group(1) or match.group(2)
+                failpoints.setdefault(name, set()).add(rel)
+
+        # R4 — *Locked declarations must carry REQUIRES. Only headers
+        # declare the contract; definitions inherit it.
+        if path.suffix in (".h", ".hpp"):
+            for lineno, line in enumerate(code_lines, 1):
+                match = LOCKED_DECL.search(line)
+                if not match or match.group(1) == "Locked":
+                    continue
+                # The annotation may trail on the same or next lines;
+                # look at the declaration's statement (up to ; or {).
+                stmt = line
+                j = lineno
+                while ";" not in stmt and "{" not in stmt and j < len(code_lines):
+                    stmt += code_lines[j]
+                    j += 1
+                if "SIMPUSH_REQUIRES" not in stmt:
+                    self.report(
+                        path, lineno, "locked-suffix-requires",
+                        f"{match.group(1)}() follows the *Locked naming "
+                        "convention but has no SIMPUSH_REQUIRES annotation",
+                    )
+
+        # R5 — raw standard-library locks.
+        if rel not in RAW_LOCK_EXEMPT:
+            for lineno, line in enumerate(code_lines, 1):
+                if RAW_LOCK.search(line):
+                    self.report(
+                        path, lineno, "annotated-locks-only",
+                        "use the capability-annotated wrappers from "
+                        "common/annotations.h, not raw std locks",
+                    )
+
+    def check_failpoints(self, failpoints: dict[str, set[str]]) -> None:
+        if not CHAOS_TEST.exists():
+            self.report(CHAOS_TEST, 1, "failpoint-coverage",
+                        "tests/chaos_test.cc not found")
+            return
+        chaos = CHAOS_TEST.read_text(encoding="utf-8")
+        anchor = "AllInstrumentedFailpointsFired"
+        at = chaos.find(anchor)
+        if at < 0:
+            self.report(CHAOS_TEST, 1, "failpoint-coverage",
+                        f"{anchor} test not found in chaos_test.cc")
+            return
+        block = chaos[at:chaos.find("}", chaos.find("{", at))]
+        covered = set(re.findall(r'"([^"]+)"', block))
+        for name, files in sorted(failpoints.items()):
+            if name not in covered:
+                self.report(
+                    SRC / sorted(files)[0], 1, "failpoint-coverage",
+                    f'failpoint "{name}" is not asserted by chaos_test\'s '
+                    f"{anchor} (add it there or remove the seam)",
+                )
+            if len(files) > 1:
+                self.report(
+                    SRC / sorted(files)[0], 1, "failpoint-coverage",
+                    f'failpoint "{name}" is registered from multiple files '
+                    f"({', '.join(sorted(files))}); one seam, one owner",
+                )
+        for name in sorted(covered - set(failpoints)):
+            self.report(
+                CHAOS_TEST, 1, "failpoint-coverage",
+                f'chaos_test asserts failpoint "{name}" which no src/ file '
+                "instruments",
+            )
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print(f"error: {SRC} not found", file=sys.stderr)
+        return 2
+    linter = Linter()
+    failpoints: dict[str, set[str]] = {}
+    for path in iter_source_files(SRC):
+        linter.check_file(path, failpoints)
+    linter.check_failpoints(failpoints)
+    if linter.violations:
+        for violation in linter.violations:
+            print(violation)
+        print(f"\n{len(linter.violations)} invariant violation(s).",
+              file=sys.stderr)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
